@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark.
+
+    The experiments are deterministic cycle-accurate simulations, so a single
+    round is representative; this keeps the full benchmark sweep fast.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

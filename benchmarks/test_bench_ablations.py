@@ -1,0 +1,79 @@
+"""Ablation benches for design choices called out in DESIGN.md.
+
+These are not paper figures; they quantify the cost/benefit of individual
+Splice features on the simulated substrate:
+
+* data packing (the '+' extension) versus unpacked character transfers,
+* burst macros on the FCB versus single-word macros, and
+* the indirect-conversion (SIS) overhead of a Splice-generated PLB interface
+  versus the raw hand-coded slave for the same traffic.
+"""
+
+from repro.soc.system import build_system
+
+BASE_PLB = "%device_name dev\n%bus_type plb\n%bus_width 32\n%base_address 0x80000000\n"
+BASE_FCB = "%device_name dev\n%bus_type fcb\n%bus_width 32\n"
+
+
+def _cycles(system, func, *args):
+    driver = system.drivers[func]
+    driver(*args)
+    return driver.last_call.cycles
+
+
+def test_ablation_data_packing(benchmark, once):
+    """Packing 16 chars (4 per beat) versus one char per beat."""
+
+    def run():
+        packed = build_system(BASE_PLB + "void sink(char*:16+ xs);\n")
+        unpacked = build_system(BASE_PLB + "void sink(char*:16 xs);\n")
+        data = list(range(16))
+        return {
+            "packed_cycles": _cycles(packed, "sink", data),
+            "unpacked_cycles": _cycles(unpacked, "sink", data),
+        }
+
+    outcome = once(benchmark, run)
+    print(f"\nData packing ablation: packed={outcome['packed_cycles']} cycles, "
+          f"unpacked={outcome['unpacked_cycles']} cycles")
+    assert outcome["packed_cycles"] < outcome["unpacked_cycles"]
+
+
+def test_ablation_fcb_bursts(benchmark, once):
+    """FCB quad-word bursts versus the same payload on the simple OPB."""
+
+    def run():
+        fcb = build_system(BASE_FCB + "%burst_support true\nvoid sink(int*:12 xs);\n")
+        opb = build_system(
+            "%device_name dev\n%bus_type opb\n%bus_width 32\n%base_address 0x80000000\n"
+            "void sink(int*:12 xs);\n"
+        )
+        data = list(range(12))
+        return {"fcb_cycles": _cycles(fcb, "sink", data), "opb_cycles": _cycles(opb, "sink", data)}
+
+    outcome = once(benchmark, run)
+    print(f"\nBurst ablation: FCB={outcome['fcb_cycles']} cycles, OPB={outcome['opb_cycles']} cycles")
+    assert outcome["fcb_cycles"] < outcome["opb_cycles"]
+
+
+def test_ablation_sis_indirection_overhead(benchmark, once):
+    """Cycle overhead of the generated SIS path versus a raw hand-coded slave."""
+
+    def run():
+        from repro.devices.baselines import build_optimized_fcb_system
+        from repro.devices.interpolator import build_splice_interpolator
+        from repro.evaluation.scenarios import scenario
+
+        sets = scenario(2).generate_inputs()
+        splice_fcb = build_splice_interpolator("splice_fcb").run_scenario(sets)
+        handcoded = build_optimized_fcb_system().run_scenario(sets)
+        return {
+            "splice_cycles": splice_fcb["cycles"],
+            "handcoded_cycles": handcoded["cycles"],
+            "overhead_percent": 100.0 * (splice_fcb["cycles"] / handcoded["cycles"] - 1.0),
+        }
+
+    outcome = once(benchmark, run)
+    print(f"\nSIS indirection overhead: {outcome['overhead_percent']:.1f}% "
+          f"({outcome['splice_cycles']} vs {outcome['handcoded_cycles']} cycles)")
+    assert 0.0 <= outcome["overhead_percent"] <= 35.0

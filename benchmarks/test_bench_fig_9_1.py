@@ -1,0 +1,23 @@
+"""Figure 9.1 — input parameters required for each interpolation scenario.
+
+Regenerates the scenario table and prints the same rows the paper reports.
+"""
+
+from repro.evaluation.report import scenario_report
+from repro.evaluation.scenarios import SCENARIOS, scenario_table
+
+
+def test_figure_9_1_scenario_table(benchmark, once):
+    rows = once(benchmark, scenario_table)
+    print("\nFigure 9.1 — Input Parameters Required for Each Scenario")
+    print(scenario_report(rows))
+    assert [ (r["set1"], r["set2"], r["set3"]) for r in rows ] == [
+        (2, 1, 2), (4, 2, 4), (8, 3, 6), (16, 4, 8),
+    ]
+
+
+def test_scenario_data_generation_cost(benchmark):
+    """Workload-generation cost for the largest scenario (sanity micro-bench)."""
+    largest = SCENARIOS[-1]
+    sets = benchmark(largest.generate_inputs)
+    assert [len(s) for s in sets] == [16, 4, 8]

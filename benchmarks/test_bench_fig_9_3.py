@@ -1,0 +1,40 @@
+"""Figure 9.3 — FPGA resources consumed by each implementation.
+
+Estimates the resource usage of the five interface implementations from their
+structural descriptions and prints the Figure 9.3 table plus the
+Section 9.3.2 headline ratios.
+"""
+
+from repro.evaluation.experiments import (
+    IMPLEMENTATION_NAMES,
+    resource_ratio_summary,
+    run_resource_experiment,
+)
+from repro.evaluation.report import ratio_report, resources_report
+
+
+def test_figure_9_3_resource_usage(benchmark, once):
+    reports = once(benchmark, run_resource_experiment)
+    print("\nFigure 9.3 — FPGA Resources Consumed By Each Implementation")
+    print(resources_report(reports, IMPLEMENTATION_NAMES))
+    ratios = resource_ratio_summary(reports)
+    print()
+    print(ratio_report(ratios, "Section 9.3.2 — resource-usage comparison"))
+
+    slices = {label: report.slices for label, report in reports.items()}
+    assert slices["splice_plb"] < slices["simple_plb"]
+    assert slices["splice_fcb"] < slices["simple_plb"]
+    assert slices["splice_plb_dma"] > slices["splice_plb"]
+    assert 0.40 <= ratios["dma_overhead_vs_splice_plb"] <= 0.80
+    assert abs(ratios["splice_fcb_vs_optimized"]) <= 0.15
+
+
+def test_resource_estimation_cost(benchmark):
+    """Micro-benchmark of the estimator itself on the generated PLB design."""
+    from repro.core.engine import Splice
+    from repro.devices.interpolator import INTERPOLATOR_SPEC_PLB
+    from repro.resources.estimator import estimate_hardware
+
+    ir = Splice().generate(INTERPOLATOR_SPEC_PLB).hardware.ir
+    report = benchmark(estimate_hardware, ir)
+    assert report.slices > 0

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Chapter 9 evaluation: regenerate Figures 9.1, 9.2 and 9.3.
+
+Runs the Scan Eagle linear-interpolator workload through all five interface
+implementations (naïve hand-coded PLB, Splice PLB, Splice PLB + DMA, Splice
+FCB, hand-optimized FCB) on the simulated SoC and prints the paper's tables
+plus the Section 9.3 headline percentages.
+"""
+
+from repro.evaluation.experiments import (
+    IMPLEMENTATION_NAMES,
+    cycle_ratio_summary,
+    resource_ratio_summary,
+    run_correctness_check,
+    run_cycles_experiment,
+    run_resource_experiment,
+)
+from repro.evaluation.report import (
+    cycles_report,
+    ratio_report,
+    resources_report,
+    scenario_report,
+)
+from repro.evaluation.scenarios import scenario_table
+
+
+def main() -> None:
+    print("Figure 9.1 — Input Parameters Required for Each Scenario")
+    print(scenario_report(scenario_table()))
+    print()
+
+    print("Running the transmission-time experiment (cycle-accurate simulation)...")
+    cycles = run_cycles_experiment()
+    print()
+    print("Figure 9.2 — Clock Cycles Per Run By Each Implementation")
+    print(cycles_report(cycles, IMPLEMENTATION_NAMES))
+    print()
+    print(ratio_report(cycle_ratio_summary(cycles),
+                       "Section 9.3.1 — headline transmission-time ratios "
+                       "(paper: ~25%, ~43%, ~13%, 1-4%)"))
+    print()
+
+    resources = run_resource_experiment()
+    print("Figure 9.3 — FPGA Resources Consumed By Each Implementation")
+    print(resources_report(resources, IMPLEMENTATION_NAMES))
+    print()
+    print(ratio_report(resource_ratio_summary(resources),
+                       "Section 9.3.2 — headline resource ratios "
+                       "(paper: ~23%, ~28%, ~2%, 57-69%)"))
+    print()
+
+    agreement = run_correctness_check()
+    print("Cross-implementation result agreement per scenario:", agreement)
+
+
+if __name__ == "__main__":
+    main()

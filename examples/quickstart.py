@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: describe a peripheral, generate its hardware and drivers, run it.
+
+This walks the Figure 1.1 flow end to end for a tiny accelerator:
+
+1. write a Splice specification (interface declarations + target directives),
+2. run the engine to get the generated VHDL files and C driver sources,
+3. elaborate the design onto a simulated PLB-based SoC, and
+4. call the generated runtime drivers and watch real bus-cycle costs.
+"""
+
+from repro import Splice
+from repro.soc.system import build_system
+
+SPEC = """\
+// A small fixed-point multiply-accumulate accelerator on the PLB.
+%device_name mac_unit
+%bus_type plb
+%bus_width 32
+%base_address 0x80001000
+
+int  mac(int a, int b, int acc);          // one multiply-accumulate step
+int  dot(char n, int*:n xs, int*:n ys);   // variable-length dot product
+void reset_stats();                       // blocking, no return value
+"""
+
+
+def main() -> None:
+    # --- 2. generation ---------------------------------------------------------
+    engine = Splice()
+    result = engine.generate(SPEC)
+    print("Generated hardware files (Figure 8.3 style):")
+    for name in result.hardware_file_listing():
+        print(f"  {name}")
+    print("Generated software files (Figure 8.7 style):")
+    for name in result.software_file_listing():
+        print(f"  {name}")
+    print()
+    print("--- excerpt of the generated PLB adapter " + "-" * 30)
+    print("\n".join(result.hardware_files["plb_interface.vhd"].splitlines()[:8]))
+    print()
+
+    # --- 3. elaborate onto a simulated SoC --------------------------------------
+    stats = {"calls": 0}
+
+    def reset_stats():
+        stats["calls"] = 0
+
+    behaviors = {
+        "mac": lambda a, b, acc: (a * b + acc) & 0xFFFFFFFF,
+        "dot": lambda n, xs, ys: sum(x * y for x, y in zip(xs, ys)) & 0xFFFFFFFF,
+        "reset_stats": reset_stats,
+    }
+    system = build_system(SPEC, behaviors=behaviors)
+
+    # --- 4. call the generated drivers -----------------------------------------
+    drivers = system.drivers
+    print("mac(3, 4, 10)          ->", drivers["mac"](3, 4, 10))
+    print("dot([1..4], [5..8])    ->", drivers["dot"](4, [1, 2, 3, 4], [5, 6, 7, 8]))
+    drivers["reset_stats"]()
+
+    for name in ("mac", "dot", "reset_stats"):
+        call = drivers[name].last_call
+        print(f"{name:>12}: {call.cycles:4d} bus cycles, {call.transactions} bus transactions")
+    print(f"total simulated bus cycles: {system.cycles}")
+    print(f"SIS protocol violations:    {len(system.monitor.violations)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim so `pip install -e .` works without the wheel package.
+
+All project metadata lives in pyproject.toml; this file only exists because
+the offline environment ships a setuptools old enough to need a setup.py for
+legacy editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""repro — a from-scratch reproduction of Splice (Thiel, 2007).
+
+Splice is a code-generation tool that turns ANSI-C-like interface
+declarations plus a handful of ``%`` target directives into (a) bus-adapter
+hardware translating a native SoC bus into the bus-independent Splice
+Interface Standard (SIS), (b) an arbitration unit, (c) per-function
+user-logic stubs, and (d) matching software drivers.
+
+This package provides the tool itself (:mod:`repro.core`), the SIS
+(:mod:`repro.sis`), cycle-accurate models of the PLB / OPB / FCB / APB buses
+(:mod:`repro.buses`) on a small RTL simulation kernel (:mod:`repro.rtl`), a
+CPU/SoC model to execute generated drivers (:mod:`repro.soc`), the paper's
+example devices (:mod:`repro.devices`), an FPGA resource estimator
+(:mod:`repro.resources`), and the evaluation harness reproducing the paper's
+figures (:mod:`repro.evaluation`).
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.engine import Splice, GenerationResult
+from repro.core.syntax import parse_spec
+
+__all__ = ["Splice", "GenerationResult", "parse_spec", "__version__"]

@@ -1,0 +1,43 @@
+"""Cycle-accurate models of the embedded bus interfaces discussed in the paper.
+
+Each bus is split into a *slave bundle* (the signals a peripheral sees) and a
+*bus master* (an RTL module that drives the slave bundle according to the
+native protocol on behalf of the processor).  Generated Splice adapters and
+hand-coded baseline peripherals both sit on the slave side; the
+:mod:`repro.soc` processor model submits :class:`BusTransaction` objects to
+the master side.
+
+Supported interfaces:
+
+* ``plb`` — IBM CoreConnect Processor Local Bus (Sections 2.3.2, 4.3.1)
+* ``opb`` — IBM CoreConnect On-chip Peripheral Bus (bridged off the PLB)
+* ``fcb`` — Xilinx Fabric Co-processor Bus (opcode-driven, burst capable)
+* ``apb`` — AMBA Peripheral Bus (strictly synchronous)
+"""
+
+from repro.buses.base import BusMaster, BusTransaction, TransactionKind, SlaveBundle
+from repro.buses.plb import PLBMaster, PLBSlaveBundle
+from repro.buses.opb import OPBMaster, OPBSlaveBundle
+from repro.buses.fcb import FCBMaster, FCBSlaveBundle
+from repro.buses.apb import APBMaster, APBSlaveBundle
+from repro.buses.memory import SystemMemory
+from repro.buses.registry import BUS_MASTERS, BUS_SLAVE_BUNDLES, create_bus
+
+__all__ = [
+    "BusMaster",
+    "BusTransaction",
+    "TransactionKind",
+    "SlaveBundle",
+    "PLBMaster",
+    "PLBSlaveBundle",
+    "OPBMaster",
+    "OPBSlaveBundle",
+    "FCBMaster",
+    "FCBSlaveBundle",
+    "APBMaster",
+    "APBSlaveBundle",
+    "SystemMemory",
+    "BUS_MASTERS",
+    "BUS_SLAVE_BUNDLES",
+    "create_bus",
+]

@@ -1,0 +1,117 @@
+"""AMBA Peripheral Bus (APB) model.
+
+The APB is the paper's example of a *strictly synchronous* interface
+(Section 2.3.1): peripherals are not allowed to pause the bus, every access
+completes in a fixed setup + access cycle pair, and read data must be valid
+during the access cycle.  Consequently the generated software drivers must
+poll the ``CALC_DONE`` status register (function identifier zero) before
+reading results (Section 4.2.2).
+
+Peripherals hang off an AHB-to-APB bridge, which adds a small fixed latency
+to every transaction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.buses.base import BusMaster, BusTransaction, SlaveBundle
+from repro.rtl.signal import Signal
+
+
+class APBSlaveBundle(SlaveBundle):
+    """Signals visible to an APB-attached peripheral."""
+
+    def __init__(self, name: str, data_width: int = 32, addr_width: int = 32) -> None:
+        super().__init__(name, data_width, select_width=addr_width)
+        self.addr_width = addr_width
+        self.rst = Signal(f"{name}.RST", 1)
+        self.psel = Signal(f"{name}.PSEL", 1)
+        self.penable = Signal(f"{name}.PENABLE", 1)
+        self.pwrite = Signal(f"{name}.PWRITE", 1)
+        self.paddr = Signal(f"{name}.PADDR", addr_width)
+        self.pwdata = Signal(f"{name}.PWDATA", data_width)
+        self.prdata = Signal(f"{name}.PRDATA", data_width)
+
+    def signals(self) -> List[Signal]:
+        return [
+            self.rst,
+            self.psel,
+            self.penable,
+            self.pwrite,
+            self.paddr,
+            self.pwdata,
+            self.prdata,
+        ]
+
+
+class APBMaster(BusMaster):
+    """Drives an :class:`APBSlaveBundle` with fixed two-cycle accesses."""
+
+    #: AHB access plus the AHB-to-APB bridge crossing.
+    ARBITRATION_CYCLES = 3
+    RECOVERY_CYCLES = 1
+
+    def __init__(self, name: str, slave: APBSlaveBundle, base_address: int = 0) -> None:
+        super().__init__(name, slave)
+        self.base_address = base_address
+        self._phase = "idle"
+        self._delay = 0
+        self._word_index = 0
+
+    def _begin(self, transaction: BusTransaction) -> None:
+        if transaction.kind.is_dma:
+            raise ValueError("the APB has no DMA support")
+        self._word_index = 0
+        self._phase = "bridge"
+        self._delay = self.ARBITRATION_CYCLES
+
+    def _tick(self, transaction: BusTransaction) -> None:
+        slave = self.slave
+        total = len(transaction.data) if transaction.kind.is_write else transaction.word_count
+
+        if self._phase == "bridge":
+            if self._delay > 0:
+                self._delay -= 1
+                return
+            self._phase = "setup"
+            # fall through
+
+        if self._phase == "setup":
+            slave.psel.next = 1
+            slave.penable.next = 0
+            slave.pwrite.next = 1 if transaction.kind.is_write else 0
+            slave.paddr.next = transaction.address + self._word_index * (slave.data_width // 8)
+            if transaction.kind.is_write:
+                slave.pwdata.next = transaction.data[self._word_index]
+            self._phase = "access"
+            return
+
+        if self._phase == "access":
+            slave.penable.next = 1
+            self._phase = "complete"
+            return
+
+        if self._phase == "complete":
+            # The access cycle has committed: the slave saw PENABLE this
+            # cycle and read data (if any) is now on PRDATA.
+            if not transaction.kind.is_write:
+                transaction.results.append(slave.prdata.value)
+            slave.psel.next = 0
+            slave.penable.next = 0
+            slave.pwrite.next = 0
+            slave.pwdata.next = 0
+            self._word_index += 1
+            if self._word_index < total:
+                self._phase = "setup"
+            else:
+                self._phase = "recover"
+                self._delay = self.RECOVERY_CYCLES
+            return
+
+        if self._phase == "recover":
+            if self._delay > 0:
+                self._delay -= 1
+                return
+            self._complete(transaction)
+            self._phase = "idle"

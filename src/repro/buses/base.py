@@ -1,0 +1,170 @@
+"""Shared machinery for bus masters and slave bundles.
+
+A :class:`BusTransaction` describes one logical bus operation (a single-word
+read or write, a burst, or a DMA block transfer).  A :class:`BusMaster`
+consumes queued transactions and drives its slave bundle cycle-by-cycle per
+the native protocol; the processor model waits for ``transaction.done``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+from repro.rtl.module import Module
+
+
+class TransactionKind(enum.Enum):
+    """The kinds of bus operations generated drivers can issue."""
+
+    READ = "read"
+    WRITE = "write"
+    BURST_READ = "burst_read"
+    BURST_WRITE = "burst_write"
+    DMA_READ = "dma_read"
+    DMA_WRITE = "dma_write"
+
+    @property
+    def is_write(self) -> bool:
+        return self in (TransactionKind.WRITE, TransactionKind.BURST_WRITE, TransactionKind.DMA_WRITE)
+
+    @property
+    def is_dma(self) -> bool:
+        return self in (TransactionKind.DMA_READ, TransactionKind.DMA_WRITE)
+
+
+@dataclass
+class BusTransaction:
+    """One logical bus operation submitted by a driver.
+
+    ``address`` is the byte address of the targeted function slot on memory
+    mapped buses; on the FCB it is the raw function identifier.  Write data
+    is supplied in ``data`` (one entry per bus word); read results are filled
+    into ``results``.
+    """
+
+    kind: TransactionKind
+    address: int
+    data: List[int] = field(default_factory=list)
+    word_count: int = 1
+    done: bool = False
+    results: List[int] = field(default_factory=list)
+    issue_cycle: Optional[int] = None
+    complete_cycle: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind.is_write and not self.data:
+            raise ValueError("write transactions require data")
+        if self.kind.is_write:
+            self.word_count = len(self.data)
+        if self.word_count < 1:
+            raise ValueError("transactions must move at least one word")
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Cycles from submission to completion (``None`` until done)."""
+        if self.issue_cycle is None or self.complete_cycle is None:
+            return None
+        return self.complete_cycle - self.issue_cycle
+
+    @property
+    def result(self) -> int:
+        """First result word of a completed read."""
+        if not self.results:
+            raise ValueError("transaction has no results (not a read, or not complete)")
+        return self.results[0]
+
+
+class SlaveBundle:
+    """Base class for the signal bundle a peripheral's slave port exposes."""
+
+    def __init__(self, name: str, data_width: int, select_width: int) -> None:
+        self.name = name
+        self.data_width = data_width
+        self.select_width = select_width
+
+    def signals(self):  # pragma: no cover - overridden by each bus
+        raise NotImplementedError
+
+
+class BusMaster(Module):
+    """Common transaction queue / bookkeeping for every bus master model.
+
+    Subclasses implement :meth:`_tick`, a clocked process advancing the
+    native-protocol state machine one cycle.
+    """
+
+    #: Cycles of master-side overhead (arbitration, address decode) charged
+    #: before the slave sees each new request.  Subclasses override.
+    ARBITRATION_CYCLES = 0
+    #: Idle cycles inserted after a transaction completes.
+    RECOVERY_CYCLES = 1
+
+    def __init__(self, name: str, slave: SlaveBundle) -> None:
+        super().__init__(name)
+        self.slave = slave
+        self._queue: Deque[BusTransaction] = deque()
+        self.active: Optional[BusTransaction] = None
+        self.completed: List[BusTransaction] = []
+        self._cycle = 0
+        self.total_busy_cycles = 0
+        self.clocked(self._base_tick)
+
+    # -- driver-facing API ----------------------------------------------------
+
+    def submit(self, transaction: BusTransaction) -> BusTransaction:
+        """Queue ``transaction`` for execution; returns it for convenience."""
+        transaction.issue_cycle = self._cycle
+        self._queue.append(transaction)
+        return transaction
+
+    @property
+    def idle(self) -> bool:
+        """True when no transaction is active or pending."""
+        return self.active is None and not self._queue
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue) + (1 if self.active is not None else 0)
+
+    # -- statistics -----------------------------------------------------------
+
+    @property
+    def transactions_completed(self) -> int:
+        return len(self.completed)
+
+    def utilization(self) -> float:
+        """Fraction of simulated cycles during which the bus was busy."""
+        if self._cycle == 0:
+            return 0.0
+        return self.total_busy_cycles / self._cycle
+
+    # -- simulation -------------------------------------------------------------
+
+    def _base_tick(self) -> None:
+        self._cycle += 1
+        if self.active is None and self._queue:
+            self.active = self._queue.popleft()
+            if self.active.issue_cycle is None:
+                self.active.issue_cycle = self._cycle
+            self._begin(self.active)
+        if self.active is not None:
+            self.total_busy_cycles += 1
+            self._tick(self.active)
+
+    def _complete(self, transaction: BusTransaction) -> None:
+        """Mark the active transaction finished."""
+        transaction.done = True
+        transaction.complete_cycle = self._cycle
+        self.completed.append(transaction)
+        self.active = None
+
+    # -- subclass hooks -------------------------------------------------------
+
+    def _begin(self, transaction: BusTransaction) -> None:
+        """Called once when ``transaction`` becomes active."""
+
+    def _tick(self, transaction: BusTransaction) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError

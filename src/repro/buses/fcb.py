@@ -1,0 +1,139 @@
+"""Xilinx Fabric Co-processor Bus (FCB) model.
+
+The FCB is a pseudo-asynchronous 32-bit co-processor interconnect that is
+*not* memory mapped: transfers are triggered by FCB-specific opcodes and go
+straight to a single attached device, so there is no address decode and no
+shared-bus arbitration (Section 2.3.2).  Besides single-word loads and
+stores, the interface natively supports double- and quad-word burst
+transmissions, which Splice exploits for array transfers.
+
+Because Splice multiplexes several logical functions behind the single FCB
+attachment point, the master presents a function-select field alongside each
+request; the generated adapter forwards it as the SIS ``FUNC_ID``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.buses.base import BusMaster, BusTransaction, SlaveBundle, TransactionKind
+from repro.rtl.signal import Signal
+
+
+class FCBSlaveBundle(SlaveBundle):
+    """Signals visible to the FCB-attached peripheral."""
+
+    def __init__(self, name: str, data_width: int = 32, func_id_width: int = 4) -> None:
+        super().__init__(name, data_width, select_width=func_id_width)
+        self.func_id_width = func_id_width
+        self.rst = Signal(f"{name}.RST", 1)
+        self.req = Signal(f"{name}.REQ", 1)
+        self.is_write = Signal(f"{name}.IS_WRITE", 1)
+        self.func_sel = Signal(f"{name}.FUNC_SEL", func_id_width)
+        self.burst_len = Signal(f"{name}.BURST_LEN", 3)
+        self.data_to_slave = Signal(f"{name}.DATA_IN", data_width)
+        self.data_valid = Signal(f"{name}.DATA_VALID", 1)
+        self.data_from_slave = Signal(f"{name}.DATA_OUT", data_width)
+        self.ack = Signal(f"{name}.ACK", 1)
+        self.resp_valid = Signal(f"{name}.RESP_VALID", 1)
+
+    def signals(self) -> List[Signal]:
+        return [
+            self.rst,
+            self.req,
+            self.is_write,
+            self.func_sel,
+            self.burst_len,
+            self.data_to_slave,
+            self.data_valid,
+            self.data_from_slave,
+            self.ack,
+            self.resp_valid,
+        ]
+
+
+class FCBMaster(BusMaster):
+    """Drives an :class:`FCBSlaveBundle` via co-processor opcodes.
+
+    Transaction addresses are interpreted as raw function identifiers (the
+    FCB is not memory mapped).  Burst transactions present up to four words
+    under a single request; the device acknowledges each beat and the next
+    beat is presented immediately, giving the low per-word latency the paper
+    attributes to the interface.
+    """
+
+    #: The co-processor port is private to the CPU: no arbitration, only the
+    #: opcode issue itself.
+    ARBITRATION_CYCLES = 0
+    RECOVERY_CYCLES = 0
+    #: Largest natively supported burst (quad-word, Section 2.3.2).
+    MAX_BURST_WORDS = 4
+
+    def __init__(self, name: str, slave: FCBSlaveBundle, base_address: int = 0) -> None:
+        super().__init__(name, slave)
+        self.base_address = base_address  # unused; kept for interface parity
+        self._phase = "idle"
+        self._word_index = 0
+
+    def _begin(self, transaction: BusTransaction) -> None:
+        if transaction.kind.is_dma:
+            raise ValueError("the FCB is not memory accessible and therefore has no DMA support")
+        word_total = len(transaction.data) if transaction.kind.is_write else transaction.word_count
+        if word_total > self.MAX_BURST_WORDS and transaction.kind in (
+            TransactionKind.BURST_READ,
+            TransactionKind.BURST_WRITE,
+        ):
+            raise ValueError(
+                f"FCB bursts move at most {self.MAX_BURST_WORDS} words, got {word_total}"
+            )
+        self._word_index = 0
+        self._phase = "request"
+
+    def _tick(self, transaction: BusTransaction) -> None:
+        slave = self.slave
+        total = len(transaction.data) if transaction.kind.is_write else transaction.word_count
+
+        if self._phase == "request":
+            slave.req.next = 1
+            slave.is_write.next = 1 if transaction.kind.is_write else 0
+            slave.func_sel.next = transaction.address
+            slave.burst_len.next = min(total, self.MAX_BURST_WORDS)
+            if transaction.kind.is_write:
+                slave.data_to_slave.next = transaction.data[0]
+                slave.data_valid.next = 1
+            self._phase = "wait_ack"
+            return
+
+        if self._phase == "wait_ack":
+            slave.req.next = 0
+            if transaction.kind.is_write and slave.ack.value:
+                self._word_index += 1
+                if self._word_index < total:
+                    # Drop DATA_VALID for one cycle so the peripheral can
+                    # delimit consecutive beats of a burst.
+                    slave.data_valid.next = 0
+                    self._phase = "next_beat"
+                else:
+                    self._finish(transaction)
+            elif not transaction.kind.is_write and slave.resp_valid.value:
+                transaction.results.append(slave.data_from_slave.value)
+                self._word_index += 1
+                if self._word_index >= total:
+                    self._finish(transaction)
+            return
+
+        if self._phase == "next_beat":
+            slave.data_to_slave.next = transaction.data[self._word_index]
+            slave.data_valid.next = 1
+            self._phase = "wait_ack"
+            return
+
+    def _finish(self, transaction: BusTransaction) -> None:
+        slave = self.slave
+        slave.data_valid.next = 0
+        slave.data_to_slave.next = 0
+        slave.is_write.next = 0
+        slave.func_sel.next = 0
+        slave.burst_len.next = 0
+        self._complete(transaction)
+        self._phase = "idle"

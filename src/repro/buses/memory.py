@@ -1,0 +1,67 @@
+"""Word-addressed system memory used by DMA transfers.
+
+DMA transactions move data between main memory and the peripheral without
+per-word processor involvement.  :class:`SystemMemory` is the backing store
+the drivers populate before launching a DMA transfer and inspect afterwards;
+the DMA payload itself is streamed by the bus master.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.rtl.signal import mask_for_width
+
+
+class SystemMemory:
+    """A sparse, word-addressed memory model.
+
+    Addresses are byte addresses; accesses must be aligned to the word size.
+    """
+
+    def __init__(self, word_bytes: int = 4) -> None:
+        if word_bytes not in (1, 2, 4, 8):
+            raise ValueError(f"unsupported word size {word_bytes} bytes")
+        self.word_bytes = word_bytes
+        self._mask = mask_for_width(word_bytes * 8)
+        self._words: Dict[int, int] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def _check_aligned(self, address: int) -> None:
+        if address % self.word_bytes:
+            raise ValueError(
+                f"address 0x{address:x} is not aligned to the {self.word_bytes}-byte word size"
+            )
+
+    def read_word(self, address: int) -> int:
+        """Read one word (unwritten locations read as zero)."""
+        self._check_aligned(address)
+        self.reads += 1
+        return self._words.get(address, 0)
+
+    def write_word(self, address: int, value: int) -> None:
+        """Write one word."""
+        self._check_aligned(address)
+        self.writes += 1
+        self._words[address] = int(value) & self._mask
+
+    def read_block(self, address: int, count: int) -> List[int]:
+        """Read ``count`` consecutive words starting at ``address``."""
+        return [self.read_word(address + i * self.word_bytes) for i in range(count)]
+
+    def write_block(self, address: int, values: Iterable[int]) -> int:
+        """Write consecutive words starting at ``address``; returns words written."""
+        count = 0
+        for offset, value in enumerate(values):
+            self.write_word(address + offset * self.word_bytes, value)
+            count += 1
+        return count
+
+    def clear(self) -> None:
+        self._words.clear()
+        self.reads = 0
+        self.writes = 0
+
+    def __len__(self) -> int:
+        return len(self._words)

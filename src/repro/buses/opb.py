@@ -1,0 +1,33 @@
+"""IBM CoreConnect On-chip Peripheral Bus (OPB) model.
+
+The OPB carries the same request/acknowledge slave protocol as the PLB but
+peripherals reach the processor through a PLB-to-OPB bridge, so every
+transaction pays additional arbitration latency (Section 2.3.2: "feature
+equality with the more complex PLB albeit at a somewhat reduced level of
+performance").  Splice only generates simple read/write support for the OPB,
+so the master model rejects burst and DMA transactions outright.
+"""
+
+from __future__ import annotations
+
+from repro.buses.base import BusTransaction
+from repro.buses.plb import PLBMaster, PLBSlaveBundle
+
+
+class OPBSlaveBundle(PLBSlaveBundle):
+    """OPB slave signals (structurally identical to the PLB slave port)."""
+
+
+class OPBMaster(PLBMaster):
+    """Drives an :class:`OPBSlaveBundle`, adding bridge latency per request."""
+
+    #: PLB arbitration plus the PLB-to-OPB bridge crossing.
+    ARBITRATION_CYCLES = 5
+    RECOVERY_CYCLES = 1
+
+    def _begin(self, transaction: BusTransaction) -> None:
+        if transaction.kind.is_dma:
+            raise ValueError("the OPB has no DMA support in this Splice implementation")
+        if transaction.kind.name.startswith("BURST"):
+            raise ValueError("the OPB adapter only supports simple read and write operations")
+        super()._begin(transaction)

@@ -1,0 +1,191 @@
+"""IBM CoreConnect Processor Local Bus (PLB) model.
+
+The slave-side protocol follows Figures 4.5 and 4.6: the bus asserts a
+one-hot chip-enable (``RD_CE`` / ``WR_CE``) plus ``BE`` and strobes
+``RD_REQ`` / ``WR_REQ`` for one cycle, then holds the enables steady until
+the peripheral answers with ``RD_ACK`` / ``WR_ACK``.
+
+The master model charges two arbitration cycles per request (the PLB is a
+shared, arbitrated processor bus) and supports three transfer styles:
+
+* single-word reads/writes (the only style the PowerPC 405 can issue
+  directly, Section 4.3.1),
+* back-to-back streaming used for DMA payload movement, and
+* DMA block transfers, which first pay the four control transactions the
+  Xilinx PLB DMA engine requires (Section 9.2.1) and then stream the payload
+  without per-word arbitration.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.buses.base import BusMaster, BusTransaction, SlaveBundle, TransactionKind
+from repro.rtl.signal import Signal
+
+
+class PLBSlaveBundle(SlaveBundle):
+    """Signals visible to a PLB-attached peripheral (slave port)."""
+
+    def __init__(self, name: str, data_width: int = 32, num_slots: int = 16) -> None:
+        super().__init__(name, data_width, select_width=num_slots)
+        self.num_slots = num_slots
+        self.rst = Signal(f"{name}.RST", 1)
+        self.rd_req = Signal(f"{name}.RD_REQ", 1)
+        self.wr_req = Signal(f"{name}.WR_REQ", 1)
+        self.be = Signal(f"{name}.BE", data_width // 8)
+        self.rd_ce = Signal(f"{name}.RD_CE", num_slots)
+        self.wr_ce = Signal(f"{name}.WR_CE", num_slots)
+        self.data_to_slave = Signal(f"{name}.DATA_IN", data_width)
+        self.data_from_slave = Signal(f"{name}.DATA_OUT", data_width)
+        self.rd_ack = Signal(f"{name}.RD_ACK", 1)
+        self.wr_ack = Signal(f"{name}.WR_ACK", 1)
+
+    def signals(self) -> List[Signal]:
+        return [
+            self.rst,
+            self.rd_req,
+            self.wr_req,
+            self.be,
+            self.rd_ce,
+            self.wr_ce,
+            self.data_to_slave,
+            self.data_from_slave,
+            self.rd_ack,
+            self.wr_ack,
+        ]
+
+    def selected_slot(self, write: bool) -> int:
+        """Decode the one-hot chip enable into a slot number (-1 when idle)."""
+        value = self.wr_ce.value if write else self.rd_ce.value
+        if value == 0:
+            return -1
+        return value.bit_length() - 1
+
+
+class PLBMaster(BusMaster):
+    """Drives a :class:`PLBSlaveBundle` on behalf of the processor."""
+
+    ARBITRATION_CYCLES = 2
+    RECOVERY_CYCLES = 1
+    #: Cycles charged for each of the DMA engine's control transactions.
+    DMA_SETUP_TRANSACTION_CYCLES = 4
+    #: Number of control transactions needed to set up / tear down DMA.
+    DMA_SETUP_TRANSACTIONS = 4
+
+    def __init__(self, name: str, slave: PLBSlaveBundle, base_address: int = 0) -> None:
+        super().__init__(name, slave)
+        self.base_address = base_address
+        self._phase = "idle"
+        self._delay = 0
+        self._word_index = 0
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _slot_for(self, address: int) -> int:
+        offset = address - self.base_address
+        slot = offset // (self.slave.data_width // 8)
+        if not 0 <= slot < self.slave.num_slots:
+            raise ValueError(
+                f"address 0x{address:x} does not decode to a slot of peripheral at "
+                f"0x{self.base_address:x} ({self.slave.num_slots} slots)"
+            )
+        return slot
+
+    def _clear_request(self) -> None:
+        slave = self.slave
+        slave.rd_req.next = 0
+        slave.wr_req.next = 0
+        slave.rd_ce.next = 0
+        slave.wr_ce.next = 0
+        slave.be.next = 0
+        slave.data_to_slave.next = 0
+
+    # -- FSM ----------------------------------------------------------------------
+
+    def _begin(self, transaction: BusTransaction) -> None:
+        self._word_index = 0
+        if transaction.kind.is_dma:
+            self._phase = "dma_setup"
+            self._delay = self.DMA_SETUP_TRANSACTIONS * self.DMA_SETUP_TRANSACTION_CYCLES
+        else:
+            self._phase = "arbitrate"
+            self._delay = self.ARBITRATION_CYCLES
+
+    def _tick(self, transaction: BusTransaction) -> None:
+        slave = self.slave
+        if self._phase in ("arbitrate", "dma_setup"):
+            if self._delay > 0:
+                self._delay -= 1
+                return
+            self._phase = "request"
+            # fall through to issue the first beat this cycle
+
+        if self._phase == "request":
+            slot = self._slot_for(transaction.address)
+            onehot = 1 << slot
+            slave.be.next = (1 << (slave.data_width // 8)) - 1
+            if transaction.kind.is_write:
+                slave.wr_req.next = 1
+                slave.wr_ce.next = onehot
+                slave.data_to_slave.next = transaction.data[self._word_index]
+            else:
+                slave.rd_req.next = 1
+                slave.rd_ce.next = onehot
+            self._phase = "wait_ack"
+            return
+
+        if self._phase == "wait_ack":
+            # REQ strobes for a single cycle; CE/BE/DATA stay held.
+            slave.rd_req.next = 0
+            slave.wr_req.next = 0
+            if transaction.kind.is_write and slave.wr_ack.value:
+                self._word_index += 1
+                self._after_beat(transaction)
+            elif not transaction.kind.is_write and slave.rd_ack.value:
+                transaction.results.append(slave.data_from_slave.value)
+                self._word_index += 1
+                self._after_beat(transaction)
+            return
+
+        if self._phase == "recover":
+            if self._delay > 0:
+                self._delay -= 1
+                return
+            self._clear_request()
+            self._complete(transaction)
+            self._phase = "idle"
+
+    def _after_beat(self, transaction: BusTransaction) -> None:
+        """Advance to the next word or finish the transaction."""
+        slave = self.slave
+        total = transaction.word_count if not transaction.kind.is_write else len(transaction.data)
+        streaming = transaction.kind in (
+            TransactionKind.BURST_READ,
+            TransactionKind.BURST_WRITE,
+            TransactionKind.DMA_READ,
+            TransactionKind.DMA_WRITE,
+        )
+        if self._word_index < total:
+            if streaming:
+                # Back-to-back beat: keep the enables, present the next word.
+                if transaction.kind.is_write:
+                    slave.data_to_slave.next = transaction.data[self._word_index]
+                    slave.wr_req.next = 1
+                else:
+                    slave.rd_req.next = 1
+                self._phase = "wait_ack"
+            else:
+                # Single-word semantics: re-arbitrate for every beat.
+                self._clear_request()
+                self._phase = "arbitrate"
+                self._delay = self.ARBITRATION_CYCLES
+                self._phase_after_arb_request(transaction)
+        else:
+            self._clear_request()
+            self._phase = "recover"
+            self._delay = self.RECOVERY_CYCLES
+
+    def _phase_after_arb_request(self, transaction: BusTransaction) -> None:
+        """Hook kept separate so subclasses (OPB) can add bridge latency."""
+        self._phase = "arbitrate"

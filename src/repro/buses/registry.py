@@ -1,0 +1,71 @@
+"""Registry mapping bus names onto slave bundles and master models.
+
+The Splice engine and the SoC builder look buses up by the same name used in
+the ``%bus_type`` directive.  The extension API registers additional buses
+here (Chapter 7).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.buses.apb import APBMaster, APBSlaveBundle
+from repro.buses.base import BusMaster, SlaveBundle
+from repro.buses.fcb import FCBMaster, FCBSlaveBundle
+from repro.buses.opb import OPBMaster, OPBSlaveBundle
+from repro.buses.plb import PLBMaster, PLBSlaveBundle
+
+#: Factories building the slave-side signal bundle for each bus.
+BUS_SLAVE_BUNDLES: Dict[str, Callable[..., SlaveBundle]] = {
+    "plb": PLBSlaveBundle,
+    "opb": OPBSlaveBundle,
+    "fcb": FCBSlaveBundle,
+    "apb": APBSlaveBundle,
+}
+
+#: Factories building the master model for each bus.
+BUS_MASTERS: Dict[str, Callable[..., BusMaster]] = {
+    "plb": PLBMaster,
+    "opb": OPBMaster,
+    "fcb": FCBMaster,
+    "apb": APBMaster,
+}
+
+
+def register_bus(name: str, bundle_factory, master_factory) -> None:
+    """Register a new bus model (used by the extension API)."""
+    key = name.lower()
+    BUS_SLAVE_BUNDLES[key] = bundle_factory
+    BUS_MASTERS[key] = master_factory
+
+
+def create_bus(
+    name: str,
+    *,
+    data_width: int,
+    func_id_width: int,
+    base_address: int = 0,
+    prefix: str = "bus",
+) -> Tuple[SlaveBundle, BusMaster]:
+    """Instantiate the slave bundle and master model for ``name``.
+
+    The slave bundle is sized from the peripheral's function-identifier width
+    so the chip enables / select lines can address every function slot.
+    """
+    key = name.lower()
+    if key not in BUS_SLAVE_BUNDLES:
+        known = ", ".join(sorted(BUS_SLAVE_BUNDLES))
+        raise KeyError(f"unknown bus {name!r} (known: {known})")
+
+    num_slots = 1 << func_id_width
+    if key in ("plb", "opb"):
+        bundle = BUS_SLAVE_BUNDLES[key](f"{prefix}.{key}", data_width=data_width, num_slots=num_slots)
+    elif key == "fcb":
+        bundle = BUS_SLAVE_BUNDLES[key](f"{prefix}.{key}", data_width=data_width, func_id_width=func_id_width)
+    elif key == "apb":
+        bundle = BUS_SLAVE_BUNDLES[key](f"{prefix}.{key}", data_width=data_width)
+    else:
+        bundle = BUS_SLAVE_BUNDLES[key](f"{prefix}.{key}", data_width=data_width)
+
+    master = BUS_MASTERS[key](f"{prefix}.{key}_master", bundle, base_address=base_address)
+    return bundle, master

@@ -1,0 +1,61 @@
+"""Command-line interface: ``splice <spec-file> [-o OUTPUT_DIR]``.
+
+Mirrors how the original tool was driven: point it at a specification file
+and it writes the generated hardware and software files into a subdirectory
+named after the ``%device_name`` directive.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.engine import Splice
+from repro.core.syntax.errors import SpliceError
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="splice",
+        description="Generate bus-independent peripheral interfaces from a Splice specification.",
+    )
+    parser.add_argument("spec", help="path to the Splice specification file")
+    parser.add_argument(
+        "-o", "--output", default=".", help="directory under which <device_name>/ is created"
+    )
+    parser.add_argument(
+        "--list-only",
+        action="store_true",
+        help="print the files that would be generated without writing them",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    engine = Splice()
+    try:
+        result = engine.generate_file(Path(args.spec))
+    except FileNotFoundError:
+        print(f"splice: specification file not found: {args.spec}", file=sys.stderr)
+        return 2
+    except SpliceError as exc:
+        print(f"splice: {exc}", file=sys.stderr)
+        return 1
+
+    listing = result.hardware_file_listing() + result.software_file_listing()
+    if args.list_only:
+        for name in listing:
+            print(name)
+        return 0
+
+    written = result.write_to(args.output)
+    print(f"Generated {len(listing)} files for device {result.device_name!r}:")
+    for name in listing:
+        print(f"  {written[name]}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""The Splice engine: syntax front-end, parameter model, generation back-ends.
+
+This package is the paper's primary contribution — the code-generation tool
+itself.  :class:`repro.core.engine.Splice` ties the pieces together:
+
+* :mod:`repro.core.syntax` parses interface declarations and target
+  specifications (Chapter 3),
+* :mod:`repro.core.params` holds the shared ``splice_params`` structure
+  (Figure 7.3),
+* :mod:`repro.core.generation` produces the hardware (Chapters 4–5),
+* :mod:`repro.core.drivers` produces the software drivers (Chapter 6), and
+* :mod:`repro.core.api` is the extension API for new bus adapters
+  (Chapter 7).
+"""
+
+from repro.core.engine import Splice, GenerationResult
+
+__all__ = ["Splice", "GenerationResult"]

@@ -1,0 +1,13 @@
+"""The Splice extension API (Chapter 7).
+
+External bus libraries plug new interfaces into the tool by providing the
+three required routines of Section 7.1.2 — a parameter checker, a marker
+loader and a bus interface generator — plus a software macro library
+(Section 7.1.3).  :class:`BusAdapterPlugin` bundles those pieces;
+:class:`PluginRegistry` stores them under the name used by ``%bus_type``,
+mirroring the ``lib<x>_interface.so`` naming convention of Section 7.2.
+"""
+
+from repro.core.api.plugin import BusAdapterPlugin, PluginRegistry, load_plugin
+
+__all__ = ["BusAdapterPlugin", "PluginRegistry", "load_plugin"]

@@ -1,0 +1,119 @@
+"""Bus capability descriptions used by validation and generation.
+
+Each supported system interface advertises what it can physically do — the
+widths it supports, whether it is memory mapped, whether DMA / burst
+transactions exist, and whether its transfer protocol is pseudo-asynchronous
+or strictly synchronous (Chapter 4).  The parameter-checking routine of every
+bus adapter (Section 7.1.2) compares the user's target specification against
+these capabilities before any hardware is generated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class BusCapabilities:
+    """What a target system interface can physically support."""
+
+    name: str
+    #: Data widths (bits) the interface can be configured for.
+    widths: Tuple[int, ...] = (32,)
+    #: Whether peripherals are addressed through memory mappings.
+    memory_mapped: bool = True
+    #: Whether the native protocol can pause transactions (pseudo-async) or
+    #: must complete every beat in a single cycle (strictly synchronous).
+    pseudo_asynchronous: bool = True
+    #: Whether the physical bus provides DMA channels.
+    supports_dma: bool = False
+    #: Whether the physical bus provides burst (double/quad word) transfers.
+    supports_burst: bool = False
+    #: Maximum bytes a single DMA transaction may move (0 when DMA is absent).
+    max_dma_bytes: int = 0
+    #: Fixed number of bus transactions needed to set up / tear down a DMA
+    #: transfer (Section 9.2.1 notes the PLB needs four).
+    dma_setup_transactions: int = 0
+    #: Nominal clock rate in Hz, used only for reporting.
+    clock_hz: int = 100_000_000
+
+    def supports_width(self, width: int) -> bool:
+        return width in self.widths
+
+    @property
+    def strictly_synchronous(self) -> bool:
+        return not self.pseudo_asynchronous
+
+
+#: Capability sheet for the interfaces the paper discusses (Sections 2.3, 4.3, 9.2).
+_DEFAULT_CAPABILITIES: Dict[str, BusCapabilities] = {
+    # IBM CoreConnect Processor Local Bus: 32/64-bit, memory mapped,
+    # pseudo-asynchronous, DMA up to 256 bytes with 4 setup transactions.
+    "plb": BusCapabilities(
+        name="plb",
+        widths=(32, 64),
+        memory_mapped=True,
+        pseudo_asynchronous=True,
+        supports_dma=True,
+        supports_burst=True,
+        max_dma_bytes=256,
+        dma_setup_transactions=4,
+    ),
+    # IBM CoreConnect On-chip Peripheral Bus: 32-bit, memory mapped,
+    # pseudo-asynchronous; Splice only generates simple read/write support.
+    "opb": BusCapabilities(
+        name="opb",
+        widths=(32,),
+        memory_mapped=True,
+        pseudo_asynchronous=True,
+        supports_dma=False,
+        supports_burst=False,
+    ),
+    # Xilinx Fabric Co-processor Bus: 32-bit, opcode-driven (not memory
+    # mapped), pseudo-asynchronous, double/quad bursts, no DMA.
+    "fcb": BusCapabilities(
+        name="fcb",
+        widths=(32,),
+        memory_mapped=False,
+        pseudo_asynchronous=True,
+        supports_dma=False,
+        supports_burst=True,
+    ),
+    # AMBA Peripheral Bus: 32-bit, memory mapped, strictly synchronous.
+    "apb": BusCapabilities(
+        name="apb",
+        widths=(32,),
+        memory_mapped=True,
+        pseudo_asynchronous=False,
+        supports_dma=False,
+        supports_burst=False,
+    ),
+    # AMBA High-speed Bus: listed as future work in the paper; provided here
+    # through the extension API example (32/64-bit, DMA-capable).
+    "ahb": BusCapabilities(
+        name="ahb",
+        widths=(32, 64),
+        memory_mapped=True,
+        pseudo_asynchronous=True,
+        supports_dma=True,
+        supports_burst=True,
+        max_dma_bytes=1024,
+        dma_setup_transactions=2,
+    ),
+}
+
+
+def default_capabilities() -> Dict[str, BusCapabilities]:
+    """A fresh copy of the built-in capability registry."""
+    return dict(_DEFAULT_CAPABILITIES)
+
+
+def capabilities_for(bus_type: str) -> BusCapabilities:
+    """Look up capabilities for ``bus_type`` (case-insensitive)."""
+    try:
+        return _DEFAULT_CAPABILITIES[bus_type.lower()]
+    except KeyError:
+        raise KeyError(
+            f"no built-in capability sheet for bus {bus_type!r}; register one via the extension API"
+        ) from None

@@ -1,0 +1,37 @@
+"""Software driver generation (Chapter 6).
+
+Splice produces drivers in two equivalent forms here:
+
+* **C source text** (:mod:`repro.core.drivers.cgen`) — the ``splice_lib.h``
+  macro header plus per-device driver/header files shaped like Figures 6.1,
+  6.2 and 8.7, kept for fidelity with the paper; and
+* **runtime drivers** (:mod:`repro.core.drivers.runtime`) — Python callables
+  that issue the *same* macro sequence as the C drivers against the simulated
+  bus, which is what the evaluation harness executes to measure cycle counts.
+
+Both are built on the per-bus software macro libraries of Figure 7.2
+(:mod:`repro.core.drivers.macro_lib`).
+"""
+
+from repro.core.drivers.macro_lib import (
+    SoftwareMacroLibrary,
+    PLBMacroLibrary,
+    OPBMacroLibrary,
+    FCBMacroLibrary,
+    APBMacroLibrary,
+    macro_library_for,
+)
+from repro.core.drivers.runtime import GeneratedDriver, DriverSet
+from repro.core.drivers.cgen import generate_driver_sources
+
+__all__ = [
+    "SoftwareMacroLibrary",
+    "PLBMacroLibrary",
+    "OPBMacroLibrary",
+    "FCBMacroLibrary",
+    "APBMacroLibrary",
+    "macro_library_for",
+    "GeneratedDriver",
+    "DriverSet",
+    "generate_driver_sources",
+]

@@ -1,0 +1,195 @@
+"""C source generation for Splice drivers (Chapter 6, Figures 6.1/6.2/8.7).
+
+Three files are produced per device, matching the Figure 8.7 listing:
+
+* ``splice_lib.h`` — the per-bus transaction macros (Figure 7.2),
+* ``<device>_driver.h`` — prototypes for every generated driver, and
+* ``<device>_driver.c`` — the driver bodies, shaped like Figure 6.1 (simple
+  functions) and Figure 6.2 (multi-instance functions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.drivers.macro_lib import SoftwareMacroLibrary, macro_library_for
+from repro.core.drivers.wire_format import beat_count
+from repro.core.params import FuncParams, IOParams, ModuleParams
+
+_C_TYPE_FOR_WIDTH = {8: "unsigned char", 16: "unsigned short", 32: "unsigned int", 64: "unsigned long long"}
+
+
+def _c_type(io: IOParams) -> str:
+    base = io.io_type.rstrip("*").strip()
+    return base + ("*" if io.is_pointer else "")
+
+
+def _return_type(func: FuncParams) -> str:
+    if not func.has_output or func.output is None:
+        return "void"
+    base = func.output.io_type.rstrip("*").strip()
+    return base + ("*" if func.output.is_pointer else "")
+
+
+def _prototype(func: FuncParams) -> str:
+    params = [f"{_c_type(io)} {io.io_name}" for io in func.inputs]
+    if func.nmbr_instances > 1:
+        params.append("int inst_index")
+    joined = ", ".join(params) if params else "void"
+    return f"{_return_type(func)} {func.func_name}({joined})"
+
+
+def _write_macro_for(beats: int) -> str:
+    if beats >= 4:
+        return "WRITE_QUAD"
+    if beats >= 2:
+        return "WRITE_DOUBLE"
+    return "WRITE_SINGLE"
+
+
+def _input_transfer_lines(func: FuncParams, io: IOParams, module: ModuleParams) -> List[str]:
+    lines: List[str] = []
+    if io.has_index:
+        lines.append(f"    // Transfer '{io.io_name}' ({io.index_var} elements, implicit bound)")
+        lines.append(f"    for (i = 0; i < {io.index_var}; i++)")
+        macro = "WRITE_DMA" if io.is_dma else "WRITE_SINGLE"
+        ref = f"&{io.io_name}[i]" if io.is_pointer else f"&{io.io_name}"
+        extra = f", {io.index_var}" if io.is_dma else ""
+        lines.append(f"        {macro}(func_addr, {ref}{extra});")
+        return lines
+    beats = beat_count(io, module.data_width, io.io_number if io.io_number is not None else 1)
+    descriptor = "packed " if io.is_packed else ("DMA " if io.is_dma else "")
+    lines.append(f"    // Transfer {beats} bus word(s) of '{io.io_name}' ({descriptor}transfer)")
+    if io.is_dma:
+        lines.append(f"    WRITE_DMA(func_addr, {io.io_name}, {beats});")
+        return lines
+    ref = io.io_name if io.is_pointer else f"&{io.io_name}"
+    remaining = beats
+    while remaining > 0:
+        if remaining >= 4:
+            lines.append(f"    WRITE_QUAD(func_addr, {ref});")
+            remaining -= 4
+        elif remaining >= 2:
+            lines.append(f"    WRITE_DOUBLE(func_addr, {ref});")
+            remaining -= 2
+        else:
+            lines.append(f"    WRITE_SINGLE(func_addr, {ref});")
+            remaining -= 1
+    return lines
+
+
+def _driver_body(func: FuncParams, module: ModuleParams) -> str:
+    lines: List[str] = []
+    lines.append(f"// ID Used to Target {func.func_name}")
+    lines.append(f"#define {func.func_name.upper()}_ID {func.func_id}")
+    lines.append("")
+    suffix = " (w/ Multiple Instances)" if func.nmbr_instances > 1 else ""
+    lines.append(f"// Driver Used to Activate {func.func_name} in HW{suffix}")
+    lines.append(_prototype(func))
+    lines.append("{")
+    lines.append("    unsigned func_addr;")
+    if any(io.has_index for io in func.inputs):
+        lines.append("    int i;")
+    if func.has_output and func.output is not None:
+        output = func.output
+        if output.is_pointer:
+            lines.append(f"    {output.io_type.rstrip('*').strip()}* result = malloc(sizeof(*result) * RESULT_COUNT);")
+        else:
+            lines.append(f"    {output.io_type} result;")
+    lines.append("")
+    if func.nmbr_instances > 1:
+        lines.append(f"    // Determine the Address of the Specific Function Instance")
+        lines.append(f"    func_addr = SET_ADDRESS({func.func_name.upper()}_ID + inst_index);")
+    else:
+        lines.append(f"    // Determine the Address of the Function")
+        lines.append(f"    func_addr = SET_ADDRESS({func.func_name.upper()}_ID);")
+    for io in func.inputs:
+        lines.append("")
+        lines.extend(_input_transfer_lines(func, io, module))
+    if func.blocking:
+        lines.append("")
+        lines.append("    // Wait for Calculations to Complete")
+        inst = " + inst_index" if func.nmbr_instances > 1 else ""
+        lines.append(f"    WAIT_FOR_RESULTS({func.func_name.upper()}_ID{inst});")
+        if func.has_output and func.output is not None:
+            output = func.output
+            count = output.io_number if output.io_number is not None else 1
+            beats = beat_count(output, module.data_width, count)
+            lines.append("")
+            lines.append(f"    // Grab Result from Hardware ({beats} bus word(s))")
+            target = "result" if output.is_pointer else "&result"
+            remaining = beats
+            while remaining > 0:
+                if remaining >= 4:
+                    lines.append(f"    READ_QUAD(func_addr, {target});")
+                    remaining -= 4
+                elif remaining >= 2:
+                    lines.append(f"    READ_DOUBLE(func_addr, {target});")
+                    remaining -= 2
+                else:
+                    lines.append(f"    (void)READ_SINGLE(func_addr); /* into {target} */")
+                    remaining -= 1
+            lines.append("")
+            lines.append("    // Return Results to Calling Function")
+            lines.append("    return result;")
+        else:
+            lines.append("")
+            lines.append("    // Synchronous wait: read the pseudo output state to confirm completion")
+            lines.append("    (void)READ_SINGLE(func_addr);")
+    else:
+        lines.append("")
+        lines.append("    // Non-blocking (nowait) call: return immediately")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _splice_lib(module: ModuleParams, library: SoftwareMacroLibrary) -> str:
+    lines = [
+        f"/* splice_lib.h : {library.name.upper()} transaction macros for {module.mod_name} */",
+        f"/* Generated by Splice - bus width {module.data_width} bits, base address 0x{module.base_addr:08X} */",
+        "#ifndef SPLICE_LIB_H",
+        "#define SPLICE_LIB_H",
+        "",
+        f"#define BASE_ADDR 0x{module.base_addr:08X}u",
+        f"#define BUS_WIDTH {module.data_width}",
+        f"#define STATUS_ADDR 0x{module.base_addr:08X}u  /* function id 0: CALC_DONE vector */",
+        "",
+    ]
+    for macro, definition in library.c_macro_definitions().items():
+        lines.append(f"#define {macro} \\")
+        lines.append(f"    {definition}")
+        lines.append("")
+    lines.append("#endif /* SPLICE_LIB_H */")
+    return "\n".join(lines)
+
+
+def generate_driver_sources(module: ModuleParams, library: SoftwareMacroLibrary = None) -> Dict[str, str]:
+    """Generate the Figure 8.7 file set: macro header, driver header, driver body."""
+    library = library or macro_library_for(module.bus_type)
+    header_lines = [
+        f"/* {module.mod_name}_driver.h : prototypes for Splice-generated drivers */",
+        "#ifndef %s_DRIVER_H" % module.mod_name.upper(),
+        "#define %s_DRIVER_H" % module.mod_name.upper(),
+        "",
+    ]
+    for func in module.funcs:
+        header_lines.append(_prototype(func) + ";")
+    header_lines.append("")
+    header_lines.append("#endif")
+
+    body_lines = [
+        f"/* {module.mod_name}_driver.c : Splice-generated software drivers */",
+        '#include "splice_lib.h"',
+        f'#include "{module.mod_name}_driver.h"',
+        "#include <stdlib.h>",
+        "",
+    ]
+    for func in module.funcs:
+        body_lines.append(_driver_body(func, module))
+        body_lines.append("")
+
+    return {
+        "splice_lib.h": _splice_lib(module, library),
+        f"{module.mod_name}_driver.h": "\n".join(header_lines),
+        f"{module.mod_name}_driver.c": "\n".join(body_lines),
+    }

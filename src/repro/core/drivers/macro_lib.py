@@ -1,0 +1,213 @@
+"""Per-bus software macro libraries (Figure 7.2).
+
+Every supported bus provides the same set of transaction macros —
+``WRITE_SINGLE/DOUBLE/QUAD``, ``READ_SINGLE/DOUBLE/QUAD``, ``SET_ADDRESS``,
+``WAIT_FOR_RESULTS`` and optionally ``WRITE_DMA`` / ``READ_DMA`` — but maps
+them onto whatever its native protocol can actually do: the FCB turns double
+and quad macros into genuine bursts, the PLB (whose CPU-side bursts are not
+reachable from the PowerPC) expands them into sequential singles, the OPB
+supports only simple transfers, and the strictly synchronous APB implements
+``WAIT_FOR_RESULTS`` as a poll of the ``CALC_DONE`` status register.
+
+Each library also carries the in-line assembly / C text for its macros so the
+C driver generator can emit a faithful ``splice_lib.h``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.buses.base import BusTransaction, TransactionKind
+from repro.core.params import FuncParams, ModuleParams, STATUS_FUNC_ID
+from repro.core.syntax.errors import SpliceGenerationError
+
+
+class SoftwareMacroLibrary:
+    """Base class: maps macro-level operations onto bus transactions."""
+
+    name = "generic"
+    #: Largest number of words a single native transaction may carry.
+    max_burst_words = 1
+    #: Whether WRITE_DMA / READ_DMA are available.
+    supports_dma = False
+    #: Whether WAIT_FOR_RESULTS must poll the status register (strictly
+    #: synchronous buses) or can simply rely on bus handshaking.
+    requires_polling = False
+
+    # -- addressing -----------------------------------------------------------
+
+    def set_address(self, module: ModuleParams, func_id: int) -> int:
+        """The ``SET_ADDRESS`` macro: bus address for ``func_id``."""
+        return module.address_of(func_id)
+
+    def status_address(self, module: ModuleParams) -> int:
+        return self.set_address(module, STATUS_FUNC_ID)
+
+    # -- transaction construction ------------------------------------------------
+
+    def _chunks(self, words: List[int], chunk: int) -> List[List[int]]:
+        return [words[i:i + chunk] for i in range(0, len(words), chunk)]
+
+    def write_transactions(
+        self,
+        module: ModuleParams,
+        func_id: int,
+        words: List[int],
+        *,
+        use_dma: bool = False,
+        use_burst: bool = False,
+    ) -> List[BusTransaction]:
+        """Transactions implementing a store of ``words`` to ``func_id``."""
+        address = self.set_address(module, func_id)
+        if use_dma:
+            if not self.supports_dma:
+                raise SpliceGenerationError(
+                    f"bus {self.name!r} has no WRITE_DMA macro but a DMA transfer was requested"
+                )
+            return [BusTransaction(TransactionKind.DMA_WRITE, address, data=list(words))]
+        chunk = self.max_burst_words if use_burst else 1
+        chunk = max(1, chunk)
+        transactions = []
+        for piece in self._chunks(words, chunk):
+            kind = TransactionKind.BURST_WRITE if len(piece) > 1 else TransactionKind.WRITE
+            transactions.append(BusTransaction(kind, address, data=list(piece)))
+        return transactions
+
+    def read_transactions(
+        self,
+        module: ModuleParams,
+        func_id: int,
+        count: int,
+        *,
+        use_dma: bool = False,
+        use_burst: bool = False,
+    ) -> List[BusTransaction]:
+        """Transactions implementing a load of ``count`` words from ``func_id``."""
+        address = self.set_address(module, func_id)
+        if use_dma:
+            if not self.supports_dma:
+                raise SpliceGenerationError(
+                    f"bus {self.name!r} has no READ_DMA macro but a DMA transfer was requested"
+                )
+            return [BusTransaction(TransactionKind.DMA_READ, address, word_count=count)]
+        chunk = self.max_burst_words if use_burst else 1
+        chunk = max(1, chunk)
+        transactions = []
+        remaining = count
+        while remaining > 0:
+            piece = min(chunk, remaining)
+            kind = TransactionKind.BURST_READ if piece > 1 else TransactionKind.READ
+            transactions.append(BusTransaction(kind, address, word_count=piece))
+            remaining -= piece
+        return transactions
+
+    def poll_transaction(self, module: ModuleParams) -> BusTransaction:
+        """One status-register read used by the polling WAIT_FOR_RESULTS."""
+        return BusTransaction(TransactionKind.READ, self.status_address(module), word_count=1)
+
+    # -- C text ------------------------------------------------------------------
+
+    def c_macro_definitions(self) -> Dict[str, str]:
+        """C text for each required macro (Figure 7.2), for ``splice_lib.h``."""
+        wait = (
+            "while (!(READ_SINGLE(STATUS_ADDR) & (1u << ((id) - 1)))) { /* poll CALC_DONE */ }"
+            if self.requires_polling
+            else "/* pseudo-asynchronous bus: handshaking orders transactions */ (void)(id)"
+        )
+        return {
+            "SET_ADDRESS(id)": f"(BASE_ADDR + (id) * (BUS_WIDTH / 8))  /* {self.name} slot address */",
+            "WRITE_SINGLE(addr, ptr)": f"splice_{self.name}_store32((addr), (ptr))",
+            "WRITE_DOUBLE(addr, ptr)": self._c_multi_write(2),
+            "WRITE_QUAD(addr, ptr)": self._c_multi_write(4),
+            "READ_SINGLE(addr)": f"splice_{self.name}_load32((addr))",
+            "READ_DOUBLE(addr, ptr)": self._c_multi_read(2),
+            "READ_QUAD(addr, ptr)": self._c_multi_read(4),
+            "WAIT_FOR_RESULTS(id)": wait,
+            **(
+                {
+                    "WRITE_DMA(addr, ptr, n)": f"splice_{self.name}_dma_store((addr), (ptr), (n))",
+                    "READ_DMA(addr, ptr, n)": f"splice_{self.name}_dma_load((addr), (ptr), (n))",
+                }
+                if self.supports_dma
+                else {}
+            ),
+        }
+
+    def _c_multi_write(self, words: int) -> str:
+        if self.max_burst_words >= words:
+            return f"splice_{self.name}_store_burst{words}((addr), (ptr))"
+        calls = "; ".join(
+            f"splice_{self.name}_store32((addr), (ptr) + {i})" for i in range(words)
+        )
+        return f"do {{ {calls}; }} while (0)  /* no native burst: sequential singles */"
+
+    def _c_multi_read(self, words: int) -> str:
+        if self.max_burst_words >= words:
+            return f"splice_{self.name}_load_burst{words}((addr), (ptr))"
+        calls = "; ".join(
+            f"(ptr)[{i}] = splice_{self.name}_load32((addr))" for i in range(words)
+        )
+        return f"do {{ {calls}; }} while (0)  /* no native burst: sequential singles */"
+
+
+class PLBMacroLibrary(SoftwareMacroLibrary):
+    """PLB: memory mapped, pseudo-asynchronous, DMA capable, no CPU bursts."""
+
+    name = "plb"
+    max_burst_words = 1
+    supports_dma = True
+    requires_polling = False
+
+
+class OPBMacroLibrary(SoftwareMacroLibrary):
+    """OPB: simple single-word reads and writes only."""
+
+    name = "opb"
+    max_burst_words = 1
+    supports_dma = False
+    requires_polling = False
+
+
+class FCBMacroLibrary(SoftwareMacroLibrary):
+    """FCB: opcode addressed, native double/quad bursts, no DMA."""
+
+    name = "fcb"
+    max_burst_words = 4
+    supports_dma = False
+    requires_polling = False
+
+    def set_address(self, module: ModuleParams, func_id: int) -> int:
+        # The FCB is not memory mapped: the "address" is the raw identifier.
+        return func_id
+
+
+class APBMacroLibrary(SoftwareMacroLibrary):
+    """APB: strictly synchronous, so completion is detected by polling."""
+
+    name = "apb"
+    max_burst_words = 1
+    supports_dma = False
+    requires_polling = True
+
+
+_LIBRARIES = {
+    "plb": PLBMacroLibrary,
+    "opb": OPBMacroLibrary,
+    "fcb": FCBMacroLibrary,
+    "apb": APBMacroLibrary,
+}
+
+
+def macro_library_for(bus_name: str) -> SoftwareMacroLibrary:
+    """The built-in macro library for ``bus_name``."""
+    try:
+        return _LIBRARIES[bus_name.lower()]()
+    except KeyError:
+        raise SpliceGenerationError(
+            f"no software macro library for bus {bus_name!r}; register one via the extension API"
+        ) from None
+
+
+def register_macro_library(bus_name: str, library_class) -> None:
+    """Register a macro library for a user-supplied bus (extension API)."""
+    _LIBRARIES[bus_name.lower()] = library_class

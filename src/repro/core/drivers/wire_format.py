@@ -1,0 +1,102 @@
+"""Serialisation of C-level values into bus beats (and back).
+
+Drivers and the generated user-logic stubs must agree exactly on how values
+cross the bus:
+
+* values wider than the bus are **split** into least-significant-word-first
+  beats (Section 3.1.4),
+* **packed** transfers place ``bus_width // element_width`` elements per
+  beat, lowest-numbered element in the least significant bits
+  (Section 3.1.3), and the trailing beat may carry don't-care bits,
+* everything else moves one element per beat.
+
+These helpers are shared by the driver runtime, the C generator (for
+computing transfer counts in comments) and the test-suite round-trip checks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from repro.core.params import IOParams
+from repro.rtl.signal import mask_for_width
+
+Value = Union[int, Sequence[int]]
+
+
+def words_for_scalar(value: int, width: int, bus_width: int) -> List[int]:
+    """Split one ``width``-bit value into bus beats, least significant first."""
+    value = int(value) & mask_for_width(max(width, 1))
+    beats = max(1, -(-width // bus_width))
+    bus_mask = mask_for_width(bus_width)
+    return [(value >> (i * bus_width)) & bus_mask for i in range(beats)]
+
+
+def scalar_from_words(words: Sequence[int], width: int, bus_width: int) -> int:
+    """Inverse of :func:`words_for_scalar`."""
+    value = 0
+    for index, word in enumerate(words):
+        value |= (int(word) & mask_for_width(bus_width)) << (index * bus_width)
+    return value & mask_for_width(max(width, 1))
+
+
+def serialize_io(io: IOParams, value: Value, bus_width: int, element_count: int) -> List[int]:
+    """Serialise one declared input/output into the beats the bus will carry."""
+    if not io.is_pointer:
+        return words_for_scalar(int(value), io.io_width, bus_width)
+
+    values = list(value) if isinstance(value, (list, tuple)) else [int(value)]
+    if len(values) < element_count:
+        raise ValueError(
+            f"I/O {io.io_name!r} needs {element_count} elements but only {len(values)} were supplied"
+        )
+    values = values[:element_count]
+
+    if io.is_packed and io.io_width < bus_width:
+        per_beat = max(1, bus_width // io.io_width)
+        element_mask = mask_for_width(io.io_width)
+        words: List[int] = []
+        for index in range(0, len(values), per_beat):
+            word = 0
+            for slot, element in enumerate(values[index:index + per_beat]):
+                word |= (int(element) & element_mask) << (slot * io.io_width)
+            words.append(word)
+        return words or [0]
+
+    words = []
+    for element in values:
+        words.extend(words_for_scalar(int(element), io.io_width, bus_width))
+    return words or [0]
+
+
+def deserialize_io(io: IOParams, words: Sequence[int], bus_width: int, element_count: int) -> Value:
+    """Reassemble bus beats into the value(s) the C caller expects."""
+    if not io.is_pointer:
+        return scalar_from_words(words, io.io_width, bus_width)
+
+    if io.is_packed and io.io_width < bus_width:
+        per_beat = max(1, bus_width // io.io_width)
+        element_mask = mask_for_width(io.io_width)
+        elements: List[int] = []
+        for word in words:
+            for slot in range(per_beat):
+                elements.append((int(word) >> (slot * io.io_width)) & element_mask)
+        return elements[:element_count]
+
+    words_per_element = max(1, -(-io.io_width // bus_width))
+    elements = []
+    for index in range(0, len(words), words_per_element):
+        elements.append(scalar_from_words(words[index:index + words_per_element], io.io_width, bus_width))
+    return elements[:element_count]
+
+
+def beat_count(io: IOParams, bus_width: int, element_count: int) -> int:
+    """Number of bus beats :func:`serialize_io` will produce."""
+    if not io.is_pointer:
+        return max(1, -(-io.io_width // bus_width))
+    if element_count <= 0:
+        return 0
+    if io.is_packed and io.io_width < bus_width:
+        per_beat = max(1, bus_width // io.io_width)
+        return -(-element_count // per_beat)
+    return element_count * max(1, -(-io.io_width // bus_width))

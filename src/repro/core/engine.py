@@ -1,0 +1,172 @@
+"""The Splice engine: parse, validate, and generate (Figure 1.1).
+
+:class:`Splice` is the top-level object a user interacts with.  Given the
+text of a specification file it produces a :class:`GenerationResult` holding
+
+* the parsed specification and the shared parameter structure,
+* the generated hardware (IR + HDL text for every file in the Figure 8.3
+  listing),
+* the generated software driver sources (Figure 8.7 listing), and
+* helpers to elaborate the design into simulatable RTL and runtime drivers.
+
+Plugins registered through the extension API (Chapter 7) add new target
+buses; the built-in PLB, OPB, FCB and APB targets are always available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.core.api.plugin import BusAdapterPlugin, PluginRegistry
+from repro.core.capabilities import BusCapabilities, default_capabilities
+from repro.core.drivers.cgen import generate_driver_sources
+from repro.core.drivers.macro_lib import SoftwareMacroLibrary, macro_library_for
+from repro.core.generation.generator import HardwareOutput, generate_hardware
+from repro.core.generation.macros import standard_registry
+from repro.core.params import ModuleParams, build_params
+from repro.core.syntax.ast import SpliceSpec
+from repro.core.syntax.errors import SpliceError
+from repro.core.syntax.parser import parse_spec
+from repro.core.syntax.validation import validate_spec
+
+
+@dataclass
+class GenerationResult:
+    """Everything Splice produces for one specification."""
+
+    spec: SpliceSpec
+    module: ModuleParams
+    bus: BusCapabilities
+    hardware: HardwareOutput
+    driver_sources: Dict[str, str] = field(default_factory=dict)
+    macro_library: Optional[SoftwareMacroLibrary] = None
+
+    # -- convenience views ------------------------------------------------------
+
+    @property
+    def hardware_files(self) -> Dict[str, str]:
+        return self.hardware.files
+
+    @property
+    def device_name(self) -> str:
+        return self.module.mod_name
+
+    def hardware_file_listing(self):
+        """Primary generated HDL files (Figure 8.3 style, without the
+        structural duplicates)."""
+        return [name for name in self.hardware.files if ".structural." not in name]
+
+    def software_file_listing(self):
+        """Generated software files (Figure 8.7 style)."""
+        return list(self.driver_sources)
+
+    def write_to(self, directory) -> Dict[str, str]:
+        """Write every generated file under ``directory/<device_name>/``.
+
+        Mirrors the %device_name behaviour of Section 3.2.3: the tool creates
+        a subdirectory named after the device and places everything there.
+        Returns a mapping of file name -> absolute path written.
+        """
+        root = Path(directory) / self.device_name
+        root.mkdir(parents=True, exist_ok=True)
+        written: Dict[str, str] = {}
+        for name, text in {**self.hardware.files, **self.driver_sources}.items():
+            path = root / name
+            path.write_text(text)
+            written[name] = str(path)
+        return written
+
+    # -- elaboration --------------------------------------------------------------
+
+    def elaborate(self, slave_bundle, *, behaviors=None, calc_latencies=None, adapter_class=None):
+        """Build the simulatable RTL for this design (see :mod:`repro.soc`)."""
+        from repro.core.generation.peripheral import GeneratedPeripheral
+
+        return GeneratedPeripheral(
+            self.module,
+            self.bus,
+            slave_bundle,
+            behaviors=behaviors,
+            calc_latencies=calc_latencies,
+            adapter_class=adapter_class,
+        )
+
+
+class Splice:
+    """The standardized peripheral logic and interface creation engine."""
+
+    def __init__(self) -> None:
+        self._capabilities = default_capabilities()
+        self._plugins = PluginRegistry()
+
+    # -- extension API ---------------------------------------------------------
+
+    def register_plugin(self, plugin: BusAdapterPlugin, *, replace: bool = False) -> None:
+        """Import an external bus library (Section 7.2)."""
+        self._plugins.register(plugin, replace=replace)
+        self._capabilities[plugin.name.lower()] = plugin.capabilities
+
+    @property
+    def supported_buses(self):
+        """Names accepted by ``%bus_type`` in this engine instance."""
+        return sorted(self._capabilities)
+
+    def capabilities_for(self, bus_name: str) -> BusCapabilities:
+        return self._capabilities[bus_name.lower()]
+
+    # -- the main entry points -----------------------------------------------------
+
+    def parse(self, source: str) -> SpliceSpec:
+        """Parse a specification without generating anything."""
+        return parse_spec(source)
+
+    def generate(self, source: str) -> GenerationResult:
+        """Parse, validate and generate hardware + software for ``source``."""
+        spec = parse_spec(source)
+        bus = validate_spec(spec, self._capabilities)
+        module = build_params(spec, bus)
+
+        plugin = self._plugins.get(bus.name)
+        registry = standard_registry()
+        extra_markers = {}
+        interface_builder = None
+        interface_template = None
+        macro_library: SoftwareMacroLibrary
+        if plugin is not None:
+            from repro.core.generation.interface import generic_interface_ir
+
+            plugin.check_parameters(module)
+            extra_markers = dict(plugin.markers)
+            macro_library = plugin.macro_library
+            interface_builder = plugin.interface_builder or generic_interface_ir
+            interface_template = plugin.template or None
+        else:
+            macro_library = macro_library_for(bus.name)
+
+        hardware = generate_hardware(
+            module,
+            bus,
+            registry=registry,
+            extra_markers=extra_markers,
+            interface_builder=interface_builder,
+            interface_template=interface_template,
+        )
+        drivers = generate_driver_sources(module, macro_library)
+        return GenerationResult(
+            spec=spec,
+            module=module,
+            bus=bus,
+            hardware=hardware,
+            driver_sources=drivers,
+            macro_library=macro_library,
+        )
+
+    def generate_file(self, path) -> GenerationResult:
+        """Generate from a specification file on disk."""
+        text = Path(path).read_text()
+        try:
+            return self.generate(text)
+        except SpliceError as exc:
+            raise type(exc)(f"{path}: {exc}") from exc

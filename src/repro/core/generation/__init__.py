@@ -1,0 +1,44 @@
+"""Hardware generation (Chapters 4 and 5).
+
+Generation is a three-stage process mirroring Figure 5.1:
+
+1. :mod:`repro.core.generation.interface` builds the native bus interface
+   adapter (from annotated templates expanded by
+   :mod:`repro.core.generation.template` and the standard macro set of
+   Figure 7.1),
+2. :mod:`repro.core.generation.arbiter` builds the arbitration unit, and
+3. :mod:`repro.core.generation.stubs` builds one user-logic stub (ICOB + SMB)
+   per interface declaration.
+
+Every generator produces an entry in the :class:`~repro.core.generation.ir.HardwareIR`,
+which is then rendered to VHDL or Verilog text
+(:mod:`repro.core.generation.vhdl`, :mod:`repro.core.generation.verilog`),
+costed by the resource estimator, and elaborated into simulatable RTL
+modules (:mod:`repro.core.generation.peripheral`).
+"""
+
+from repro.core.generation.ir import (
+    EntityIR,
+    EntityKind,
+    HardwareIR,
+    PortDirection,
+    PortIR,
+    RegisterIR,
+    FSMIR,
+    MuxIR,
+)
+from repro.core.generation.generator import generate_hardware
+from repro.core.generation.peripheral import GeneratedPeripheral
+
+__all__ = [
+    "EntityIR",
+    "EntityKind",
+    "HardwareIR",
+    "PortDirection",
+    "PortIR",
+    "RegisterIR",
+    "FSMIR",
+    "MuxIR",
+    "generate_hardware",
+    "GeneratedPeripheral",
+]

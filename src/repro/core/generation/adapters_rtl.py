@@ -1,0 +1,251 @@
+"""Simulatable native bus interface adapters — the elaborated form of Section 5.1.
+
+One adapter class per built-in bus translates the slave-side native protocol
+into SIS transactions following the signal adaptations of Section 4.3:
+
+* :class:`PLBToSIS` / :class:`OPBToSIS` — request/acknowledge handshake, the
+  one-hot chip enables re-encoded onto ``FUNC_ID`` (Figures 4.7 / 4.8),
+* :class:`FCBToSIS` — opcode-style requests with burst unrolling, and
+* :class:`APBToSIS` — strictly synchronous accesses with combinational read
+  data selection and ``CALC_DONE`` polling at slot zero.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.buses.apb import APBSlaveBundle
+from repro.buses.fcb import FCBSlaveBundle
+from repro.buses.plb import PLBSlaveBundle
+from repro.core.params import STATUS_FUNC_ID
+from repro.rtl.module import Module
+from repro.sis.signals import SISBundle, SISFunctionPort
+
+
+class PLBToSIS(Module):
+    """PLB (and OPB) slave-side adapter onto the SIS."""
+
+    def __init__(self, name: str, plb: PLBSlaveBundle, sis: SISBundle) -> None:
+        super().__init__(name)
+        self.plb = plb
+        self.sis = sis
+        self._state = "idle"
+        self.clocked(self._tick)
+
+    def _tick(self) -> None:
+        plb, sis = self.plb, self.sis
+        # Single-cycle strobes default low every cycle.
+        sis.io_enable.next = 0
+        plb.wr_ack.next = 0
+        plb.rd_ack.next = 0
+
+        if plb.rst.value:
+            sis.rst.next = 1
+            sis.data_in_valid.next = 0
+            sis.func_id.next = 0
+            self._state = "idle"
+            return
+        sis.rst.next = 0
+
+        if self._state == "idle":
+            if plb.wr_req.value and plb.wr_ce.value:
+                slot = plb.selected_slot(write=True)
+                sis.func_id.next = slot
+                sis.data_in.next = plb.data_to_slave.value
+                sis.data_in_valid.next = 1
+                sis.io_enable.next = 1
+                self._state = "write_wait"
+            elif plb.rd_req.value and plb.rd_ce.value:
+                slot = plb.selected_slot(write=False)
+                sis.func_id.next = slot
+                sis.io_enable.next = 1
+                self._state = "read_wait"
+            return
+
+        if self._state == "write_wait":
+            if sis.io_done.value:
+                sis.data_in_valid.next = 0
+                plb.wr_ack.next = 1
+                self._state = "idle"
+            return
+
+        if self._state == "read_wait":
+            if sis.io_done.value and sis.data_out_valid.value:
+                plb.data_from_slave.next = sis.data_out.value
+                plb.rd_ack.next = 1
+                self._state = "idle"
+            return
+
+
+class OPBToSIS(PLBToSIS):
+    """The OPB slave port is protocol-identical to the PLB slave port."""
+
+
+class FCBToSIS(Module):
+    """FCB slave-side adapter onto the SIS, with burst unrolling."""
+
+    def __init__(self, name: str, fcb: FCBSlaveBundle, sis: SISBundle) -> None:
+        super().__init__(name)
+        self.fcb = fcb
+        self.sis = sis
+        self._state = "idle"
+        self._remaining = 0
+        self._func_id = 0
+        self._is_write = False
+        self.clocked(self._tick)
+
+    def _tick(self) -> None:
+        fcb, sis = self.fcb, self.sis
+        sis.io_enable.next = 0
+        fcb.ack.next = 0
+        fcb.resp_valid.next = 0
+
+        if fcb.rst.value:
+            sis.rst.next = 1
+            sis.data_in_valid.next = 0
+            sis.func_id.next = 0
+            self._state = "idle"
+            return
+        sis.rst.next = 0
+
+        if self._state == "idle":
+            if fcb.req.value:
+                self._func_id = fcb.func_sel.value
+                self._is_write = bool(fcb.is_write.value)
+                self._remaining = max(1, fcb.burst_len.value)
+                sis.func_id.next = self._func_id
+                if self._is_write:
+                    self._state = "write_beat" if not fcb.data_valid.value else "write_present"
+                else:
+                    sis.io_enable.next = 1
+                    self._state = "read_wait"
+            return
+
+        if self._state == "write_beat":
+            if fcb.data_valid.value:
+                # One resynchronisation cycle before presenting the beat to
+                # the SIS: the generic adapter re-latches FUNC_SEL and the
+                # burst state for every beat (part of the indirect-conversion
+                # cost the paper accepts in exchange for portability).
+                self._state = "write_present"
+            return
+
+        if self._state == "write_present":
+            self._present_write()
+            return
+
+        if self._state == "write_wait":
+            if sis.io_done.value:
+                sis.data_in_valid.next = 0
+                self._state = "write_ack"
+            return
+
+        if self._state == "write_ack":
+            fcb.ack.next = 1
+            self._remaining -= 1
+            self._state = "write_gap" if self._remaining else "idle"
+            return
+
+        if self._state == "write_gap":
+            # The master drops DATA_VALID for one cycle between beats.
+            if not fcb.data_valid.value:
+                self._state = "write_beat"
+            return
+
+        if self._state == "read_wait":
+            if sis.io_done.value and sis.data_out_valid.value:
+                fcb.data_from_slave.next = sis.data_out.value
+                fcb.resp_valid.next = 1
+                self._remaining -= 1
+                if self._remaining:
+                    self._state = "read_next"
+                else:
+                    self._state = "idle"
+            return
+
+        if self._state == "read_next":
+            sis.func_id.next = self._func_id
+            sis.io_enable.next = 1
+            self._state = "read_wait"
+            return
+
+    def _present_write(self) -> None:
+        sis = self.sis
+        sis.func_id.next = self._func_id
+        sis.data_in.next = self.fcb.data_to_slave.value
+        sis.data_in_valid.next = 1
+        sis.io_enable.next = 1
+        self._state = "write_wait"
+
+
+class APBToSIS(Module):
+    """APB slave-side adapter onto the SIS (strictly synchronous protocol).
+
+    Writes are forwarded to the SIS during the access cycle; reads are served
+    combinationally from the per-function ``DATA_OUT`` registers (or the
+    ``CALC_DONE`` vector at slot zero) because the APB cannot insert wait
+    states, and the access also strobes ``IO_ENABLE`` so the addressed
+    function advances to its next output word.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        apb: APBSlaveBundle,
+        sis: SISBundle,
+        ports: Dict[int, SISFunctionPort],
+        base_address: int,
+    ) -> None:
+        super().__init__(name)
+        self.apb = apb
+        self.sis = sis
+        self.ports = dict(ports)
+        self.base_address = base_address
+        self.clocked(self._tick)
+        self.comb(self._read_mux)
+
+    def _slot(self, address: int) -> int:
+        return (address - self.base_address) // (self.apb.data_width // 8)
+
+    def _tick(self) -> None:
+        apb, sis = self.apb, self.sis
+        sis.io_enable.next = 0
+        sis.data_in_valid.next = 0
+
+        if apb.rst.value:
+            sis.rst.next = 1
+            sis.func_id.next = 0
+            return
+        sis.rst.next = 0
+
+        if apb.psel.value and apb.penable.value:
+            slot = self._slot(apb.paddr.value)
+            sis.func_id.next = slot
+            sis.io_enable.next = 1
+            if apb.pwrite.value:
+                sis.data_in.next = apb.pwdata.value
+                sis.data_in_valid.next = 1
+
+    def _read_mux(self) -> None:
+        apb = self.apb
+        if not apb.psel.value:
+            return
+        slot = self._slot(apb.paddr.value)
+        if slot == STATUS_FUNC_ID:
+            vector = 0
+            for func_id, port in self.ports.items():
+                if port.calc_done.value:
+                    vector |= 1 << (func_id - 1)
+            apb.prdata.drive(vector)
+            return
+        port = self.ports.get(slot)
+        apb.prdata.drive(port.data_out.value if port is not None else 0)
+
+
+#: Adapter classes by bus name (used by the peripheral builder and SoC).
+ADAPTER_CLASSES = {
+    "plb": PLBToSIS,
+    "opb": OPBToSIS,
+    "fcb": FCBToSIS,
+    "apb": APBToSIS,
+}

@@ -1,0 +1,66 @@
+"""Simulatable arbitration unit — the elaborated form of Section 5.2.
+
+The arbiter is purely combinational: based on the shared ``FUNC_ID`` it
+multiplexes the selected function's ``DATA_OUT`` / ``DATA_OUT_VALID`` /
+``IO_DONE`` onto the shared SIS bundle and continuously concatenates every
+function's ``CALC_DONE`` flag into the status vector.  Function identifier
+zero selects the status vector itself and always reports ready, which is how
+generated drivers poll for completion on strictly synchronous buses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.core.params import STATUS_FUNC_ID
+from repro.rtl.module import Module
+from repro.sis.signals import SISBundle, SISFunctionPort
+
+
+class SISArbiter(Module):
+    """Multiplexes per-function SIS ports onto the shared bundle."""
+
+    def __init__(self, name: str, sis: SISBundle, ports: Iterable[SISFunctionPort]) -> None:
+        super().__init__(name)
+        self.sis = sis
+        self.ports: Dict[int, SISFunctionPort] = {}
+        for port in ports:
+            if port.func_id in self.ports:
+                raise ValueError(f"duplicate function id {port.func_id} attached to arbiter {name!r}")
+            if port.func_id == STATUS_FUNC_ID:
+                raise ValueError("function id 0 is reserved for the CALC_DONE status register")
+            self.ports[port.func_id] = port
+        self.comb(self._mux)
+
+    # -- combinational multiplexing ------------------------------------------------
+
+    def status_vector(self) -> int:
+        """The amalgamated CALC_DONE vector (bit ``func_id - 1`` per function)."""
+        vector = 0
+        for func_id, port in self.ports.items():
+            if port.calc_done.value:
+                vector |= 1 << (func_id - 1)
+        return vector
+
+    def _mux(self) -> None:
+        sis = self.sis
+        vector = self.status_vector()
+        sis.calc_done.drive(vector)
+
+        selected = sis.func_id.value
+        if selected == STATUS_FUNC_ID:
+            # The status register is always readable and never busy.
+            sis.data_out.drive(vector)
+            sis.data_out_valid.drive(1)
+            sis.io_done.drive(1)
+            return
+
+        port = self.ports.get(selected)
+        if port is None:
+            sis.data_out.drive(0)
+            sis.data_out_valid.drive(0)
+            sis.io_done.drive(0)
+            return
+        sis.data_out.drive(port.data_out.value)
+        sis.data_out_valid.drive(port.data_out_valid.value)
+        sis.io_done.drive(port.io_done.value)

@@ -1,0 +1,132 @@
+"""Top-level hardware generation orchestrator (Chapter 5).
+
+:func:`generate_hardware` runs the three generation stages — bus interface,
+arbitration unit, user-logic stubs — producing both the structural
+:class:`~repro.core.generation.ir.HardwareIR` and the rendered HDL text for
+every output file (the Figure 8.3 file listing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.capabilities import BusCapabilities
+from repro.core.generation.arbiter import ARBITER_TEMPLATE, arbiter_entity_name, build_arbiter_ir
+from repro.core.generation.interface import (
+    adapter_entity_name,
+    adapter_template,
+    build_interface_ir,
+    bus_markers,
+)
+from repro.core.generation.ir import HardwareIR
+from repro.core.generation.macros import DEFAULT_GEN_DATE, build_context, standard_registry
+from repro.core.generation.stubs import STUB_TEMPLATE, build_stub_ir, stub_entity_name
+from repro.core.generation.template import MacroRegistry, TemplateEngine
+from repro.core.generation.verilog import render_entity_verilog
+from repro.core.generation.vhdl import render_entity_vhdl
+from repro.core.params import ModuleParams
+
+
+@dataclass
+class HardwareOutput:
+    """Everything the hardware generator produces for one peripheral."""
+
+    ir: HardwareIR
+    files: Dict[str, str] = field(default_factory=dict)
+
+    def file_listing(self):
+        return list(self.files)
+
+    def file_text(self, name: str) -> str:
+        return self.files[name]
+
+
+def _hdl_suffix(module: ModuleParams) -> str:
+    return "v" if module.hdl_type == "verilog" else "vhd"
+
+
+def generate_hardware(
+    module: ModuleParams,
+    bus: BusCapabilities,
+    *,
+    registry: Optional[MacroRegistry] = None,
+    extra_markers: Optional[Dict[str, str]] = None,
+    gen_date: str = DEFAULT_GEN_DATE,
+    interface_builder=None,
+    interface_template: Optional[str] = None,
+) -> HardwareOutput:
+    """Generate the full hardware side of a Splice peripheral.
+
+    Parameters
+    ----------
+    module:
+        The shared parameter structure built from the user's specification.
+    bus:
+        Capabilities of the targeted bus.
+    registry:
+        Optional macro registry; defaults to the built-in Figure 7.1 set.
+        External bus libraries pass a registry extended by their marker
+        loader routine.
+    extra_markers:
+        Literal bus-specific marker replacements (name -> text); the built-in
+        adapters load theirs from :func:`repro.core.generation.interface.bus_markers`.
+    gen_date:
+        Text substituted for ``%GEN_DATE%``.
+    """
+    bus_name = bus.name.lower()
+    suffix = _hdl_suffix(module)
+    registry = (registry or standard_registry()).copy()
+
+    markers = bus_markers(bus_name)
+    if extra_markers:
+        markers.update(extra_markers)
+    for name, replacement in markers.items():
+        registry.register(name, lambda _ctx, _text=replacement: _text, replace=True)
+
+    engine = TemplateEngine(registry)
+    context = build_context(module, gen_date=gen_date)
+
+    ir = HardwareIR(device_name=module.mod_name, bus_type=bus_name, data_width=module.data_width)
+    files: Dict[str, str] = {}
+
+    # Stage 1: native bus interface adapter.  External bus libraries supply
+    # their own builder/template pair (Section 7.1.2); the built-in buses use
+    # the reference templates shipped with the tool.
+    builder = interface_builder or build_interface_ir
+    interface_ir = builder(module, bus)
+    interface_file = f"{bus_name}_interface.{suffix}"
+    ir.add_entity(interface_ir, interface_file)
+    if module.hdl_type == "verilog":
+        files[interface_file] = render_entity_verilog(interface_ir)
+    else:
+        template = interface_template if interface_template is not None else adapter_template(bus_name)
+        files[interface_file] = engine.expand(template, context)
+
+    # Stage 2: arbitration unit.
+    arbiter_ir = build_arbiter_ir(module)
+    arbiter_file = f"user_{module.mod_name}.{suffix}"
+    ir.add_entity(arbiter_ir, arbiter_file)
+    if module.hdl_type == "verilog":
+        files[arbiter_file] = render_entity_verilog(arbiter_ir)
+    else:
+        files[arbiter_file] = engine.expand(ARBITER_TEMPLATE, context)
+
+    # Stage 3: one user-logic stub per declaration.
+    for func in module.funcs:
+        stub_ir = build_stub_ir(func, module)
+        stub_file = f"func_{func.func_name}.{suffix}"
+        ir.add_entity(stub_ir, stub_file)
+        if module.hdl_type == "verilog":
+            files[stub_file] = render_entity_verilog(stub_ir)
+        else:
+            files[stub_file] = engine.expand(STUB_TEMPLATE, context.with_func(func))
+
+    # Generic structural renderings are also recorded for every entity so the
+    # %target_hdl directive can be flipped without re-running generation.
+    for entity in ir.entities:
+        alt_name = f"{entity.name}.structural.{suffix}"
+        renderer = render_entity_verilog if module.hdl_type == "verilog" else render_entity_vhdl
+        files.setdefault(alt_name, renderer(entity))
+
+    return HardwareOutput(ir=ir, files=files)

@@ -1,0 +1,193 @@
+"""Intermediate representation of generated hardware.
+
+The generators do not emit HDL text directly.  They first build a small
+structural IR — entities with ports, registers, state machines, counters,
+comparators and multiplexers — which is then
+
+* rendered to VHDL or Verilog by the text back-ends,
+* charged LUT/FF costs by :mod:`repro.resources`, and
+* elaborated into simulatable RTL modules.
+
+Keeping the IR structural (rather than behavioural) matches what matters for
+the paper's evaluation: Figure 9.3 compares *resource usage*, which is a
+function of exactly these structural elements.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class PortDirection(enum.Enum):
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+
+
+class EntityKind(enum.Enum):
+    """What role a generated entity plays in Figure 5.1."""
+
+    BUS_INTERFACE = "bus_interface"
+    ARBITER = "arbiter"
+    USER_LOGIC = "user_logic"
+    SUPPORT = "support"
+
+
+@dataclass
+class PortIR:
+    """One port of a generated entity."""
+
+    name: str
+    width: int
+    direction: PortDirection
+    description: str = ""
+
+
+@dataclass
+class RegisterIR:
+    """A flip-flop register inferred by the generator."""
+
+    name: str
+    width: int
+    purpose: str = ""
+
+
+@dataclass
+class CounterIR:
+    """An up-counter with a terminal-count comparator (array/packing tracking)."""
+
+    name: str
+    width: int
+    purpose: str = ""
+
+
+@dataclass
+class ComparatorIR:
+    """An equality/magnitude comparator (e.g. FUNC_ID match, index compare)."""
+
+    name: str
+    width: int
+    purpose: str = ""
+
+
+@dataclass
+class MuxIR:
+    """A multiplexer with ``inputs`` alternatives of ``width`` bits each."""
+
+    name: str
+    inputs: int
+    width: int
+    purpose: str = ""
+
+
+@dataclass
+class FSMIR:
+    """A finite state machine with named states."""
+
+    name: str
+    states: List[str]
+    purpose: str = ""
+
+    @property
+    def state_bits(self) -> int:
+        return max(1, (len(self.states) - 1).bit_length())
+
+
+@dataclass
+class EntityIR:
+    """One generated hardware entity (one output HDL file)."""
+
+    name: str
+    kind: EntityKind
+    description: str = ""
+    ports: List[PortIR] = field(default_factory=list)
+    registers: List[RegisterIR] = field(default_factory=list)
+    counters: List[CounterIR] = field(default_factory=list)
+    comparators: List[ComparatorIR] = field(default_factory=list)
+    muxes: List[MuxIR] = field(default_factory=list)
+    fsms: List[FSMIR] = field(default_factory=list)
+    attributes: Dict[str, object] = field(default_factory=dict)
+    #: Extra resource overhead (in equivalent LUTs) for logic the structural
+    #: elements above do not capture, e.g. a DMA engine inside a bus adapter.
+    overhead_luts: int = 0
+
+    # -- builder helpers -----------------------------------------------------
+
+    def add_port(self, name: str, width: int, direction: PortDirection, description: str = "") -> PortIR:
+        port = PortIR(name, width, direction, description)
+        self.ports.append(port)
+        return port
+
+    def add_register(self, name: str, width: int, purpose: str = "") -> RegisterIR:
+        register = RegisterIR(name, width, purpose)
+        self.registers.append(register)
+        return register
+
+    def add_counter(self, name: str, width: int, purpose: str = "") -> CounterIR:
+        counter = CounterIR(name, width, purpose)
+        self.counters.append(counter)
+        return counter
+
+    def add_comparator(self, name: str, width: int, purpose: str = "") -> ComparatorIR:
+        comparator = ComparatorIR(name, width, purpose)
+        self.comparators.append(comparator)
+        return comparator
+
+    def add_mux(self, name: str, inputs: int, width: int, purpose: str = "") -> MuxIR:
+        mux = MuxIR(name, inputs, width, purpose)
+        self.muxes.append(mux)
+        return mux
+
+    def add_fsm(self, name: str, states: List[str], purpose: str = "") -> FSMIR:
+        fsm = FSMIR(name, list(states), purpose)
+        self.fsms.append(fsm)
+        return fsm
+
+    # -- summary ------------------------------------------------------------
+
+    @property
+    def register_bits(self) -> int:
+        """Total flip-flop bits implied by registers, counters and FSMs."""
+        bits = sum(r.width for r in self.registers)
+        bits += sum(c.width for c in self.counters)
+        bits += sum(f.state_bits for f in self.fsms)
+        return bits
+
+    def port(self, name: str) -> PortIR:
+        for port in self.ports:
+            if port.name == name:
+                return port
+        raise KeyError(f"entity {self.name!r} has no port {name!r}")
+
+
+@dataclass
+class HardwareIR:
+    """The complete set of entities generated for one peripheral."""
+
+    device_name: str
+    bus_type: str
+    data_width: int
+    entities: List[EntityIR] = field(default_factory=list)
+    #: Mapping of output file name -> entity name (Figure 8.3 style listing).
+    files: Dict[str, str] = field(default_factory=dict)
+
+    def add_entity(self, entity: EntityIR, filename: Optional[str] = None) -> EntityIR:
+        self.entities.append(entity)
+        if filename is not None:
+            self.files[filename] = entity.name
+        return entity
+
+    def entity(self, name: str) -> EntityIR:
+        for entity in self.entities:
+            if entity.name == name:
+                return entity
+        raise KeyError(f"no generated entity named {name!r}")
+
+    def entities_of_kind(self, kind: EntityKind) -> List[EntityIR]:
+        return [e for e in self.entities if e.kind is kind]
+
+    def file_listing(self) -> List[str]:
+        """File names in generation order (interface, arbiter, then stubs)."""
+        return list(self.files)

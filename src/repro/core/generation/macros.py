@@ -1,0 +1,199 @@
+"""The standard hardware macro set (Figure 7.1).
+
+These handlers fill the ``%SYMBOL%`` markers that every native interface
+adapter template may reference.  Bus-specific markers are added on top of
+this set by each adapter's *marker loader* routine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.generation.template import MacroContext, MacroHandler, MacroRegistry
+from repro.core.params import FuncParams, ModuleParams
+from repro.core.syntax.errors import SpliceGenerationError
+
+#: Fixed timestamp used when the caller does not supply one; generation is
+#: deterministic so tests and resource reports are reproducible.
+DEFAULT_GEN_DATE = "1970-01-01 00:00:00 (deterministic build)"
+
+
+def _require_func(context: MacroContext, macro: str) -> FuncParams:
+    if context.func is None:
+        raise SpliceGenerationError(
+            f"macro %{macro}% is only valid inside a per-function template region"
+        )
+    return context.func
+
+
+# -- module-level macros -----------------------------------------------------------
+
+
+def _comp_name(context: MacroContext) -> str:
+    return context.module.mod_name
+
+
+def _bus_width(context: MacroContext) -> str:
+    return str(context.module.data_width)
+
+
+def _func_id_width(context: MacroContext) -> str:
+    return str(context.module.func_id_width)
+
+
+def _base_addr(context: MacroContext) -> str:
+    return f"0x{context.module.base_addr:08X}"
+
+
+def _gen_date(context: MacroContext) -> str:
+    return str(context.extra.get("gen_date", DEFAULT_GEN_DATE))
+
+
+def _dma_enabled(context: MacroContext) -> str:
+    return "true" if context.module.dma_support_f else "false"
+
+
+# -- per-function macros -----------------------------------------------------------
+
+
+def _func_name(context: MacroContext) -> str:
+    return _require_func(context, "FUNC_NAME").func_name
+
+
+def _my_func_id(context: MacroContext) -> str:
+    return str(_require_func(context, "MY_FUNC_ID").func_id)
+
+
+def _func_insts(context: MacroContext) -> str:
+    return str(_require_func(context, "FUNC_INSTS").nmbr_instances)
+
+
+def _func_consts(context: MacroContext) -> str:
+    func = _require_func(context, "FUNC_CONSTS")
+    module = context.module
+    lines = [
+        f"constant MY_FUNC_ID : integer := {func.func_id};",
+        f"constant MY_INSTANCES : integer := {func.nmbr_instances};",
+    ]
+    for io in func.inputs:
+        if io.io_number is not None:
+            lines.append(
+                f"constant {io.io_name}_max_value : integer := "
+                f"{max(0, io.beats(module.data_width) - 1)};"
+            )
+    return "\n".join(lines)
+
+
+def _func_signals(context: MacroContext) -> str:
+    func = _require_func(context, "FUNC_SIGNALS")
+    module = context.module
+    lines = []
+    for io in func.inputs:
+        width = min(io.io_width, module.data_width) if not io.is_packed else module.data_width
+        lines.append(f"signal {io.io_name}_reg : std_logic_vector({max(width,1)-1} downto 0);")
+        if io.is_pointer or io.io_width > module.data_width:
+            lines.append(f"signal {io.io_name}_counter : unsigned(15 downto 0);")
+        if io.has_index:
+            lines.append(f"signal {io.io_name}_limit : unsigned(15 downto 0);")
+    if func.has_output and func.output is not None:
+        lines.append(
+            f"signal result_reg : std_logic_vector({max(func.output.io_width,1)-1} downto 0);"
+        )
+        lines.append("signal result_counter : unsigned(15 downto 0);")
+    return "\n".join(lines)
+
+
+def _func_fsm(context: MacroContext) -> str:
+    func = _require_func(context, "FUNC_FSM")
+    states = [f"IN_{io.io_name}" for io in func.inputs] or ["TRIGGER"]
+    states.append("CALC")
+    states.append("OUT_RESULT" if func.has_output or func.blocking else "IDLE_RETURN")
+    declared = ", ".join(states)
+    return (
+        f"type state_type is ({declared});\n"
+        "signal cur_state, next_state : state_type;\n"
+        "smb : process (CLK) begin\n"
+        "  if rising_edge(CLK) then\n"
+        "    if (RST = '1') then cur_state <= "
+        f"{states[0]};\n"
+        "    else cur_state <= next_state; end if;\n"
+        "  end if;\n"
+        "end process;"
+    )
+
+
+def _func_stub(context: MacroContext) -> str:
+    func = _require_func(context, "FUNC_STUB")
+    return f"-- I/O handler stub process for {func.func_name} (fill in calculation states)"
+
+
+# -- arbitration macros -----------------------------------------------------------
+
+
+def _mux(context: MacroContext, signal: str) -> str:
+    module = context.module
+    lines = [f"with FUNC_ID select {signal} <="]
+    for func in module.funcs:
+        for inst, func_id in enumerate(func.instance_ids()):
+            suffix = f"_{inst}" if func.nmbr_instances > 1 else ""
+            lines.append(f"  {func.func_name}{suffix}_{signal} when \"{func_id:0{module.func_id_width}b}\",")
+    lines.append("  (others => '0') when others;")
+    return "\n".join(lines)
+
+
+def _data_out_mux(context: MacroContext) -> str:
+    return _mux(context, "DATA_OUT")
+
+
+def _data_out_v_mux(context: MacroContext) -> str:
+    return _mux(context, "DATA_OUT_VALID")
+
+
+def _io_done_mux(context: MacroContext) -> str:
+    return _mux(context, "IO_DONE")
+
+
+def _calc_done_encode(context: MacroContext) -> str:
+    module = context.module
+    lines = []
+    for func in module.funcs:
+        for inst, func_id in enumerate(func.instance_ids()):
+            suffix = f"_{inst}" if func.nmbr_instances > 1 else ""
+            lines.append(
+                f"CALC_DONE_VECTOR({func_id - 1}) <= {func.func_name}{suffix}_CALC_DONE;"
+            )
+    return "\n".join(lines)
+
+
+#: The built-in macro table (Figure 7.1), name -> handler.
+STANDARD_MACROS: Dict[str, MacroHandler] = {
+    "COMP_NAME": _comp_name,
+    "BUS_WIDTH": _bus_width,
+    "FUNC_ID_WIDTH": _func_id_width,
+    "BASE_ADDR": _base_addr,
+    "GEN_DATE": _gen_date,
+    "DMA_ENABLED": _dma_enabled,
+    "FUNC_NAME": _func_name,
+    "MY_FUNC_ID": _my_func_id,
+    "FUNC_INSTS": _func_insts,
+    "FUNC_CONSTS": _func_consts,
+    "FUNC_SIGNALS": _func_signals,
+    "FUNC_FSM": _func_fsm,
+    "FUNC_STUB": _func_stub,
+    "DATA_OUT_MUX": _data_out_mux,
+    "DATA_OUT_V_MUX": _data_out_v_mux,
+    "IO_DONE_MUX": _io_done_mux,
+    "CALC_DONE_ENCODE": _calc_done_encode,
+}
+
+
+def standard_registry() -> MacroRegistry:
+    """A fresh registry pre-loaded with the Figure 7.1 macro set."""
+    registry = MacroRegistry()
+    registry.register_many(STANDARD_MACROS)
+    return registry
+
+
+def build_context(module: ModuleParams, **extra) -> MacroContext:
+    """Convenience constructor for a module-level macro context."""
+    return MacroContext(module, extra=extra)

@@ -1,0 +1,132 @@
+"""Elaboration of a generated peripheral into simulatable RTL.
+
+:class:`GeneratedPeripheral` wires together everything Figure 5.1 shows: the
+native bus interface adapter, the SIS arbitration unit, and one
+:class:`~repro.core.generation.stub_rtl.FunctionStub` per function instance.
+The user supplies *behaviours* — Python callables standing in for the
+calculation logic they would write into the generated VHDL stubs — and
+optional per-function calculation latencies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.buses.base import SlaveBundle
+from repro.core.capabilities import BusCapabilities
+from repro.core.generation.adapters_rtl import ADAPTER_CLASSES, APBToSIS
+from repro.core.generation.arbiter_rtl import SISArbiter
+from repro.core.generation.stub_rtl import Behavior, FunctionStub
+from repro.core.params import ModuleParams
+from repro.core.syntax.errors import SpliceGenerationError
+from repro.rtl.module import Module
+from repro.sis.signals import SISBundle, SISFunctionPort
+
+#: Behaviours may be supplied per function, or per instance as a list.
+BehaviorSpec = Union[Behavior, List[Behavior]]
+
+
+class GeneratedPeripheral(Module):
+    """The complete elaborated hardware for one Splice-generated peripheral."""
+
+    def __init__(
+        self,
+        module_params: ModuleParams,
+        bus: BusCapabilities,
+        slave: SlaveBundle,
+        *,
+        behaviors: Optional[Dict[str, BehaviorSpec]] = None,
+        calc_latencies: Optional[Dict[str, int]] = None,
+        adapter_class: Optional[Callable] = None,
+    ) -> None:
+        super().__init__(f"{module_params.mod_name}_peripheral")
+        self.module_params = module_params
+        self.bus = bus
+        self.slave = slave
+        behaviors = behaviors or {}
+        calc_latencies = calc_latencies or {}
+
+        self.sis = SISBundle(
+            data_width=module_params.data_width,
+            func_id_width=module_params.func_id_width,
+            name=f"{module_params.mod_name}.sis",
+        )
+
+        strictly_synchronous = bus.strictly_synchronous
+
+        # Per-instance stubs and their SIS ports.
+        self.stubs: Dict[str, List[FunctionStub]] = {}
+        self.ports: Dict[int, SISFunctionPort] = {}
+        for func in module_params.funcs:
+            spec = behaviors.get(func.func_name)
+            latency = calc_latencies.get(func.func_name, 1)
+            instances: List[FunctionStub] = []
+            for instance in range(func.nmbr_instances):
+                behavior = self._behavior_for(spec, instance)
+                func_id = func.func_id + instance
+                port = self.sis.new_function_port(
+                    f"{module_params.mod_name}.{func.func_name}[{instance}]", func_id
+                )
+                stub = FunctionStub(
+                    func,
+                    module_params,
+                    self.sis,
+                    port,
+                    behavior=behavior,
+                    calc_latency=latency,
+                    strictly_synchronous=strictly_synchronous,
+                    instance_index=instance,
+                )
+                self.ports[func_id] = port
+                instances.append(stub)
+                self.submodule(stub)
+            self.stubs[func.func_name] = instances
+
+        # Arbitration unit.
+        self.arbiter = SISArbiter(
+            f"user_{module_params.mod_name}", self.sis, list(self.ports.values())
+        )
+        self.submodule(self.arbiter)
+
+        # Native bus interface adapter.
+        bus_name = bus.name.lower()
+        adapter_factory = adapter_class or ADAPTER_CLASSES.get(bus_name)
+        if adapter_factory is None:
+            raise SpliceGenerationError(
+                f"no RTL adapter available for bus {bus_name!r}; supply adapter_class"
+            )
+        if adapter_factory is APBToSIS or (
+            adapter_class is None and bus_name == "apb"
+        ):
+            self.adapter = APBToSIS(
+                f"{bus_name}_interface", slave, self.sis, self.ports, module_params.base_addr
+            )
+        else:
+            self.adapter = adapter_factory(f"{bus_name}_interface", slave, self.sis)
+        self.submodule(self.adapter)
+
+    # -- helpers -------------------------------------------------------------------
+
+    @staticmethod
+    def _behavior_for(spec: Optional[BehaviorSpec], instance: int) -> Optional[Behavior]:
+        if spec is None:
+            return None
+        if isinstance(spec, list):
+            if instance >= len(spec):
+                raise SpliceGenerationError(
+                    f"behaviour list has {len(spec)} entries but instance {instance} was requested"
+                )
+            return spec[instance]
+        return spec
+
+    def stub(self, func_name: str, instance: int = 0) -> FunctionStub:
+        """The elaborated stub for ``func_name`` (instance ``instance``)."""
+        return self.stubs[func_name][instance]
+
+    def attach(self, simulator) -> None:
+        """Register child modules plus the externally-created signal bundles."""
+        super().attach(simulator)
+        simulator.add_signals(self.sis.signals())
+        for port in self.ports.values():
+            simulator.add_signals(port.signals())
+        simulator.add_signals(self.slave.signals())

@@ -1,0 +1,305 @@
+"""Simulatable user-logic stub (ICOB + SMB) — the elaborated form of Section 5.3.
+
+:class:`FunctionStub` implements, cycle by cycle, exactly the behaviour the
+generated VHDL stubs describe: input states that capture one bus beat at a
+time (with split, packed and implicit-bound tracking), a calculation stage
+whose body is the user-supplied ``behavior`` callable (the "filled-in"
+calculation logic), and an output / pseudo-output stage that answers read
+requests and drives ``CALC_DONE``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.core.params import FuncParams, IOParams, ModuleParams
+from repro.rtl.module import Module
+from repro.rtl.signal import mask_for_width
+from repro.sis.signals import SISBundle, SISFunctionPort
+
+#: Signature of user calculation logic: keyword arguments named after the
+#: declaration's inputs (ints for scalars, lists of ints for arrays); the
+#: return value is an int, a list of ints, or ``None`` for void functions.
+Behavior = Callable[..., Union[int, List[int], None]]
+
+
+def _default_behavior(**_inputs) -> int:
+    """The empty calculation state Splice generates by default."""
+    return 0
+
+
+class FunctionStub(Module):
+    """One user-logic function instance attached to the SIS."""
+
+    def __init__(
+        self,
+        func: FuncParams,
+        module_params: ModuleParams,
+        sis: SISBundle,
+        port: SISFunctionPort,
+        *,
+        behavior: Optional[Behavior] = None,
+        calc_latency: int = 1,
+        strictly_synchronous: bool = False,
+        instance_index: int = 0,
+    ) -> None:
+        suffix = f"_{instance_index}" if func.nmbr_instances > 1 else ""
+        super().__init__(f"func_{func.func_name}{suffix}")
+        self.func = func
+        self.module_params = module_params
+        self.sis = sis
+        self.port = port
+        self.behavior: Behavior = behavior or _default_behavior
+        self.calc_latency = max(1, calc_latency)
+        self.strictly_synchronous = strictly_synchronous
+        self.instance_index = instance_index
+        self.my_func_id = func.func_id + instance_index
+
+        self._states = self._build_states()
+        self._state = self._states[0]
+        self._beat_buffer: List[int] = []
+        self._captured: Dict[str, Union[int, List[int]]] = {}
+        self._output_words: List[int] = []
+        self._out_index = 0
+        self._calc_counter = 0
+        self._pending_read = False
+
+        #: Number of completed activations (useful for tests and examples).
+        self.activations = 0
+        #: History of captured input dictionaries, most recent last.
+        self.call_log: List[Dict[str, Union[int, List[int]]]] = []
+
+        self.clocked(self._icob)
+
+    # -- state construction ----------------------------------------------------
+
+    def _build_states(self) -> List[str]:
+        states = [f"IN_{io.io_name}" for io in self.func.inputs]
+        if not states:
+            states.append("TRIGGER")
+        states.append("CALC")
+        if self.func.has_output:
+            states.append("OUT_RESULT")
+        elif self.func.blocking:
+            states.append("OUT_STATUS")
+        return states
+
+    @property
+    def state(self) -> str:
+        """Name of the ICOB's current state (for tests and tracing)."""
+        return self._state
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _current_input(self) -> Optional[IOParams]:
+        if self._state.startswith("IN_"):
+            return self.func.input(self._state[3:])
+        return None
+
+    def _expected_beats(self, io: IOParams) -> int:
+        bus_width = self.module_params.data_width
+        if io.has_index:
+            count = int(self._captured.get(io.index_var, 0))
+        elif io.io_number is not None:
+            count = io.io_number
+        else:
+            count = 1
+        count = max(0, count)
+        if count == 0:
+            return 0
+        if io.is_packed and io.io_width < bus_width:
+            per_beat = max(1, bus_width // io.io_width)
+            return -(-count // per_beat)
+        return count * max(1, -(-io.io_width // bus_width))
+
+    def _element_count(self, io: IOParams) -> int:
+        if io.has_index:
+            return max(0, int(self._captured.get(io.index_var, 0)))
+        return io.io_number if io.io_number is not None else 1
+
+    def _assemble_input(self, io: IOParams, beats: List[int]) -> Union[int, List[int]]:
+        """Reassemble captured bus beats into the declared value(s)."""
+        bus_width = self.module_params.data_width
+        count = self._element_count(io)
+        if io.is_packed and io.io_width < bus_width:
+            per_beat = max(1, bus_width // io.io_width)
+            element_mask = mask_for_width(io.io_width)
+            elements: List[int] = []
+            for beat in beats:
+                for slot in range(per_beat):
+                    elements.append((beat >> (slot * io.io_width)) & element_mask)
+            elements = elements[:count]
+            return elements if io.is_pointer else (elements[0] if elements else 0)
+        words_per_element = max(1, -(-io.io_width // bus_width))
+        elements = []
+        for index in range(0, len(beats), words_per_element):
+            value = 0
+            for offset, word in enumerate(beats[index:index + words_per_element]):
+                value |= word << (offset * bus_width)
+            elements.append(value & mask_for_width(max(io.io_width, 1)))
+        if io.is_pointer:
+            return elements[:count]
+        return elements[0] if elements else 0
+
+    def _build_output_words(self, result: Union[int, List[int], None]) -> List[int]:
+        """Serialise the calculation result into bus beats (LSW first)."""
+        bus_width = self.module_params.data_width
+        bus_mask = mask_for_width(bus_width)
+        output = self.func.output
+        if output is None:
+            return [1]  # pseudo output / completion status word
+        values: List[int]
+        if isinstance(result, (list, tuple)):
+            values = [int(v) for v in result]
+        else:
+            values = [int(result or 0)]
+        if output.is_packed and output.io_width < bus_width:
+            per_beat = max(1, bus_width // output.io_width)
+            element_mask = mask_for_width(output.io_width)
+            words = []
+            for index in range(0, len(values), per_beat):
+                word = 0
+                for slot, value in enumerate(values[index:index + per_beat]):
+                    word |= (value & element_mask) << (slot * output.io_width)
+                words.append(word)
+            return words or [0]
+        words_per_element = max(1, -(-output.io_width // bus_width))
+        words = []
+        for value in values:
+            value &= mask_for_width(max(output.io_width, 1))
+            for offset in range(words_per_element):
+                words.append((value >> (offset * bus_width)) & bus_mask)
+        return words or [0]
+
+    # -- the ICOB process ----------------------------------------------------------
+
+    def _icob(self) -> None:
+        sis = self.sis
+        port = self.port
+
+        # Default strobes.
+        port.io_done.next = 0
+        if not (self.strictly_synchronous and self._state in ("OUT_RESULT", "OUT_STATUS")):
+            port.data_out_valid.next = 0
+
+        if sis.rst.value:
+            self._reset_activation(full=True)
+            port.calc_done.next = 0
+            return
+
+        selected = sis.func_id.value == self.my_func_id
+        new_request = bool(sis.io_enable.value and selected)
+        write_beat = new_request and bool(sis.data_in_valid.value)
+        read_request = new_request and not sis.data_in_valid.value
+        if read_request:
+            self._pending_read = True
+
+        if self._state.startswith("IN_"):
+            self._handle_input_state(write_beat)
+        elif self._state == "TRIGGER":
+            self._handle_trigger_state(new_request, write_beat)
+        elif self._state == "CALC":
+            self._handle_calc_state()
+        elif self._state in ("OUT_RESULT", "OUT_STATUS"):
+            self._handle_output_state()
+
+    # -- per-state handlers -------------------------------------------------------
+
+    def _handle_input_state(self, write_beat: bool) -> None:
+        io = self._current_input()
+        assert io is not None
+        if not write_beat:
+            return
+        self._beat_buffer.append(self.sis.data_in.value)
+        self.port.io_done.next = 1
+        expected = self._expected_beats(io)
+        if len(self._beat_buffer) >= expected:
+            self._captured[io.io_name] = self._assemble_input(io, self._beat_buffer)
+            self._beat_buffer = []
+            self._advance_after_input(io)
+
+    def _advance_after_input(self, io: IOParams) -> None:
+        index = self._states.index(f"IN_{io.io_name}")
+        next_state = self._states[index + 1]
+        if next_state == "CALC":
+            self._enter_calc()
+        else:
+            self._state = next_state
+            # A following implicit-bound input with a zero count is skipped
+            # entirely (nothing will ever be transferred for it).
+            following = self._current_input()
+            while following is not None and self._expected_beats(following) == 0:
+                self._captured[following.io_name] = [] if following.is_pointer else 0
+                idx = self._states.index(self._state)
+                nxt = self._states[idx + 1]
+                if nxt == "CALC":
+                    self._enter_calc()
+                    return
+                self._state = nxt
+                following = self._current_input()
+
+    def _handle_trigger_state(self, new_request: bool, write_beat: bool) -> None:
+        if not new_request:
+            return
+        if write_beat:
+            self.port.io_done.next = 1
+        self._enter_calc()
+
+    def _enter_calc(self) -> None:
+        self._state = "CALC"
+        self._calc_counter = 0
+
+    def _handle_calc_state(self) -> None:
+        self._calc_counter += 1
+        if self._calc_counter < self.calc_latency:
+            return
+        result = self.behavior(**{name: value for name, value in self._captured.items()})
+        self.call_log.append(dict(self._captured))
+        self.activations += 1
+        self._output_words = self._build_output_words(result)
+        self._out_index = 0
+        if self.func.has_output or self.func.blocking:
+            self._state = "OUT_RESULT" if self.func.has_output else "OUT_STATUS"
+            self.port.calc_done.next = 1
+            if self.strictly_synchronous:
+                self.port.data_out.next = self._output_words[0]
+                self.port.data_out_valid.next = 1
+        else:
+            # Non-blocking (nowait) functions simply strobe CALC_DONE and
+            # return to their first input state.
+            self.port.calc_done.next = 1
+            self._reset_activation(full=False)
+
+    def _handle_output_state(self) -> None:
+        port = self.port
+        port.calc_done.next = 1
+        if self.strictly_synchronous:
+            port.data_out.next = self._output_words[self._out_index]
+            port.data_out_valid.next = 1
+        if not self._pending_read:
+            return
+        self._pending_read = False
+        word = self._output_words[self._out_index]
+        port.data_out.next = word
+        port.data_out_valid.next = 1
+        port.io_done.next = 1
+        self._out_index += 1
+        if self._out_index >= len(self._output_words):
+            port.calc_done.next = 0
+            if self.strictly_synchronous:
+                port.data_out_valid.next = 0
+            self._reset_activation(full=False)
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def _reset_activation(self, *, full: bool) -> None:
+        self._state = self._states[0]
+        self._beat_buffer = []
+        self._output_words = []
+        self._out_index = 0
+        self._calc_counter = 0
+        self._pending_read = False
+        if full:
+            self._captured = {}
+            self.call_log = []
+            self.activations = 0

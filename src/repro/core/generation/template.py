@@ -1,0 +1,122 @@
+"""The ``%SYMBOL%`` template engine used for native bus adapter generation.
+
+Bus interfaces are generated "by consulting a set of reference HDL files ...
+Embedded in these reference files are macro symbols of the form '%SYMBOL%'
+that are parsed out by the generation routine and replaced with the logic
+required to generate a functionally-complete bus" (Section 5.1).
+
+:class:`TemplateEngine` implements that parser.  Handlers are looked up in a
+:class:`MacroRegistry`; external bus libraries add their own bus-specific
+markers through the extension API's *marker loader* routine (Section 7.1.2).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.core.syntax.errors import SpliceGenerationError
+
+MacroHandler = Callable[["MacroContext"], str]
+
+_MACRO_RE = re.compile(r"%([A-Z][A-Z0-9_]*)%")
+
+
+class MacroContext:
+    """Everything a macro handler may need while expanding a template.
+
+    Attributes
+    ----------
+    module:
+        The :class:`~repro.core.params.ModuleParams` being generated.
+    func:
+        The :class:`~repro.core.params.FuncParams` currently being expanded,
+        when the macro is evaluated inside a per-function region.
+    extra:
+        Free-form values supplied by the caller (e.g. the generation date).
+    """
+
+    def __init__(self, module, func=None, extra: Optional[Dict[str, object]] = None) -> None:
+        self.module = module
+        self.func = func
+        self.extra = dict(extra or {})
+
+    def with_func(self, func) -> "MacroContext":
+        return MacroContext(self.module, func=func, extra=self.extra)
+
+
+class MacroRegistry:
+    """Named macro handlers (the built-in set plus bus-specific additions)."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, MacroHandler] = {}
+
+    def register(self, name: str, handler: MacroHandler, *, replace: bool = False) -> None:
+        key = name.upper()
+        if key in self._handlers and not replace:
+            raise SpliceGenerationError(f"macro {key!r} is already registered")
+        self._handlers[key] = handler
+
+    def register_many(self, handlers: Dict[str, MacroHandler], *, replace: bool = False) -> None:
+        for name, handler in handlers.items():
+            self.register(name, handler, replace=replace)
+
+    def knows(self, name: str) -> bool:
+        return name.upper() in self._handlers
+
+    def handler(self, name: str) -> MacroHandler:
+        try:
+            return self._handlers[name.upper()]
+        except KeyError:
+            raise SpliceGenerationError(
+                f"no handler registered for macro %{name.upper()}%"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._handlers)
+
+    def copy(self) -> "MacroRegistry":
+        clone = MacroRegistry()
+        clone._handlers = dict(self._handlers)
+        return clone
+
+
+class TemplateEngine:
+    """Expands ``%SYMBOL%`` markers in template text using a macro registry."""
+
+    def __init__(self, registry: MacroRegistry) -> None:
+        self.registry = registry
+
+    def find_macros(self, template: str) -> List[str]:
+        """All macro names referenced by ``template`` (in order, unique)."""
+        seen: List[str] = []
+        for match in _MACRO_RE.finditer(template):
+            name = match.group(1)
+            if name not in seen:
+                seen.append(name)
+        return seen
+
+    def check(self, template: str) -> None:
+        """Raise if ``template`` references a macro with no handler."""
+        missing = [name for name in self.find_macros(template) if not self.registry.knows(name)]
+        if missing:
+            raise SpliceGenerationError(
+                "template references macros with no registered handler: "
+                + ", ".join(f"%{name}%" for name in missing)
+            )
+
+    def expand(self, template: str, context: MacroContext) -> str:
+        """Replace every ``%SYMBOL%`` in ``template`` with its handler output."""
+        self.check(template)
+
+        def _replace(match: re.Match) -> str:
+            handler = self.registry.handler(match.group(1))
+            value = handler(context)
+            return "" if value is None else str(value)
+
+        return _MACRO_RE.sub(_replace, template)
+
+    def expand_per_function(self, template: str, context: MacroContext, funcs: Iterable) -> str:
+        """Expand ``template`` once per function and concatenate the results."""
+        parts = [self.expand(template, context.with_func(func)) for func in funcs]
+        return "\n".join(parts)

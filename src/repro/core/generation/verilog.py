@@ -1,0 +1,54 @@
+"""Verilog text back-end.
+
+The paper lists Verilog output as future work (Section 10.2); the shared IR
+makes it nearly free here, so ``%target_hdl verilog`` produces structurally
+equivalent Verilog sketches for every generated entity.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.generation.ir import EntityIR, PortDirection
+
+
+def _verilog_range(width: int) -> str:
+    return "" if width <= 1 else f"[{width - 1}:0] "
+
+
+def render_entity_verilog(entity: EntityIR) -> str:
+    """Render a structural Verilog sketch of ``entity`` from its IR."""
+    lines: List[str] = []
+    lines.append(f"// {entity.description}" if entity.description else f"// module {entity.name}")
+    port_names = ", ".join(p.name for p in entity.ports)
+    lines.append(f"module {entity.name} ({port_names});")
+    for port in entity.ports:
+        direction = "input" if port.direction is PortDirection.IN else "output"
+        if port.direction is PortDirection.INOUT:
+            direction = "inout"
+        comment = f"  // {port.description}" if port.description else ""
+        lines.append(f"  {direction:<6} {_verilog_range(port.width)}{port.name};{comment}")
+    lines.append("")
+    for fsm in entity.fsms:
+        lines.append(f"  // FSM {fsm.name}: states {', '.join(fsm.states)}")
+        lines.append(f"  reg [{max(0, fsm.state_bits - 1)}:0] {fsm.name}_cur, {fsm.name}_next;")
+    for register in entity.registers:
+        lines.append(f"  reg {_verilog_range(register.width)}{register.name};  // {register.purpose}")
+    for counter in entity.counters:
+        lines.append(f"  reg {_verilog_range(counter.width)}{counter.name};  // {counter.purpose}")
+    for mux in entity.muxes:
+        lines.append(f"  // {mux.inputs}-way, {mux.width}-bit multiplexer: {mux.purpose or mux.name}")
+    for comparator in entity.comparators:
+        lines.append(f"  // {comparator.width}-bit comparator: {comparator.purpose or comparator.name}")
+    for fsm in entity.fsms:
+        lines.append(f"  always @(posedge CLK) begin")
+        lines.append(f"    if (RST) {fsm.name}_cur <= 0;")
+        lines.append(f"    else {fsm.name}_cur <= {fsm.name}_next;")
+        lines.append("  end")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def file_name(entity: EntityIR, suffix: str = "v") -> str:
+    """Conventional output file name for ``entity``."""
+    return f"{entity.name}.{suffix}"

@@ -1,0 +1,82 @@
+"""VHDL text back-end.
+
+Two rendering paths exist:
+
+* template expansion — the bus adapter, arbiter and stub files are produced
+  from the annotated templates in :mod:`repro.core.generation.interface`,
+  :mod:`repro.core.generation.arbiter` and :mod:`repro.core.generation.stubs`
+  using the ``%SYMBOL%`` engine, exactly as the paper describes; and
+* generic IR rendering — :func:`render_entity_vhdl` emits a structural VHDL
+  sketch (entity declaration, registers, FSM type) for any
+  :class:`~repro.core.generation.ir.EntityIR`, which the Verilog back-end
+  mirrors and the tests use to check port agreement between IR and templates.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.generation.ir import EntityIR, PortDirection
+
+_HEADER = "library ieee;\nuse ieee.std_logic_1164.all;\nuse ieee.numeric_std.all;\n"
+
+
+def _vhdl_type(width: int) -> str:
+    if width <= 1:
+        return "std_logic"
+    return f"std_logic_vector({width - 1} downto 0)"
+
+
+def _render_ports(entity: EntityIR) -> List[str]:
+    lines = []
+    for index, port in enumerate(entity.ports):
+        direction = "in" if port.direction is PortDirection.IN else "out"
+        if port.direction is PortDirection.INOUT:
+            direction = "inout"
+        terminator = ";" if index < len(entity.ports) - 1 else ""
+        comment = f"  -- {port.description}" if port.description else ""
+        lines.append(f"    {port.name:<24} : {direction:<5} {_vhdl_type(port.width)}{terminator}{comment}")
+    return lines
+
+
+def render_entity_vhdl(entity: EntityIR) -> str:
+    """Render a structural VHDL sketch of ``entity`` from its IR."""
+    lines: List[str] = [_HEADER]
+    lines.append(f"-- {entity.description}" if entity.description else f"-- entity {entity.name}")
+    lines.append(f"entity {entity.name} is")
+    if entity.ports:
+        lines.append("  port (")
+        lines.extend(_render_ports(entity))
+        lines.append("  );")
+    lines.append("end entity;")
+    lines.append("")
+    lines.append(f"architecture splice of {entity.name} is")
+
+    for fsm in entity.fsms:
+        states = ", ".join(fsm.states)
+        lines.append(f"  type {fsm.name}_type is ({states});")
+        lines.append(f"  signal {fsm.name}_cur, {fsm.name}_next : {fsm.name}_type;")
+    for register in entity.registers:
+        lines.append(f"  signal {register.name} : {_vhdl_type(register.width)};  -- {register.purpose}")
+    for counter in entity.counters:
+        lines.append(f"  signal {counter.name} : unsigned({counter.width - 1} downto 0);  -- {counter.purpose}")
+    lines.append("begin")
+    for mux in entity.muxes:
+        lines.append(f"  -- {mux.inputs}-way, {mux.width}-bit multiplexer: {mux.purpose or mux.name}")
+    for comparator in entity.comparators:
+        lines.append(f"  -- {comparator.width}-bit comparator: {comparator.purpose or comparator.name}")
+    for fsm in entity.fsms:
+        lines.append(f"  {fsm.name}_smb : process (CLK)")
+        lines.append("  begin")
+        lines.append("    if rising_edge(CLK) then")
+        lines.append(f"      if (RST = '1') then {fsm.name}_cur <= {fsm.states[0]};")
+        lines.append(f"      else {fsm.name}_cur <= {fsm.name}_next; end if;")
+        lines.append("    end if;")
+        lines.append("  end process;")
+    lines.append("end architecture;")
+    return "\n".join(lines) + "\n"
+
+
+def file_name(entity: EntityIR, suffix: str = "vhd") -> str:
+    """Conventional output file name for ``entity`` (Figure 8.3 style)."""
+    return f"{entity.name}.{suffix}"

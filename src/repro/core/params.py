@@ -1,0 +1,227 @@
+"""The shared ``splice_params`` structure (Figure 7.3).
+
+Every generator — built-in or supplied through the extension API — works
+from the same view of the user's specification: a :class:`ModuleParams`
+holding per-function :class:`FuncParams`, each holding per-I/O
+:class:`IOParams`.  :func:`build_params` derives this structure from a parsed
+and validated :class:`~repro.core.syntax.ast.SpliceSpec`.
+
+Function identifier zero is reserved by the SIS for the ``CALC_DONE`` status
+register (Section 4.2.2); real functions are numbered from one, and each
+additional instance of a multi-instance function takes the next consecutive
+identifier so that drivers can address instance ``k`` as ``FUNC_ID + k``
+(Figure 6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.capabilities import BusCapabilities
+from repro.core.syntax.ast import Declaration, Parameter, SpliceSpec
+
+#: The function identifier reserved for the CALC_DONE / status register.
+STATUS_FUNC_ID = 0
+
+
+@dataclass
+class IOParams:
+    """Mirror of ``s_io_params`` — one input or output of a hardware function."""
+
+    io_name: str
+    io_type: str
+    io_width: int
+    io_number: int
+    is_pointer: bool = False
+    is_packed: bool = False
+    is_dma: bool = False
+    index_var: Optional[str] = None
+    has_index: bool = False
+    used_as_index: bool = False
+    is_float: bool = False
+
+    def words_per_element(self, bus_width: int) -> int:
+        """Bus beats needed to move one element (handles split transfers)."""
+        return max(1, -(-self.io_width // bus_width))
+
+    def pack_factor(self, bus_width: int) -> int:
+        """Elements moved per beat when packing applies to this I/O."""
+        if not self.is_packed or self.io_width == 0:
+            return 1
+        return max(1, bus_width // self.io_width)
+
+    def beats(self, bus_width: int, element_count: Optional[int] = None) -> int:
+        """Total bus beats to move this I/O (excluding handshake overhead).
+
+        ``element_count`` overrides the static ``io_number`` for implicit
+        (runtime-bounded) transfers.
+        """
+        count = element_count if element_count is not None else self.io_number
+        if count is None:
+            raise ValueError(f"I/O {self.io_name!r} has a runtime bound; supply element_count")
+        if self.is_packed and self.io_width < bus_width:
+            per_beat = self.pack_factor(bus_width)
+            return max(1, -(-count // per_beat))
+        return count * self.words_per_element(bus_width)
+
+
+@dataclass
+class FuncParams:
+    """Mirror of ``s_func_params`` — one user-declared hardware function."""
+
+    func_name: str
+    func_id: int
+    nmbr_instances: int = 1
+    inputs: List[IOParams] = field(default_factory=list)
+    output: Optional[IOParams] = None
+    has_output: bool = False
+    splitting_f: bool = False
+    indexing_f: bool = False
+    blocking: bool = True
+    uses_dma: bool = False
+    uses_packing: bool = False
+
+    @property
+    def nmbr_inputs(self) -> int:
+        return len(self.inputs)
+
+    def instance_ids(self) -> List[int]:
+        """All function identifiers owned by this function's instances."""
+        return [self.func_id + k for k in range(self.nmbr_instances)]
+
+    def input(self, name: str) -> IOParams:
+        for io in self.inputs:
+            if io.io_name == name:
+                return io
+        raise KeyError(f"function {self.func_name!r} has no input named {name!r}")
+
+
+@dataclass
+class ModuleParams:
+    """Mirror of ``s_module_params`` — the whole peripheral."""
+
+    mod_name: str
+    bus_type: str
+    data_width: int
+    base_addr: int = 0
+    hdl_type: str = "vhdl"
+    func_id_width: int = 4
+    packing_f: bool = False
+    ld_burst_f: bool = False
+    st_burst_f: bool = False
+    dma_support_f: bool = False
+    dma_width: int = 0
+    dma_max_bits: int = 0
+    funcs: List[FuncParams] = field(default_factory=list)
+
+    @property
+    def nmbr_funcs(self) -> int:
+        return len(self.funcs)
+
+    @property
+    def total_instances(self) -> int:
+        return sum(f.nmbr_instances for f in self.funcs)
+
+    def func(self, name: str) -> FuncParams:
+        for func in self.funcs:
+            if func.func_name == name:
+                return func
+        raise KeyError(f"module {self.mod_name!r} has no function named {name!r}")
+
+    def func_by_id(self, func_id: int) -> FuncParams:
+        for func in self.funcs:
+            if func_id in func.instance_ids():
+                return func
+        raise KeyError(f"module {self.mod_name!r} has no function with id {func_id}")
+
+    def address_of(self, func_id: int) -> int:
+        """Memory address assigned to ``func_id`` on a memory-mapped bus.
+
+        Each function identifier owns one bus-word-aligned slot above the
+        peripheral's base address, matching the ``SET_ADDRESS`` macro.
+        """
+        return self.base_addr + func_id * (self.data_width // 8)
+
+
+# -- construction --------------------------------------------------------------
+
+
+def _io_from_parameter(param: Parameter, decl: Declaration) -> IOParams:
+    used_as_index = any(
+        other.bound is not None and other.bound.is_implicit and other.bound.index == param.name
+        for other in decl.params
+        if other is not param
+    )
+    if decl.return_bound is not None and decl.return_bound.is_implicit:
+        used_as_index = used_as_index or decl.return_bound.index == param.name
+    bound = param.bound
+    return IOParams(
+        io_name=param.name,
+        io_type=param.ctype.name + ("*" if param.is_pointer else ""),
+        io_width=param.ctype.width,
+        io_number=(bound.count if bound is not None and bound.is_explicit else (1 if not param.is_pointer else None)),
+        is_pointer=param.is_pointer,
+        is_packed=param.packed,
+        is_dma=param.dma,
+        index_var=(bound.index if bound is not None and bound.is_implicit else None),
+        has_index=bound is not None and bound.is_implicit,
+        used_as_index=used_as_index,
+        is_float=param.ctype.is_float,
+    )
+
+
+def _output_from_declaration(decl: Declaration) -> Optional[IOParams]:
+    output = decl.output_parameter()
+    if output is None:
+        return None
+    io = _io_from_parameter(output, decl)
+    io.used_as_index = False
+    return io
+
+
+def build_params(spec: SpliceSpec, bus: BusCapabilities) -> ModuleParams:
+    """Build the shared parameter structure from a validated specification."""
+    target = spec.target
+    bus_width = target.bus_width or bus.widths[0]
+
+    funcs: List[FuncParams] = []
+    next_id = STATUS_FUNC_ID + 1
+    for decl in spec.declarations:
+        inputs = [_io_from_parameter(p, decl) for p in decl.params]
+        output = _output_from_declaration(decl)
+        widths = [io.io_width for io in inputs] + ([output.io_width] if output else [])
+        func = FuncParams(
+            func_name=decl.name,
+            func_id=next_id,
+            nmbr_instances=decl.instances,
+            inputs=inputs,
+            output=output,
+            has_output=output is not None,
+            splitting_f=any(width > bus_width for width in widths),
+            indexing_f=decl.uses_implicit_bounds,
+            blocking=decl.blocking,
+            uses_dma=decl.uses_dma,
+            uses_packing=decl.uses_packing,
+        )
+        funcs.append(func)
+        next_id += decl.instances
+
+    highest_id = max((f.func_id + f.nmbr_instances - 1 for f in funcs), default=0)
+    func_id_width = max(1, highest_id.bit_length())
+
+    return ModuleParams(
+        mod_name=target.device_name or "splice_device",
+        bus_type=(target.bus_type or bus.name).lower(),
+        data_width=bus_width,
+        base_addr=target.base_address or 0,
+        hdl_type=target.target_hdl,
+        func_id_width=func_id_width,
+        packing_f=target.packing_support,
+        ld_burst_f=target.burst_support and bus.supports_burst,
+        st_burst_f=target.burst_support and bus.supports_burst,
+        dma_support_f=target.dma_support and bus.supports_dma,
+        dma_width=bus_width if (target.dma_support and bus.supports_dma) else 0,
+        dma_max_bits=bus.max_dma_bytes * 8,
+        funcs=funcs,
+    )

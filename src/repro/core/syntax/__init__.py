@@ -1,0 +1,41 @@
+"""Splice syntax front-end (Chapter 3 of the paper).
+
+The public entry point is :func:`parse_spec`, which turns the text of a
+Splice specification file (target directives + interface declarations) into a
+:class:`repro.core.syntax.ast.SpliceSpec`.
+"""
+
+from repro.core.syntax.errors import (
+    SpliceError,
+    SpliceSyntaxError,
+    SpliceValidationError,
+)
+from repro.core.syntax.ctypes import CType, TypeTable
+from repro.core.syntax.ast import (
+    Bound,
+    BoundKind,
+    Declaration,
+    Parameter,
+    SpliceSpec,
+    TargetSpec,
+)
+from repro.core.syntax.parser import parse_spec, parse_declaration, parse_directive
+from repro.core.syntax.validation import validate_spec
+
+__all__ = [
+    "SpliceError",
+    "SpliceSyntaxError",
+    "SpliceValidationError",
+    "CType",
+    "TypeTable",
+    "Bound",
+    "BoundKind",
+    "Declaration",
+    "Parameter",
+    "SpliceSpec",
+    "TargetSpec",
+    "parse_spec",
+    "parse_declaration",
+    "parse_directive",
+    "validate_spec",
+]

@@ -1,0 +1,211 @@
+"""Abstract syntax for Splice interface declarations and target specifications.
+
+These dataclasses are the output of the parser and the input to validation,
+the shared-parameter builder (Figure 7.3), and the generators.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.syntax.ctypes import CType, TypeTable
+
+
+class BoundKind(enum.Enum):
+    """How many elements a pointer parameter transfers (Sections 3.1.2)."""
+
+    EXPLICIT = "explicit"  #: a literal count, e.g. ``int*:5 x``
+    IMPLICIT = "implicit"  #: the value of another parameter, e.g. ``int*:x y``
+
+
+@dataclass(frozen=True)
+class Bound:
+    """The element count attached to a pointer transfer."""
+
+    kind: BoundKind
+    count: Optional[int] = None
+    index: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is BoundKind.EXPLICIT and (self.count is None or self.count <= 0):
+            raise ValueError("explicit bounds require a positive element count")
+        if self.kind is BoundKind.IMPLICIT and not self.index:
+            raise ValueError("implicit bounds require the name of the indexing parameter")
+
+    @property
+    def is_explicit(self) -> bool:
+        return self.kind is BoundKind.EXPLICIT
+
+    @property
+    def is_implicit(self) -> bool:
+        return self.kind is BoundKind.IMPLICIT
+
+    def describe(self) -> str:
+        return str(self.count) if self.is_explicit else str(self.index)
+
+
+@dataclass
+class Parameter:
+    """One input (or the output) of an interface declaration."""
+
+    name: str
+    ctype: CType
+    is_pointer: bool = False
+    bound: Optional[Bound] = None
+    packed: bool = False
+    dma: bool = False
+
+    @property
+    def is_array(self) -> bool:
+        """True for pointer transfers with a bound (explicit or implicit)."""
+        return self.is_pointer and self.bound is not None
+
+    @property
+    def element_count(self) -> Optional[int]:
+        """Static element count, or ``None`` for implicit (runtime) bounds."""
+        if not self.is_pointer or self.bound is None:
+            return 1 if not self.is_pointer else None
+        return self.bound.count if self.bound.is_explicit else None
+
+    def words_per_element(self, bus_width: int) -> int:
+        """Bus beats required per element (handles "split" transfers, §3.1.4)."""
+        return self.ctype.words(bus_width)
+
+    def pack_factor(self, bus_width: int) -> int:
+        """Values per beat when packing applies (1 when it does not)."""
+        if not self.packed:
+            return 1
+        return max(1, self.ctype.pack_factor(bus_width))
+
+    def describe(self) -> str:
+        """Render the parameter back in (canonical) Splice syntax."""
+        text = self.ctype.name
+        if self.is_pointer:
+            text += "*"
+        if self.bound is not None:
+            text += f":{self.bound.describe()}"
+        if self.packed:
+            text += "+"
+        if self.dma:
+            text += "^"
+        return f"{text} {self.name}"
+
+
+@dataclass
+class Declaration:
+    """A single interface declaration (one hardware function)."""
+
+    name: str
+    return_type: CType
+    params: List[Parameter] = field(default_factory=list)
+    returns_pointer: bool = False
+    return_bound: Optional[Bound] = None
+    return_packed: bool = False
+    return_dma: bool = False
+    instances: int = 1
+    blocking: bool = True
+    source: Optional[str] = None
+
+    @property
+    def has_output(self) -> bool:
+        """Whether the hardware passes a value back to software."""
+        return not self.return_type.is_void
+
+    @property
+    def uses_dma(self) -> bool:
+        return self.return_dma or any(p.dma for p in self.params)
+
+    @property
+    def uses_packing(self) -> bool:
+        return self.return_packed or any(p.packed for p in self.params)
+
+    @property
+    def uses_implicit_bounds(self) -> bool:
+        bounds = [p.bound for p in self.params if p.bound is not None]
+        if self.return_bound is not None:
+            bounds.append(self.return_bound)
+        return any(b.is_implicit for b in bounds)
+
+    def output_parameter(self) -> Optional[Parameter]:
+        """The return value expressed as a :class:`Parameter`, or ``None``."""
+        if not self.has_output:
+            return None
+        return Parameter(
+            name="result",
+            ctype=self.return_type,
+            is_pointer=self.returns_pointer,
+            bound=self.return_bound,
+            packed=self.return_packed,
+            dma=self.return_dma,
+        )
+
+    def parameter(self, name: str) -> Parameter:
+        for param in self.params:
+            if param.name == name:
+                return param
+        raise KeyError(f"declaration {self.name!r} has no parameter {name!r}")
+
+    def describe(self) -> str:
+        """Render the declaration back in canonical Splice syntax."""
+        ret = "nowait" if not self.blocking else self.return_type.name
+        if self.blocking and self.returns_pointer:
+            ret += "*"
+            if self.return_bound is not None:
+                ret += f":{self.return_bound.describe()}"
+        args = ", ".join(p.describe() for p in self.params)
+        suffix = f":{self.instances}" if self.instances > 1 else ""
+        return f"{ret} {self.name}({args}){suffix};"
+
+
+@dataclass
+class TargetSpec:
+    """The ``%``-directive block binding declarations to a physical bus."""
+
+    device_name: Optional[str] = None
+    bus_type: Optional[str] = None
+    bus_width: Optional[int] = None
+    base_address: Optional[int] = None
+    burst_support: bool = False
+    dma_support: bool = False
+    packing_support: bool = False
+    target_hdl: str = "vhdl"
+    user_types: List[Tuple[str, str, int]] = field(default_factory=list)
+    extra: Dict[str, str] = field(default_factory=dict)
+
+    def directive_summary(self) -> Dict[str, object]:
+        """A flat dictionary view used by reports and tests."""
+        return {
+            "device_name": self.device_name,
+            "bus_type": self.bus_type,
+            "bus_width": self.bus_width,
+            "base_address": self.base_address,
+            "burst_support": self.burst_support,
+            "dma_support": self.dma_support,
+            "packing_support": self.packing_support,
+            "target_hdl": self.target_hdl,
+            "user_types": list(self.user_types),
+            **self.extra,
+        }
+
+
+@dataclass
+class SpliceSpec:
+    """A fully parsed specification: target directives plus declarations."""
+
+    target: TargetSpec
+    declarations: List[Declaration] = field(default_factory=list)
+    types: TypeTable = field(default_factory=TypeTable)
+    source: Optional[str] = None
+
+    def declaration(self, name: str) -> Declaration:
+        for decl in self.declarations:
+            if decl.name == name:
+                return decl
+        raise KeyError(f"specification has no declaration named {name!r}")
+
+    @property
+    def total_instances(self) -> int:
+        """Total hardware function instances, counting multi-instance copies."""
+        return sum(decl.instances for decl in self.declarations)

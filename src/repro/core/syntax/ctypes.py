@@ -1,0 +1,165 @@
+"""The ANSI-C-derived type system used by Splice declarations.
+
+Splice leans on ANSI C types so that interface declarations stay
+source-compatible with existing software prototypes (Section 3.1).  Custom
+types are added with the ``%user_type`` directive, which must state the bit
+width explicitly because the tool "implements only a rudimentary parser and
+thus cannot directly infer the size of the type" (Section 3.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.syntax.errors import SpliceValidationError
+
+
+@dataclass(frozen=True)
+class CType:
+    """A named data type with a fixed bit width.
+
+    Attributes
+    ----------
+    name:
+        Canonical spelling used in declarations (e.g. ``"unsigned long"``).
+    width:
+        Size in bits; ``0`` is reserved for ``void``.
+    signed:
+        Whether values are interpreted as two's-complement.
+    is_float:
+        Whether the type carries IEEE-754 floating-point data.
+    alias_of:
+        For ``%user_type`` definitions, the underlying C spelling.
+    """
+
+    name: str
+    width: int
+    signed: bool = True
+    is_float: bool = False
+    alias_of: Optional[str] = None
+
+    @property
+    def is_void(self) -> bool:
+        return self.width == 0
+
+    def words(self, bus_width: int) -> int:
+        """Number of ``bus_width``-bit transfers needed to move one value."""
+        if self.is_void:
+            return 0
+        if bus_width <= 0:
+            raise ValueError("bus width must be positive")
+        return max(1, -(-self.width // bus_width))
+
+    def pack_factor(self, bus_width: int) -> int:
+        """How many values of this type fit into one ``bus_width``-bit beat."""
+        if self.is_void or self.width == 0:
+            return 0
+        return max(1, bus_width // self.width)
+
+
+#: Built-in types from Figure 3.1 plus the standard C integer spellings the
+#: worked examples rely on (``long``, ``long long``, unsigned combinations).
+_BUILTIN_TYPES: Tuple[CType, ...] = (
+    CType("void", 0),
+    CType("bool", 1, signed=False),
+    CType("char", 8),
+    CType("unsigned char", 8, signed=False),
+    CType("short", 16),
+    CType("unsigned short", 16, signed=False),
+    CType("int", 32),
+    CType("unsigned", 32, signed=False),
+    CType("unsigned int", 32, signed=False),
+    CType("long", 32),
+    CType("unsigned long", 32, signed=False),
+    CType("long long", 64),
+    CType("unsigned long long", 64, signed=False),
+    CType("float", 32, is_float=True),
+    CType("single", 32, is_float=True),
+    CType("double", 64, is_float=True),
+)
+
+#: Keywords that may begin or continue a multi-word type spelling.
+TYPE_KEYWORDS = frozenset(
+    {"void", "bool", "char", "short", "int", "long", "float", "single", "double", "unsigned", "signed"}
+)
+
+#: The pseudo return type that marks a non-blocking call (Section 3.1.7).
+NOWAIT_KEYWORD = "nowait"
+
+
+class TypeTable:
+    """Registry of built-in and user-defined (``%user_type``) types."""
+
+    def __init__(self) -> None:
+        self._types: Dict[str, CType] = {t.name: t for t in _BUILTIN_TYPES}
+
+    # -- lookup -----------------------------------------------------------
+
+    def lookup(self, name: str) -> CType:
+        """Return the type named ``name`` (normalised whitespace)."""
+        key = " ".join(name.split())
+        if key.startswith("signed "):
+            key = key[len("signed "):]
+        try:
+            return self._types[key]
+        except KeyError:
+            raise SpliceValidationError(
+                f"unknown data type {name!r}; define it with %user_type before use"
+            ) from None
+
+    def knows(self, name: str) -> bool:
+        key = " ".join(name.split())
+        if key.startswith("signed "):
+            key = key[len("signed "):]
+        return key in self._types
+
+    def names(self) -> List[str]:
+        return sorted(self._types)
+
+    # -- user types ----------------------------------------------------------
+
+    def define_user_type(self, name: str, underlying: str, width: int) -> CType:
+        """Register a ``%user_type`` definition.
+
+        The paper places no limit on the number of user types; redefining a
+        built-in type, however, is rejected because it would silently change
+        the meaning of existing declarations.
+        """
+        name = name.strip()
+        if not name:
+            raise SpliceValidationError("%user_type requires a non-empty type name")
+        if width <= 0:
+            raise SpliceValidationError(
+                f"%user_type {name!r} must declare a positive bit width, got {width}"
+            )
+        if name in {t.name for t in _BUILTIN_TYPES}:
+            raise SpliceValidationError(f"%user_type may not redefine built-in type {name!r}")
+        underlying_norm = " ".join(underlying.split())
+        signed = not underlying_norm.startswith("unsigned")
+        is_float = any(word in underlying_norm.split() for word in ("float", "double", "single"))
+        ctype = CType(name, width, signed=signed, is_float=is_float, alias_of=underlying_norm)
+        self._types[name] = ctype
+        return ctype
+
+    def user_types(self) -> List[CType]:
+        """Only the types added through ``%user_type``."""
+        return [t for t in self._types.values() if t.alias_of is not None]
+
+    # -- parsing helpers -------------------------------------------------------
+
+    def match_prefix(self, words: Iterable[str]) -> Optional[Tuple[str, int]]:
+        """Greedily match the longest known type spelling at the start of ``words``.
+
+        Returns ``(canonical_name, words_consumed)`` or ``None`` when the
+        first word does not begin a known type.
+        """
+        words = list(words)
+        best: Optional[Tuple[str, int]] = None
+        for count in range(1, min(3, len(words)) + 1):
+            candidate = " ".join(words[:count])
+            if self.knows(candidate):
+                best = (" ".join(self.lookup(candidate).name.split()), count)
+        if best is None and words and words[0] in self._types:
+            best = (words[0], 1)
+        return best

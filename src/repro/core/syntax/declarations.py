@@ -1,0 +1,239 @@
+"""Parser for Splice interface declarations (Section 3.1).
+
+Grammar, informally (Figure 3.8)::
+
+    splice_proto := splice_type extensions? name '(' splice_decl_list? ')' multiple? ';'
+    splice_decl  := c_type extensions? identifier
+    extensions   := '*'  (':' (digits | identifier))?  '+'?  '^'?
+    multiple     := ':' digits
+    splice_type  := c_type | 'nowait'
+
+The real tool (and the worked examples) allow the extension operators in
+either order and allow the bound to appear after the parameter name
+(``char* x:8+``); this parser accepts the same freedom while rejecting
+ambiguous or contradictory combinations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.syntax.ast import Bound, BoundKind, Declaration, Parameter
+from repro.core.syntax.ctypes import NOWAIT_KEYWORD, TYPE_KEYWORDS, CType, TypeTable
+from repro.core.syntax.errors import SpliceSyntaxError
+from repro.core.syntax.lexer import TokenKind, TokenStream
+
+
+def _parse_number(text: str) -> int:
+    return int(text, 16) if text.lower().startswith("0x") else int(text, 10)
+
+
+class _ExtensionSet:
+    """Accumulates ``* : + ^`` extensions attached to one type or parameter."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pointer = False
+        self.packed = False
+        self.dma = False
+        self.bound: Optional[Bound] = None
+
+    def add_pointer(self) -> None:
+        if self.pointer:
+            raise SpliceSyntaxError("multiple '*' markers on a single parameter", text=self.source)
+        self.pointer = True
+
+    def add_packed(self) -> None:
+        if self.packed:
+            raise SpliceSyntaxError("duplicate '+' (packing) marker", text=self.source)
+        self.packed = True
+
+    def add_dma(self) -> None:
+        if self.dma:
+            raise SpliceSyntaxError("duplicate '^' (DMA) marker", text=self.source)
+        self.dma = True
+
+    def add_bound(self, bound: Bound) -> None:
+        if self.bound is not None:
+            raise SpliceSyntaxError("duplicate ':' bound on a single parameter", text=self.source)
+        self.bound = bound
+
+
+def _parse_type(stream: TokenStream, types: TypeTable) -> CType:
+    """Parse a (possibly multi-word) type name at the current position."""
+    words: List[str] = []
+    while stream.current.kind is TokenKind.IDENT:
+        candidate = words + [stream.current.text]
+        joined = " ".join(candidate)
+        lookahead_is_type_word = stream.current.text in TYPE_KEYWORDS
+        if types.knows(joined) or (lookahead_is_type_word and not types.knows(" ".join(words))):
+            words.append(stream.advance().text)
+            continue
+        if not words and types.knows(stream.current.text):
+            words.append(stream.advance().text)
+            continue
+        break
+    if not words:
+        raise SpliceSyntaxError(
+            f"expected a type name, found {stream.current.text!r}", text=stream.source
+        )
+    joined = " ".join(words)
+    # A greedy scan may swallow the parameter name when the type is a user
+    # typedef followed by an identifier; back off one word if needed.
+    while not types.knows(joined) and len(words) > 1:
+        words.pop()
+        joined = " ".join(words)
+    return types.lookup(joined)
+
+
+def _parse_bound(stream: TokenStream) -> Bound:
+    """Parse the element count following a ':' operator."""
+    if stream.current.kind is TokenKind.NUMBER:
+        count = _parse_number(stream.advance().text)
+        return Bound(BoundKind.EXPLICIT, count=count)
+    if stream.current.kind is TokenKind.IDENT:
+        return Bound(BoundKind.IMPLICIT, index=stream.advance().text)
+    raise SpliceSyntaxError(
+        "expected an element count or parameter name after ':'", text=stream.source
+    )
+
+
+def _parse_parameter(stream: TokenStream, types: TypeTable) -> Parameter:
+    """Parse one ``splice_decl`` (type, extensions, name in flexible order)."""
+    ctype = _parse_type(stream, types)
+    extensions = _ExtensionSet(stream.source)
+    name: Optional[str] = None
+
+    while stream.current.kind not in (TokenKind.COMMA, TokenKind.RPAREN, TokenKind.END):
+        token = stream.current
+        if token.kind is TokenKind.STAR:
+            stream.advance()
+            extensions.add_pointer()
+        elif token.kind is TokenKind.PLUS:
+            stream.advance()
+            extensions.add_packed()
+        elif token.kind is TokenKind.CARET:
+            stream.advance()
+            extensions.add_dma()
+        elif token.kind is TokenKind.COLON:
+            stream.advance()
+            extensions.add_bound(_parse_bound(stream))
+        elif token.kind is TokenKind.IDENT:
+            if name is not None:
+                raise SpliceSyntaxError(
+                    f"unexpected identifier {token.text!r}; parameter already named {name!r}",
+                    text=stream.source,
+                )
+            name = stream.advance().text
+        else:
+            raise SpliceSyntaxError(
+                f"unexpected token {token.text!r} in parameter list", text=stream.source
+            )
+
+    if name is None:
+        raise SpliceSyntaxError(
+            f"parameter of type {ctype.name!r} is missing a name", text=stream.source
+        )
+    if ctype.is_void:
+        raise SpliceSyntaxError("'void' cannot be used as a parameter type", text=stream.source)
+    if (extensions.bound or extensions.packed or extensions.dma) and not extensions.pointer:
+        raise SpliceSyntaxError(
+            f"parameter {name!r} uses ':'/'+'/'^' extensions without a pointer '*'",
+            text=stream.source,
+        )
+    return Parameter(
+        name=name,
+        ctype=ctype,
+        is_pointer=extensions.pointer,
+        bound=extensions.bound,
+        packed=extensions.packed,
+        dma=extensions.dma,
+    )
+
+
+def _parse_return(stream: TokenStream, types: TypeTable) -> Tuple[CType, bool, _ExtensionSet]:
+    """Parse the return type, handling the ``nowait`` pseudo type."""
+    blocking = True
+    if stream.current.kind is TokenKind.IDENT and stream.current.text == NOWAIT_KEYWORD:
+        stream.advance()
+        return types.lookup("void"), False, _ExtensionSet(stream.source)
+    ctype = _parse_type(stream, types)
+    extensions = _ExtensionSet(stream.source)
+    while stream.current.kind in (TokenKind.STAR, TokenKind.PLUS, TokenKind.CARET, TokenKind.COLON):
+        token = stream.advance()
+        if token.kind is TokenKind.STAR:
+            extensions.add_pointer()
+        elif token.kind is TokenKind.PLUS:
+            extensions.add_packed()
+        elif token.kind is TokenKind.CARET:
+            extensions.add_dma()
+        else:
+            extensions.add_bound(_parse_bound(stream))
+    return ctype, blocking, extensions
+
+
+def parse_declaration(text: str, types: Optional[TypeTable] = None) -> Declaration:
+    """Parse a single interface declaration string into a :class:`Declaration`."""
+    types = types or TypeTable()
+    stream = TokenStream.from_text(text)
+
+    blocking = True
+    if stream.current.kind is TokenKind.IDENT and stream.current.text == NOWAIT_KEYWORD:
+        stream.advance()
+        return_type = types.lookup("void")
+        return_ext = _ExtensionSet(text)
+        blocking = False
+    else:
+        return_type, blocking, return_ext = _parse_return(stream, types)
+
+    name_token = stream.expect(TokenKind.IDENT, "a function name")
+    func_name = name_token.text
+
+    stream.expect(TokenKind.LPAREN, "'(' to open the parameter list")
+    params: List[Parameter] = []
+    if stream.current.kind is not TokenKind.RPAREN:
+        while True:
+            params.append(_parse_parameter(stream, types))
+            if stream.accept(TokenKind.COMMA):
+                continue
+            break
+    stream.expect(TokenKind.RPAREN, "')' to close the parameter list")
+
+    instances = 1
+    if stream.accept(TokenKind.COLON):
+        count_token = stream.expect(TokenKind.NUMBER, "an instance count after ':'")
+        instances = _parse_number(count_token.text)
+        if instances < 1:
+            raise SpliceSyntaxError("instance count must be at least 1", text=text)
+
+    stream.accept(TokenKind.SEMICOLON)
+    if not stream.at_end():
+        raise SpliceSyntaxError(
+            f"unexpected trailing text {stream.current.text!r} after declaration", text=text
+        )
+
+    seen = set()
+    for param in params:
+        if param.name in seen:
+            raise SpliceSyntaxError(
+                f"duplicate parameter name {param.name!r} in declaration {func_name!r}", text=text
+            )
+        seen.add(param.name)
+
+    if (return_ext.bound or return_ext.packed or return_ext.dma) and not return_ext.pointer:
+        raise SpliceSyntaxError(
+            "return value uses ':'/'+'/'^' extensions without a pointer '*'", text=text
+        )
+
+    return Declaration(
+        name=func_name,
+        return_type=return_type,
+        params=params,
+        returns_pointer=return_ext.pointer,
+        return_bound=return_ext.bound,
+        return_packed=return_ext.packed,
+        return_dma=return_ext.dma,
+        instances=instances,
+        blocking=blocking,
+        source=text.strip(),
+    )

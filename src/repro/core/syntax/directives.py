@@ -1,0 +1,237 @@
+"""Parser for Splice target-specification directives (Section 3.2).
+
+Each directive starts with ``%`` followed by a keyword and one or more
+modifiers.  The worked example (Figure 8.2) spells some directives with a
+space in the keyword (``% bus type plb``) and some with shortened names
+(``% name``, ``% hdl type``); both spellings are accepted and normalised to
+the canonical keywords used throughout the paper's prose.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.syntax.ast import TargetSpec
+from repro.core.syntax.ctypes import TypeTable
+from repro.core.syntax.errors import SpliceSyntaxError, SpliceValidationError
+
+#: Canonical directive names (Figures 3.9–3.17).
+CANONICAL_DIRECTIVES = (
+    "bus_type",
+    "bus_width",
+    "base_address",
+    "burst_support",
+    "dma_support",
+    "packing_support",
+    "device_name",
+    "target_hdl",
+    "user_type",
+)
+
+#: Accepted aliases (mostly from the Figure 8.2 worked example).
+DIRECTIVE_ALIASES: Dict[str, str] = {
+    "name": "device_name",
+    "device": "device_name",
+    "hdl_type": "target_hdl",
+    "hdl": "target_hdl",
+    "data_packing": "packing_support",
+    "packing": "packing_support",
+    "burst": "burst_support",
+    "dma": "dma_support",
+    "address": "base_address",
+}
+
+_HDL_CHOICES = ("vhdl", "verilog")
+
+
+@dataclass(frozen=True)
+class Directive:
+    """A parsed directive: canonical keyword plus raw argument text."""
+
+    keyword: str
+    argument: str
+    line: Optional[int] = None
+
+
+def _parse_bool(value: str, keyword: str, line: Optional[int]) -> bool:
+    lowered = value.strip().lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    raise SpliceSyntaxError(
+        f"%{keyword} expects 'true' or 'false', got {value.strip()!r}", line=line
+    )
+
+
+def _parse_int(value: str, keyword: str, line: Optional[int]) -> int:
+    text = value.strip()
+    try:
+        return int(text, 16) if text.lower().startswith("0x") else int(text, 10)
+    except ValueError:
+        raise SpliceSyntaxError(f"%{keyword} expects an integer, got {text!r}", line=line) from None
+
+
+def _parse_hex(value: str, keyword: str, line: Optional[int]) -> int:
+    text = value.strip()
+    if not re.fullmatch(r"0[xX][0-9A-Fa-f]+", text):
+        raise SpliceSyntaxError(
+            f"%{keyword} expects a hexadecimal address such as 0x80000000, got {text!r}",
+            line=line,
+        )
+    return int(text, 16)
+
+
+def _parse_identifier(value: str, keyword: str, line: Optional[int]) -> str:
+    text = value.strip()
+    if not re.fullmatch(r"[A-Za-z][A-Za-z0-9_]*", text):
+        raise SpliceSyntaxError(
+            f"%{keyword} expects an alphanumeric identifier, got {text!r}", line=line
+        )
+    return text
+
+
+def split_directive(line_text: str, line: Optional[int] = None) -> Directive:
+    """Split a raw ``%...`` line into a canonical :class:`Directive`."""
+    body = line_text.strip()
+    if not body.startswith("%"):
+        raise SpliceSyntaxError("directives must start with '%'", line=line, text=line_text)
+    body = body[1:].strip()
+    if not body:
+        raise SpliceSyntaxError("empty directive", line=line, text=line_text)
+
+    words = body.split()
+    # Greedily match the longest keyword formed by joining leading words with
+    # underscores; this accepts both "%bus_type plb" and "% bus type plb".
+    keyword = None
+    consumed = 0
+    for count in range(min(3, len(words)), 0, -1):
+        candidate = "_".join(words[:count]).lower()
+        canonical = DIRECTIVE_ALIASES.get(candidate, candidate)
+        if canonical in CANONICAL_DIRECTIVES:
+            keyword = canonical
+            consumed = count
+            break
+    if keyword is None:
+        raise SpliceSyntaxError(
+            f"unknown directive %{words[0]}", line=line, text=line_text
+        )
+    argument = " ".join(words[consumed:])
+    return Directive(keyword=keyword, argument=argument, line=line)
+
+
+class DirectiveProcessor:
+    """Applies parsed directives to a :class:`TargetSpec` and a type table."""
+
+    def __init__(self, target: Optional[TargetSpec] = None, types: Optional[TypeTable] = None) -> None:
+        self.target = target or TargetSpec()
+        self.types = types or TypeTable()
+        self._seen: Dict[str, int] = {}
+        self._handlers: Dict[str, Callable[[Directive], None]] = {
+            "bus_type": self._handle_bus_type,
+            "bus_width": self._handle_bus_width,
+            "base_address": self._handle_base_address,
+            "burst_support": self._handle_burst,
+            "dma_support": self._handle_dma,
+            "packing_support": self._handle_packing,
+            "device_name": self._handle_device_name,
+            "target_hdl": self._handle_target_hdl,
+            "user_type": self._handle_user_type,
+        }
+
+    def apply(self, directive: Directive) -> None:
+        """Apply one directive, rejecting contradictory redefinitions."""
+        if directive.keyword != "user_type" and directive.keyword in self._seen:
+            raise SpliceValidationError(
+                f"directive %{directive.keyword} specified more than once "
+                f"(lines {self._seen[directive.keyword]} and {directive.line})"
+            )
+        self._seen[directive.keyword] = directive.line or -1
+        self._handlers[directive.keyword](directive)
+
+    def apply_line(self, text: str, line: Optional[int] = None) -> None:
+        self.apply(split_directive(text, line))
+
+    # -- individual handlers --------------------------------------------------
+
+    def _require_argument(self, directive: Directive) -> str:
+        if not directive.argument.strip():
+            raise SpliceSyntaxError(
+                f"%{directive.keyword} requires an argument", line=directive.line
+            )
+        return directive.argument.strip()
+
+    def _handle_bus_type(self, directive: Directive) -> None:
+        self.target.bus_type = _parse_identifier(
+            self._require_argument(directive), directive.keyword, directive.line
+        ).lower()
+
+    def _handle_bus_width(self, directive: Directive) -> None:
+        width = _parse_int(self._require_argument(directive), directive.keyword, directive.line)
+        if width <= 0 or width % 8 != 0:
+            raise SpliceValidationError(
+                f"%bus_width must be a positive multiple of 8 bits, got {width}"
+            )
+        self.target.bus_width = width
+
+    def _handle_base_address(self, directive: Directive) -> None:
+        self.target.base_address = _parse_hex(
+            self._require_argument(directive), directive.keyword, directive.line
+        )
+
+    def _handle_burst(self, directive: Directive) -> None:
+        self.target.burst_support = _parse_bool(
+            self._require_argument(directive), directive.keyword, directive.line
+        )
+
+    def _handle_dma(self, directive: Directive) -> None:
+        self.target.dma_support = _parse_bool(
+            self._require_argument(directive), directive.keyword, directive.line
+        )
+
+    def _handle_packing(self, directive: Directive) -> None:
+        self.target.packing_support = _parse_bool(
+            self._require_argument(directive), directive.keyword, directive.line
+        )
+
+    def _handle_device_name(self, directive: Directive) -> None:
+        self.target.device_name = _parse_identifier(
+            self._require_argument(directive), directive.keyword, directive.line
+        )
+
+    def _handle_target_hdl(self, directive: Directive) -> None:
+        value = self._require_argument(directive).lower()
+        if value not in _HDL_CHOICES:
+            raise SpliceValidationError(
+                f"%target_hdl must be one of {', '.join(_HDL_CHOICES)}, got {value!r}"
+            )
+        self.target.target_hdl = value
+
+    def _handle_user_type(self, directive: Directive) -> None:
+        argument = self._require_argument(directive)
+        parts = [part.strip() for part in argument.split(",")]
+        if len(parts) != 3:
+            raise SpliceSyntaxError(
+                "%user_type expects 'name, underlying type, bit width'",
+                line=directive.line,
+                text=argument,
+            )
+        name, underlying, width_text = parts
+        width = _parse_int(width_text, directive.keyword, directive.line)
+        self.types.define_user_type(name, underlying, width)
+        self.target.user_types.append((name, underlying, width))
+
+
+def parse_directive(text: str, line: Optional[int] = None) -> Directive:
+    """Parse one ``%`` directive line into a canonical :class:`Directive`."""
+    return split_directive(text, line)
+
+
+def parse_directives(lines: List[Tuple[int, str]]) -> Tuple[TargetSpec, TypeTable]:
+    """Parse a list of ``(line_number, text)`` directive lines."""
+    processor = DirectiveProcessor()
+    for line, text in lines:
+        processor.apply_line(text, line)
+    return processor.target, processor.types

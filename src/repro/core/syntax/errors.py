@@ -1,0 +1,52 @@
+"""Error types raised by the Splice front-end and generators.
+
+The paper repeatedly specifies that the tool "will generate an error message
+and refuse to proceed further until the issue has been addressed" — these
+exception classes are that refusal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SpliceError(Exception):
+    """Base class for every error raised by the Splice reproduction."""
+
+
+class SpliceSyntaxError(SpliceError):
+    """A declaration or directive could not be parsed.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the problem.
+    line:
+        1-based line number in the specification source, when known.
+    text:
+        The offending source text, when known.
+    """
+
+    def __init__(self, message: str, line: Optional[int] = None, text: Optional[str] = None) -> None:
+        self.line = line
+        self.text = text
+        location = f" (line {line})" if line is not None else ""
+        snippet = f": {text.strip()!r}" if text else ""
+        super().__init__(f"{message}{location}{snippet}")
+
+
+class SpliceValidationError(SpliceError):
+    """A parsed specification violates a semantic rule (Section 3.3).
+
+    Examples: an implicit pointer bound referencing a later parameter, a DMA
+    declaration without ``%dma_support``, or a bus that cannot provide a
+    requested feature.
+    """
+
+
+class SpliceGenerationError(SpliceError):
+    """Hardware or software generation failed (missing template, bad macro, ...)."""
+
+
+class SplicePluginError(SpliceError):
+    """An external bus-adapter library violates the extension API contract."""

@@ -1,0 +1,137 @@
+"""Tokenizer for Splice interface declarations.
+
+The declaration syntax (Figures 3.1–3.8) is small: identifiers, integers, the
+extension operators ``* : + ^``, parentheses/braces, commas and semicolons.
+The worked example in Figure 8.2 uses braces instead of parentheses around
+the argument list, so both spellings are accepted.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.core.syntax.errors import SpliceSyntaxError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    STAR = "*"
+    COLON = ":"
+    PLUS = "+"
+    CARET = "^"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    SEMICOLON = ";"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    kind: TokenKind
+    text: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r})"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<space>\s+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<number>0[xX][0-9A-Fa-f]+|\d+)
+  | (?P<punct>[*:+^(),;{}])
+    """,
+    re.VERBOSE,
+)
+
+_PUNCT_KINDS = {
+    "*": TokenKind.STAR,
+    ":": TokenKind.COLON,
+    "+": TokenKind.PLUS,
+    "^": TokenKind.CARET,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LPAREN,
+    "}": TokenKind.RPAREN,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMICOLON,
+}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize one declaration; raises :class:`SpliceSyntaxError` on junk."""
+    tokens: List[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise SpliceSyntaxError(
+                f"unexpected character {text[position]!r} in declaration", text=text
+            )
+        position = match.end()
+        if match.lastgroup == "space":
+            continue
+        if match.lastgroup == "ident":
+            tokens.append(Token(TokenKind.IDENT, match.group("ident"), match.start()))
+        elif match.lastgroup == "number":
+            tokens.append(Token(TokenKind.NUMBER, match.group("number"), match.start()))
+        else:
+            punct = match.group("punct")
+            tokens.append(Token(_PUNCT_KINDS[punct], punct, match.start()))
+    tokens.append(Token(TokenKind.END, "", length))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with small lookahead helpers."""
+
+    def __init__(self, tokens: List[Token], source: str) -> None:
+        self._tokens = tokens
+        self._index = 0
+        self.source = source
+
+    @classmethod
+    def from_text(cls, text: str) -> "TokenStream":
+        return cls(tokenize(text), text)
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.END:
+            self._index += 1
+        return token
+
+    def accept(self, kind: TokenKind) -> Token | None:
+        if self.current.kind is kind:
+            return self.advance()
+        return None
+
+    def expect(self, kind: TokenKind, what: str) -> Token:
+        if self.current.kind is not kind:
+            raise SpliceSyntaxError(
+                f"expected {what}, found {self.current.text or 'end of declaration'!r}",
+                text=self.source,
+            )
+        return self.advance()
+
+    def at_end(self) -> bool:
+        return self.current.kind is TokenKind.END
+
+    def remaining(self) -> Iterator[Token]:
+        return iter(self._tokens[self._index:])

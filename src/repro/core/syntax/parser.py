@@ -1,0 +1,125 @@
+"""Top-level parser turning a Splice specification file into a :class:`SpliceSpec`.
+
+A specification file interleaves (in any order):
+
+* ``//`` comments and blank lines (ignored),
+* ``%`` target-specification directives (Section 3.2), and
+* interface declarations, one per statement (Section 3.1).
+
+Directives are processed before declarations so that ``%user_type``
+definitions are available regardless of where they appear in the file, which
+matches the paper's statement that "at run time, Splice simply collects all
+the definitions".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.syntax.ast import Declaration, SpliceSpec, TargetSpec
+from repro.core.syntax.ctypes import TypeTable
+from repro.core.syntax.declarations import parse_declaration
+from repro.core.syntax.directives import DirectiveProcessor, parse_directive
+from repro.core.syntax.errors import SpliceSyntaxError
+
+__all__ = ["parse_spec", "parse_declaration", "parse_directive", "split_source"]
+
+
+def _strip_comment(line: str) -> str:
+    """Remove a trailing ``//`` comment (the only comment form in the examples)."""
+    index = line.find("//")
+    return line if index < 0 else line[:index]
+
+
+def split_source(source: str) -> Tuple[List[Tuple[int, str]], List[Tuple[int, str]]]:
+    """Split source text into ``(directive_lines, declaration_statements)``.
+
+    Declarations may span multiple physical lines; a statement ends at a
+    ``;`` (or at the end of a line that closes its parameter list, for the
+    semicolon-free spelling tolerated by the declaration parser).
+    """
+    directives: List[Tuple[int, str]] = []
+    declarations: List[Tuple[int, str]] = []
+    pending: List[str] = []
+    pending_line = 0
+
+    for number, raw in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        if line.startswith("%"):
+            if pending:
+                raise SpliceSyntaxError(
+                    "directive found in the middle of an unterminated declaration",
+                    line=number,
+                    text=raw,
+                )
+            directives.append((number, line))
+            continue
+        if not pending:
+            pending_line = number
+        pending.append(line)
+        joined = " ".join(pending)
+        if joined.rstrip().endswith(";") or _balanced_and_closed(joined):
+            declarations.append((pending_line, joined))
+            pending = []
+    if pending:
+        declarations.append((pending_line, " ".join(pending)))
+    return directives, declarations
+
+
+def _balanced_and_closed(text: str) -> bool:
+    """Heuristic: a statement is complete when its bracket pairs are closed."""
+    opens = text.count("(") + text.count("{")
+    closes = text.count(")") + text.count("}")
+    return opens > 0 and opens == closes and not text.rstrip().endswith(",")
+
+
+def parse_spec(
+    source: str,
+    *,
+    types: Optional[TypeTable] = None,
+    target: Optional[TargetSpec] = None,
+) -> SpliceSpec:
+    """Parse a full specification file.
+
+    Parameters
+    ----------
+    source:
+        Text of the specification (directives + declarations).
+    types / target:
+        Optional pre-populated type table / target specification, used by the
+        extension API when a host application injects definitions
+        programmatically before parsing.
+    """
+    directive_lines, declaration_lines = split_source(source)
+
+    processor = DirectiveProcessor(target=target, types=types)
+    for line, text in directive_lines:
+        try:
+            processor.apply_line(text, line)
+        except SpliceSyntaxError:
+            raise
+        except Exception as exc:  # directive handlers raise validation errors
+            raise type(exc)(f"{exc} (line {line})") from exc
+
+    declarations: List[Declaration] = []
+    for line, text in declaration_lines:
+        try:
+            declarations.append(parse_declaration(text, processor.types))
+        except SpliceSyntaxError as exc:
+            raise SpliceSyntaxError(str(exc), line=line) from exc
+
+    names = [d.name for d in declarations]
+    duplicates = {name for name in names if names.count(name) > 1}
+    if duplicates:
+        raise SpliceSyntaxError(
+            f"duplicate interface declaration name(s): {', '.join(sorted(duplicates))}"
+        )
+
+    return SpliceSpec(
+        target=processor.target,
+        declarations=declarations,
+        types=processor.types,
+        source=source,
+    )

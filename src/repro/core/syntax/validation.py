@@ -1,0 +1,213 @@
+"""Semantic validation of parsed Splice specifications.
+
+This module enforces the rules scattered through Sections 3.1–3.3:
+
+* required directives (``%bus_type``, ``%bus_width``, ``%device_name``, and
+  ``%base_address`` for memory-mapped interfaces),
+* feature/capability agreement (DMA or burst requested on a bus that cannot
+  provide it, unsupported bus widths),
+* pointer discipline (pointers must carry a bound; ``+`` and ``^`` require a
+  bound; implicit bounds must reference an *earlier*, scalar, integer
+  parameter),
+* instance counts and the ``nowait`` restriction.
+
+Validation is a separate pass so that the extension API's "parameter
+checking routine" (Section 7.1.2) can reuse the same machinery for
+user-supplied buses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.capabilities import BusCapabilities, default_capabilities
+from repro.core.syntax.ast import Declaration, Parameter, SpliceSpec
+from repro.core.syntax.errors import SpliceValidationError
+
+
+def validate_spec(
+    spec: SpliceSpec,
+    capabilities: Optional[Dict[str, BusCapabilities]] = None,
+) -> BusCapabilities:
+    """Validate ``spec``; return the capabilities of the targeted bus.
+
+    Raises :class:`SpliceValidationError` describing the first problem found,
+    matching the paper's behaviour of refusing to proceed until the user
+    addresses the issue.
+    """
+    capabilities = capabilities if capabilities is not None else default_capabilities()
+    target = spec.target
+
+    _require_directives(spec)
+
+    bus_name = target.bus_type.lower()
+    if bus_name not in capabilities:
+        known = ", ".join(sorted(capabilities))
+        raise SpliceValidationError(
+            f"%bus_type {bus_name!r} is not a supported interface (known: {known})"
+        )
+    bus = capabilities[bus_name]
+
+    _check_bus_features(spec, bus)
+    for declaration in spec.declarations:
+        _check_declaration(declaration, spec, bus)
+    return bus
+
+
+# -- directive-level checks ----------------------------------------------------
+
+
+def _require_directives(spec: SpliceSpec) -> None:
+    target = spec.target
+    if not target.device_name:
+        raise SpliceValidationError("%device_name is required but was not specified")
+    if not target.bus_type:
+        raise SpliceValidationError("%bus_type is required but was not specified")
+    if target.bus_width is None:
+        raise SpliceValidationError("%bus_width is required but was not specified")
+    if not spec.declarations:
+        raise SpliceValidationError("the specification declares no interfaces")
+
+
+def _check_bus_features(spec: SpliceSpec, bus: BusCapabilities) -> None:
+    target = spec.target
+    if not bus.supports_width(target.bus_width):
+        widths = ", ".join(str(w) for w in bus.widths)
+        raise SpliceValidationError(
+            f"bus {bus.name!r} does not support a {target.bus_width}-bit data path "
+            f"(supported widths: {widths})"
+        )
+    if bus.memory_mapped and target.base_address is None:
+        raise SpliceValidationError(
+            f"bus {bus.name!r} is memory mapped; %base_address is required"
+        )
+    if bus.memory_mapped and target.base_address is not None:
+        if target.base_address % (target.bus_width // 8) != 0:
+            raise SpliceValidationError(
+                f"%base_address 0x{target.base_address:x} is not aligned to the "
+                f"{target.bus_width}-bit bus width"
+            )
+    if target.dma_support and not bus.supports_dma:
+        raise SpliceValidationError(
+            f"%dma_support is enabled but bus {bus.name!r} has no physical DMA support"
+        )
+    if target.burst_support and not bus.supports_burst:
+        raise SpliceValidationError(
+            f"%burst_support is enabled but bus {bus.name!r} cannot execute burst transactions"
+        )
+
+
+# -- declaration-level checks ----------------------------------------------------
+
+
+_INTEGER_INDEX_MAX_WIDTH = 32
+
+
+def _check_declaration(decl: Declaration, spec: SpliceSpec, bus: BusCapabilities) -> None:
+    if decl.instances < 1:
+        raise SpliceValidationError(
+            f"declaration {decl.name!r} requests {decl.instances} instances; at least 1 required"
+        )
+    if not decl.blocking and decl.has_output:
+        raise SpliceValidationError(
+            f"declaration {decl.name!r} is marked 'nowait' but declares a return value"
+        )
+
+    seen: List[Parameter] = []
+    for param in decl.params:
+        _check_parameter(decl, param, seen, spec, bus)
+        seen.append(param)
+
+    output = decl.output_parameter()
+    if output is not None:
+        _check_output(decl, output, seen, spec, bus)
+
+
+def _check_parameter(
+    decl: Declaration,
+    param: Parameter,
+    earlier: List[Parameter],
+    spec: SpliceSpec,
+    bus: BusCapabilities,
+) -> None:
+    prefix = f"declaration {decl.name!r}, parameter {param.name!r}"
+
+    if param.is_pointer and param.bound is None:
+        raise SpliceValidationError(
+            f"{prefix}: pointer transfers must state how many items to move "
+            "(use an explicit ':N' or implicit ':other_param' bound)"
+        )
+    if param.packed and not param.is_array:
+        raise SpliceValidationError(
+            f"{prefix}: the '+' packing extension requires an explicit or implicit pointer bound"
+        )
+    if param.dma and not param.is_array:
+        raise SpliceValidationError(
+            f"{prefix}: the '^' DMA extension requires an explicit or implicit pointer bound"
+        )
+    if param.dma:
+        _check_dma_allowed(prefix, spec, bus)
+    if param.packed and param.ctype.width > spec.target.bus_width:
+        raise SpliceValidationError(
+            f"{prefix}: packing a {param.ctype.width}-bit type across a "
+            f"{spec.target.bus_width}-bit bus cannot reduce transfer count"
+        )
+    if param.bound is not None and param.bound.is_implicit:
+        _check_implicit_reference(prefix, param, earlier)
+
+
+def _check_output(
+    decl: Declaration,
+    output: Parameter,
+    params: List[Parameter],
+    spec: SpliceSpec,
+    bus: BusCapabilities,
+) -> None:
+    prefix = f"declaration {decl.name!r}, return value"
+    if output.is_pointer and output.bound is None:
+        raise SpliceValidationError(
+            f"{prefix}: pointer returns must state how many items to move"
+        )
+    if output.packed and not output.is_array:
+        raise SpliceValidationError(f"{prefix}: '+' requires a bounded pointer return")
+    if output.dma and not output.is_array:
+        raise SpliceValidationError(f"{prefix}: '^' requires a bounded pointer return")
+    if output.dma:
+        _check_dma_allowed(prefix, spec, bus)
+    if output.bound is not None and output.bound.is_implicit:
+        # All inputs are transferred before the output, so the output may
+        # reference any input parameter.
+        _check_implicit_reference(prefix, output, params)
+
+
+def _check_dma_allowed(prefix: str, spec: SpliceSpec, bus: BusCapabilities) -> None:
+    if not spec.target.dma_support:
+        raise SpliceValidationError(
+            f"{prefix}: '^' requests a DMA transfer but %dma_support is not enabled"
+        )
+    if not bus.supports_dma:
+        raise SpliceValidationError(
+            f"{prefix}: '^' requests a DMA transfer but bus {bus.name!r} has no DMA support"
+        )
+
+
+def _check_implicit_reference(prefix: str, param: Parameter, earlier: List[Parameter]) -> None:
+    index_name = param.bound.index
+    matches = [p for p in earlier if p.name == index_name]
+    if not matches:
+        raise SpliceValidationError(
+            f"{prefix}: implicit bound references {index_name!r}, which is not an "
+            "earlier parameter (implicit transfers may only reference inputs that are "
+            "transmitted before them)"
+        )
+    index_param = matches[0]
+    if index_param.is_pointer:
+        raise SpliceValidationError(
+            f"{prefix}: implicit bound references pointer parameter {index_name!r}; "
+            "the index must be a scalar integer input"
+        )
+    if index_param.ctype.is_float or index_param.ctype.width > _INTEGER_INDEX_MAX_WIDTH:
+        raise SpliceValidationError(
+            f"{prefix}: implicit bound index {index_name!r} must be an integer of at most "
+            f"{_INTEGER_INDEX_MAX_WIDTH} bits, got {index_param.ctype.name!r}"
+        )

@@ -1,0 +1,39 @@
+"""Example devices from the paper.
+
+* :mod:`repro.devices.timer` — the Chapter 8 walk-through: a 64-bit hardware
+  timer exposed through seven Splice-declared functions.
+* :mod:`repro.devices.interpolator` — the Chapter 9 evaluation device: the
+  Scan Eagle UAV linear interpolator behind Splice-generated interfaces.
+* :mod:`repro.devices.baselines` — the two hand-coded baseline interfaces
+  (naïve PLB, optimized FCB) the paper compares against.
+"""
+
+from repro.devices.timer import TIMER_SPEC, HardwareTimerCore, build_timer_system
+from repro.devices.interpolator import (
+    INTERPOLATOR_SPEC_PLB,
+    INTERPOLATOR_SPEC_PLB_DMA,
+    INTERPOLATOR_SPEC_FCB,
+    interpolate_fixed_point,
+    build_splice_interpolator,
+)
+from repro.devices.baselines import (
+    NaivePLBInterpolator,
+    OptimizedFCBInterpolator,
+    build_naive_plb_system,
+    build_optimized_fcb_system,
+)
+
+__all__ = [
+    "TIMER_SPEC",
+    "HardwareTimerCore",
+    "build_timer_system",
+    "INTERPOLATOR_SPEC_PLB",
+    "INTERPOLATOR_SPEC_PLB_DMA",
+    "INTERPOLATOR_SPEC_FCB",
+    "interpolate_fixed_point",
+    "build_splice_interpolator",
+    "NaivePLBInterpolator",
+    "OptimizedFCBInterpolator",
+    "build_naive_plb_system",
+    "build_optimized_fcb_system",
+]

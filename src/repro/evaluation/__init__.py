@@ -1,0 +1,31 @@
+"""Evaluation harness reproducing the paper's Chapter 9 results.
+
+* :mod:`repro.evaluation.scenarios` — the four interpolation usage scenarios
+  and their input sizes (Figure 9.1).
+* :mod:`repro.evaluation.experiments` — the transmission-time comparison
+  (Figure 9.2 / Section 9.3.1) and the resource-usage comparison
+  (Figure 9.3 / Section 9.3.2) across all five interface implementations.
+* :mod:`repro.evaluation.report` — plain-text table rendering.
+"""
+
+from repro.evaluation.scenarios import SCENARIOS, Scenario, scenario_table
+from repro.evaluation.experiments import (
+    IMPLEMENTATIONS,
+    run_cycles_experiment,
+    run_resource_experiment,
+    cycle_ratio_summary,
+    resource_ratio_summary,
+)
+from repro.evaluation.report import format_table
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "scenario_table",
+    "IMPLEMENTATIONS",
+    "run_cycles_experiment",
+    "run_resource_experiment",
+    "cycle_ratio_summary",
+    "resource_ratio_summary",
+    "format_table",
+]

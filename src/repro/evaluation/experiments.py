@@ -1,0 +1,197 @@
+"""The Chapter 9 experiments: transmission time and resource usage.
+
+Five interface implementations are compared, matching Section 9.2.1:
+
+==================  ============================================================
+label               implementation
+==================  ============================================================
+``simple_plb``      hand-coded, naïve PLB interface (first-attempt baseline)
+``splice_plb``      Splice-generated simple 32-bit PLB interface
+``splice_plb_dma``  Splice-generated PLB interface with DMA support
+``splice_fcb``      Splice-generated FCB interface (double/quad bursts)
+``optimized_fcb``   hand-coded, hand-tuned FCB interface
+==================  ============================================================
+
+:func:`run_cycles_experiment` reproduces Figure 9.2 (bus clock cycles per run
+for each scenario); :func:`run_resource_experiment` reproduces Figure 9.3
+(estimated FPGA resources per implementation); the two ``*_ratio_summary``
+helpers compute the headline percentages quoted in Sections 9.3.1 and 9.3.2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.engine import Splice
+from repro.devices.baselines import (
+    build_naive_plb_system,
+    build_optimized_fcb_system,
+    naive_plb_resource_ir,
+    optimized_fcb_resource_ir,
+)
+from repro.devices.interpolator import (
+    INTERPOLATOR_SPEC_FCB,
+    INTERPOLATOR_SPEC_PLB,
+    INTERPOLATOR_SPEC_PLB_DMA,
+    build_splice_interpolator,
+)
+from repro.evaluation.scenarios import SCENARIOS, Scenario
+from repro.resources.estimator import ResourceReport, estimate_entities, estimate_hardware
+
+#: Implementation labels in the order Figure 9.2/9.3 present them.
+IMPLEMENTATIONS = (
+    "simple_plb",
+    "splice_plb",
+    "splice_plb_dma",
+    "splice_fcb",
+    "optimized_fcb",
+)
+
+#: Human-readable names used in reports (matching the paper's legend).
+IMPLEMENTATION_NAMES = {
+    "simple_plb": "Simple PLB (hand-coded)",
+    "splice_plb": "Splice PLB (Simple)",
+    "splice_plb_dma": "Splice PLB (DMA)",
+    "splice_fcb": "Splice FCB",
+    "optimized_fcb": "Optimized FCB (hand-coded)",
+}
+
+
+def _runner_for(label: str) -> Callable[[Sequence[Sequence[int]]], Dict[str, int]]:
+    """Build a fresh system for ``label`` and return its scenario runner."""
+    if label == "simple_plb":
+        return build_naive_plb_system().run_scenario
+    if label == "optimized_fcb":
+        return build_optimized_fcb_system().run_scenario
+    if label in ("splice_plb", "splice_plb_dma", "splice_fcb"):
+        return build_splice_interpolator(label).run_scenario
+    raise KeyError(f"unknown implementation label {label!r}")
+
+
+def run_cycles_experiment(
+    implementations: Sequence[str] = IMPLEMENTATIONS,
+    scenarios: Sequence[Scenario] = SCENARIOS,
+    *,
+    repeats: int = 1,
+    seed: int = 0,
+) -> Dict[str, Dict[int, int]]:
+    """Figure 9.2: bus clock cycles per run for every implementation/scenario.
+
+    A fresh system is built per implementation; each scenario is run
+    ``repeats`` times (results are averaged) on identical input data.
+    Returns ``{implementation: {scenario_number: cycles}}``.
+    """
+    results: Dict[str, Dict[int, int]] = {}
+    for label in implementations:
+        per_scenario: Dict[int, int] = {}
+        runner = _runner_for(label)
+        for scenario in scenarios:
+            cycles = []
+            for repeat in range(repeats):
+                sets = scenario.generate_inputs(seed=seed)
+                outcome = runner(sets)
+                cycles.append(outcome["cycles"])
+            per_scenario[scenario.number] = int(round(sum(cycles) / len(cycles)))
+        results[label] = per_scenario
+    return results
+
+
+def run_correctness_check(scenarios: Sequence[Scenario] = SCENARIOS, *, seed: int = 0) -> Dict[int, bool]:
+    """Verify every implementation computes the identical result per scenario."""
+    agreement: Dict[int, bool] = {}
+    for scenario in scenarios:
+        sets = scenario.generate_inputs(seed=seed)
+        values = set()
+        for label in IMPLEMENTATIONS:
+            runner = _runner_for(label)
+            values.add(runner(sets)["result"] & 0xFFFFFFFF)
+        agreement[scenario.number] = len(values) == 1
+    return agreement
+
+
+# -- resources ----------------------------------------------------------------------
+
+
+def _splice_resource_report(spec: str, label: str) -> ResourceReport:
+    engine = Splice()
+    result = engine.generate(spec)
+    return estimate_hardware(result.hardware.ir, label=label)
+
+
+def run_resource_experiment(implementations: Sequence[str] = IMPLEMENTATIONS) -> Dict[str, ResourceReport]:
+    """Figure 9.3: estimated FPGA resources consumed by each implementation."""
+    reports: Dict[str, ResourceReport] = {}
+    for label in implementations:
+        if label == "simple_plb":
+            reports[label] = estimate_entities([naive_plb_resource_ir()], label=label)
+        elif label == "optimized_fcb":
+            reports[label] = estimate_entities([optimized_fcb_resource_ir()], label=label)
+        elif label == "splice_plb":
+            reports[label] = _splice_resource_report(INTERPOLATOR_SPEC_PLB, label)
+        elif label == "splice_plb_dma":
+            reports[label] = _splice_resource_report(INTERPOLATOR_SPEC_PLB_DMA, label)
+        elif label == "splice_fcb":
+            reports[label] = _splice_resource_report(INTERPOLATOR_SPEC_FCB, label)
+        else:
+            raise KeyError(f"unknown implementation label {label!r}")
+    return reports
+
+
+# -- headline ratios (Sections 9.3.1 / 9.3.2) -----------------------------------------
+
+
+def _average(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def cycle_ratio_summary(results: Optional[Dict[str, Dict[int, int]]] = None) -> Dict[str, float]:
+    """Headline transmission-time ratios of Section 9.3.1.
+
+    Returns a dictionary with:
+
+    * ``splice_plb_vs_naive`` — fraction by which the Splice PLB interface is
+      faster than the naïve hand-coded PLB (paper: ~25%),
+    * ``splice_fcb_vs_naive`` — fraction by which the Splice FCB interface is
+      faster than the naïve PLB (paper: ~43%),
+    * ``splice_fcb_vs_optimized`` — fraction by which the Splice FCB is slower
+      than the hand-optimized FCB (paper: ~13%), and
+    * ``dma_gain_vs_splice_plb`` — fractional improvement DMA brings over the
+      simple Splice PLB interface (paper: 1-4%).
+    """
+    results = results or run_cycles_experiment()
+    scenarios = sorted(results["splice_plb"])
+
+    def avg_ratio(numerator: str, denominator: str) -> float:
+        return _average([results[numerator][s] / results[denominator][s] for s in scenarios])
+
+    return {
+        "splice_plb_vs_naive": 1.0 - avg_ratio("splice_plb", "simple_plb"),
+        "splice_fcb_vs_naive": 1.0 - avg_ratio("splice_fcb", "simple_plb"),
+        "splice_fcb_vs_optimized": avg_ratio("splice_fcb", "optimized_fcb") - 1.0,
+        "dma_gain_vs_splice_plb": 1.0 - avg_ratio("splice_plb_dma", "splice_plb"),
+    }
+
+
+def resource_ratio_summary(reports: Optional[Dict[str, ResourceReport]] = None) -> Dict[str, float]:
+    """Headline resource ratios of Section 9.3.2.
+
+    * ``splice_plb_vs_naive`` — fraction of resources saved by the Splice PLB
+      interface versus the naïve hand-coded PLB (paper: ~23%),
+    * ``splice_fcb_vs_naive`` — saving of the Splice FCB versus the naïve PLB
+      (paper: ~28%),
+    * ``splice_fcb_vs_optimized`` — extra resources of the Splice FCB over the
+      hand-optimized FCB (paper: ~2%), and
+    * ``dma_overhead_vs_splice_plb`` — extra resources of the DMA-enabled PLB
+      interface over the simple one (paper: 57-69%).
+    """
+    reports = reports or run_resource_experiment()
+
+    def slices(label: str) -> float:
+        return max(1.0, float(reports[label].slices))
+
+    return {
+        "splice_plb_vs_naive": 1.0 - slices("splice_plb") / slices("simple_plb"),
+        "splice_fcb_vs_naive": 1.0 - slices("splice_fcb") / slices("simple_plb"),
+        "splice_fcb_vs_optimized": slices("splice_fcb") / slices("optimized_fcb") - 1.0,
+        "dma_overhead_vs_splice_plb": slices("splice_plb_dma") / slices("splice_plb") - 1.0,
+    }

@@ -1,0 +1,62 @@
+"""Plain-text rendering of the evaluation tables.
+
+The benchmark harness prints the same rows the paper's figures report:
+Figure 9.1 (scenario inputs), Figure 9.2 (cycles per run) and Figure 9.3
+(resources per implementation), plus the Section 9.3 headline percentages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.evaluation.scenarios import SCENARIOS
+from repro.resources.estimator import ResourceReport
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a simple fixed-width text table."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(row):
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(list(headers)), "-+-".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def scenario_report(rows: Sequence[Mapping[str, int]]) -> str:
+    """Figure 9.1 as text."""
+    return format_table(
+        ["Scenario", "Set 1", "Set 2", "Set 3", "Total"],
+        [[r["scenario"], r["set1"], r["set2"], r["set3"], r["total"]] for r in rows],
+    )
+
+
+def cycles_report(results: Dict[str, Dict[int, int]], names: Mapping[str, str] = None) -> str:
+    """Figure 9.2 as text: one row per implementation, one column per scenario."""
+    names = names or {}
+    scenario_numbers = sorted({s for per in results.values() for s in per})
+    headers = ["Implementation"] + [f"Scenario {n}" for n in scenario_numbers]
+    rows: List[List[object]] = []
+    for label, per_scenario in results.items():
+        rows.append([names.get(label, label)] + [per_scenario.get(n, "-") for n in scenario_numbers])
+    return format_table(headers, rows)
+
+
+def resources_report(reports: Dict[str, ResourceReport], names: Mapping[str, str] = None) -> str:
+    """Figure 9.3 as text: LUTs / flip-flops / slices per implementation."""
+    names = names or {}
+    rows = []
+    for label, report in reports.items():
+        row = report.as_row()
+        rows.append([names.get(label, label), row["luts"], row["flip_flops"], row["slices"]])
+    return format_table(["Implementation", "LUTs", "Flip-flops", "Slices"], rows)
+
+
+def ratio_report(ratios: Mapping[str, float], title: str) -> str:
+    """Headline percentages (Sections 9.3.1 / 9.3.2) as text."""
+    rows = [[key, f"{value * 100:+.1f}%"] for key, value in ratios.items()]
+    return f"{title}\n" + format_table(["Quantity", "Value"], rows)

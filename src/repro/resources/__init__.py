@@ -1,0 +1,25 @@
+"""FPGA resource estimation (for the Figure 9.3 comparison).
+
+The paper reports post-synthesis resource usage on a Virtex4-FX12.  Without
+a synthesis tool, this package charges each structural element of the
+generated (or hand-described) hardware a calibrated LUT/flip-flop cost and
+folds the results into slice counts, so the *relative* ordering and rough
+ratios between interface implementations are structural consequences of the
+designs rather than hard-coded outputs.
+"""
+
+from repro.resources.estimator import (
+    ResourceReport,
+    CostModel,
+    estimate_entity,
+    estimate_entities,
+    estimate_hardware,
+)
+
+__all__ = [
+    "ResourceReport",
+    "CostModel",
+    "estimate_entity",
+    "estimate_entities",
+    "estimate_hardware",
+]

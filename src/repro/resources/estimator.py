@@ -1,0 +1,136 @@
+"""Analytic FPGA resource model.
+
+The cost model follows standard synthesis rules of thumb for 4-input-LUT
+fabrics (the Virtex4 used in the paper):
+
+* a register bit costs one flip-flop plus a small amount of control logic,
+* an ``N``-input, ``W``-bit multiplexer costs roughly ``W * (N - 1) / 2``
+  LUTs,
+* a ``W``-bit comparator costs roughly ``W / 2`` LUTs,
+* a counter costs about one LUT and one flip-flop per bit, and
+* an FSM costs its state register plus a few LUTs of next-state logic per
+  state.
+
+A slice on this family holds two LUTs and two flip-flops.  The absolute
+numbers are approximations; the evaluation only relies on the relative
+ordering between interface implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.generation.ir import EntityIR, HardwareIR
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Tunable per-element costs (in LUTs / flip-flops)."""
+
+    lut_per_mux_leg_bit: float = 0.5
+    lut_per_comparator_bit: float = 0.5
+    lut_per_counter_bit: float = 1.0
+    ff_per_counter_bit: float = 1.0
+    lut_per_register_bit: float = 0.15
+    ff_per_register_bit: float = 1.0
+    lut_per_fsm_state: float = 3.0
+    ff_per_fsm_state_bit: float = 1.0
+    lut_per_port_bit: float = 0.05
+    luts_per_slice: float = 2.0
+    ffs_per_slice: float = 2.0
+
+
+DEFAULT_COST_MODEL = CostModel()
+
+
+@dataclass
+class ResourceReport:
+    """Estimated resource usage of one or more entities."""
+
+    luts: float = 0.0
+    flip_flops: float = 0.0
+    label: str = ""
+    breakdown: dict = field(default_factory=dict)
+
+    @property
+    def slices(self) -> int:
+        """Occupied slices assuming LUTs and FFs pack independently."""
+        model = DEFAULT_COST_MODEL
+        return int(max(self.luts / model.luts_per_slice, self.flip_flops / model.ffs_per_slice) + 0.5)
+
+    def __add__(self, other: "ResourceReport") -> "ResourceReport":
+        merged = dict(self.breakdown)
+        for key, value in other.breakdown.items():
+            merged[key] = merged.get(key, 0.0) + value
+        return ResourceReport(
+            luts=self.luts + other.luts,
+            flip_flops=self.flip_flops + other.flip_flops,
+            label=self.label or other.label,
+            breakdown=merged,
+        )
+
+    def scaled(self, factor: float) -> "ResourceReport":
+        return ResourceReport(
+            luts=self.luts * factor,
+            flip_flops=self.flip_flops * factor,
+            label=self.label,
+            breakdown={k: v * factor for k, v in self.breakdown.items()},
+        )
+
+    def as_row(self) -> dict:
+        return {
+            "label": self.label,
+            "luts": round(self.luts, 1),
+            "flip_flops": round(self.flip_flops, 1),
+            "slices": self.slices,
+        }
+
+
+def estimate_entity(entity: EntityIR, model: CostModel = DEFAULT_COST_MODEL) -> ResourceReport:
+    """Estimate one entity, honouring its ``replicas`` attribute."""
+    luts = 0.0
+    ffs = 0.0
+    breakdown = {}
+
+    mux_luts = sum(max(0, m.inputs - 1) * m.width * model.lut_per_mux_leg_bit for m in entity.muxes)
+    cmp_luts = sum(c.width * model.lut_per_comparator_bit for c in entity.comparators)
+    counter_luts = sum(c.width * model.lut_per_counter_bit for c in entity.counters)
+    counter_ffs = sum(c.width * model.ff_per_counter_bit for c in entity.counters)
+    reg_luts = sum(r.width * model.lut_per_register_bit for r in entity.registers)
+    reg_ffs = sum(r.width * model.ff_per_register_bit for r in entity.registers)
+    fsm_luts = sum(len(f.states) * model.lut_per_fsm_state for f in entity.fsms)
+    fsm_ffs = sum(f.state_bits * model.ff_per_fsm_state_bit for f in entity.fsms)
+    port_luts = sum(p.width * model.lut_per_port_bit for p in entity.ports)
+
+    breakdown["muxes"] = mux_luts
+    breakdown["comparators"] = cmp_luts
+    breakdown["counters"] = counter_luts
+    breakdown["registers"] = reg_luts
+    breakdown["fsms"] = fsm_luts
+    breakdown["ports"] = port_luts
+    breakdown["overhead"] = float(entity.overhead_luts)
+
+    luts = mux_luts + cmp_luts + counter_luts + reg_luts + fsm_luts + port_luts + entity.overhead_luts
+    ffs = counter_ffs + reg_ffs + fsm_ffs
+
+    report = ResourceReport(luts=luts, flip_flops=ffs, label=entity.name, breakdown=breakdown)
+    replicas = int(entity.attributes.get("replicas", 1))
+    if replicas > 1:
+        report = report.scaled(replicas)
+        report.label = entity.name
+    return report
+
+
+def estimate_entities(entities: Iterable[EntityIR], label: str = "", model: CostModel = DEFAULT_COST_MODEL) -> ResourceReport:
+    """Sum the estimates of several entities under one label."""
+    total = ResourceReport(label=label)
+    for entity in entities:
+        total = total + estimate_entity(entity, model)
+    total.label = label
+    return total
+
+
+def estimate_hardware(ir: HardwareIR, label: str = "", model: CostModel = DEFAULT_COST_MODEL) -> ResourceReport:
+    """Estimate an entire generated peripheral (interface + arbiter + stubs)."""
+    return estimate_entities(ir.entities, label=label or ir.device_name, model=model)

@@ -1,0 +1,31 @@
+"""Cycle-accurate RTL simulation kernel.
+
+This package is the hardware substrate of the reproduction: every piece of
+"generated hardware" (bus adapters, arbitration units, user-logic stubs) and
+every hand-coded baseline peripheral is expressed as a :class:`Module` built
+from :class:`Signal` objects and simulated by :class:`Simulator`.
+
+The simulator is deliberately simple and synchronous: a single global clock,
+two-phase (read current values / commit next values) clocked processes, and a
+settling loop for combinational processes.  That matches the hardware the
+paper describes — all four target buses (PLB, OPB, FCB, APB) are synchronous
+interfaces clocked from a single bus clock.
+"""
+
+from repro.rtl.signal import Signal, mask_for_width, truncate
+from repro.rtl.simulator import Simulator, SimulationError
+from repro.rtl.module import Module
+from repro.rtl.fsm import FSM
+from repro.rtl.trace import Trace, TraceRecorder
+
+__all__ = [
+    "Signal",
+    "Simulator",
+    "SimulationError",
+    "Module",
+    "FSM",
+    "Trace",
+    "TraceRecorder",
+    "mask_for_width",
+    "truncate",
+]

@@ -1,0 +1,69 @@
+"""Finite-state-machine helper used by generated user-logic stubs.
+
+The paper's user-logic stubs consist of an ICOB (a clocked process that acts
+on the current state) and an SMB (a block that latches the next state the
+ICOB requests).  :class:`FSM` provides exactly that split: a ``state`` signal
+updated from a ``next_state`` request once per cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.rtl.signal import Signal
+
+
+class FSM:
+    """A named-state machine backed by a pair of signals.
+
+    Parameters
+    ----------
+    name:
+        Prefix for the underlying signals.
+    states:
+        Ordered state names; the first is the reset state.
+    """
+
+    def __init__(self, name: str, states: Iterable[str]) -> None:
+        self.name = name
+        self.states: List[str] = list(states)
+        if not self.states:
+            raise ValueError("FSM requires at least one state")
+        if len(set(self.states)) != len(self.states):
+            raise ValueError(f"duplicate state names in FSM {name!r}")
+        self._index: Dict[str, int] = {s: i for i, s in enumerate(self.states)}
+        width = max(1, (len(self.states) - 1).bit_length())
+        self.state_signal = Signal(f"{name}.state", width=width, reset=0)
+        self.next_signal = Signal(f"{name}.next_state", width=width, reset=0)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Name of the current state."""
+        return self.states[self.state_signal.value]
+
+    def is_in(self, state: str) -> bool:
+        """True when the FSM is currently in ``state``."""
+        return self.state_signal.value == self.encode(state)
+
+    def encode(self, state: str) -> int:
+        """Return the numeric encoding of ``state``."""
+        try:
+            return self._index[state]
+        except KeyError:
+            raise KeyError(f"unknown state {state!r} for FSM {self.name!r}") from None
+
+    # -- transitions --------------------------------------------------------
+
+    def request(self, state: str) -> None:
+        """Request a transition to ``state`` (takes effect on the next edge)."""
+        self.next_signal.next = self.encode(state)
+        self.state_signal.next = self.encode(state)
+
+    def hold(self) -> None:
+        """Explicitly remain in the current state (no-op, for readability)."""
+
+    def signals(self) -> List[Signal]:
+        """Signals that must be registered with the simulator."""
+        return [self.state_signal, self.next_signal]

@@ -1,0 +1,90 @@
+"""Structural building block for simulated hardware.
+
+A :class:`Module` owns signals, clocked/combinational processes, and child
+modules.  Attaching the top-level module to a simulator recursively registers
+everything below it, mirroring how an HDL elaborates a design hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.rtl.signal import Signal
+from repro.rtl.simulator import Process, Simulator
+
+
+class Module:
+    """Base class for simulated hardware blocks.
+
+    Subclasses create signals with :meth:`signal`, register behaviour with
+    :meth:`clocked` / :meth:`comb`, and instantiate children with
+    :meth:`submodule`.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._signals: Dict[str, Signal] = {}
+        self._clocked: List[Process] = []
+        self._comb: List[Process] = []
+        self._children: List["Module"] = []
+        self._simulator: Optional[Simulator] = None
+
+    # -- construction --------------------------------------------------------
+
+    def signal(self, name: str, width: int = 1, reset: int = 0) -> Signal:
+        """Create a signal scoped to this module (name-prefixed in traces)."""
+        full_name = f"{self.name}.{name}"
+        if name in self._signals:
+            raise ValueError(f"duplicate signal {full_name!r}")
+        sig = Signal(full_name, width=width, reset=reset)
+        self._signals[name] = sig
+        return sig
+
+    def clocked(self, process: Process) -> Process:
+        """Register a clocked process owned by this module."""
+        self._clocked.append(process)
+        return process
+
+    def comb(self, process: Process) -> Process:
+        """Register a combinational process owned by this module."""
+        self._comb.append(process)
+        return process
+
+    def submodule(self, module: "Module") -> "Module":
+        """Register ``module`` as a child of this module."""
+        self._children.append(module)
+        return module
+
+    # -- elaboration -----------------------------------------------------------
+
+    def attach(self, simulator: Simulator) -> None:
+        """Recursively register this module's contents with ``simulator``."""
+        self._simulator = simulator
+        for sig in self._signals.values():
+            simulator.add_signal(sig)
+        for proc in self._clocked:
+            simulator.add_clocked(proc)
+        for proc in self._comb:
+            simulator.add_comb(proc)
+        for child in self._children:
+            child.attach(simulator)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def signals(self) -> Dict[str, Signal]:
+        """Mapping of local signal names to :class:`Signal` objects."""
+        return dict(self._signals)
+
+    @property
+    def children(self) -> List["Module"]:
+        return list(self._children)
+
+    def iter_signals(self):
+        """Yield every signal in this module and its children."""
+        yield from self._signals.values()
+        for child in self._children:
+            yield from child.iter_signals()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r} signals={len(self._signals)} children={len(self._children)}>"

@@ -1,0 +1,118 @@
+"""Hardware signals for the RTL simulation kernel.
+
+A :class:`Signal` models a fixed-width wire or register.  Clocked processes
+read ``sig.value`` and schedule updates with ``sig.next = x`` (applied when
+the simulator commits the cycle); combinational processes drive values
+immediately with :meth:`Signal.drive`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def mask_for_width(width: int) -> int:
+    """Return the bit mask covering ``width`` bits (``width >= 1``)."""
+    if width < 1:
+        raise ValueError(f"signal width must be >= 1, got {width}")
+    return (1 << width) - 1
+
+
+def truncate(value: int, width: int) -> int:
+    """Truncate ``value`` to ``width`` bits (two's-complement wrap for negatives)."""
+    return value & mask_for_width(width)
+
+
+class Signal:
+    """A fixed-width hardware signal with two-phase update semantics.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name used in traces and error messages.
+    width:
+        Bit width; values are stored as non-negative integers masked to this
+        width.
+    reset:
+        Value the signal takes on reset and at construction.
+    """
+
+    __slots__ = ("name", "width", "reset_value", "_value", "_next", "_mask")
+
+    def __init__(self, name: str, width: int = 1, reset: int = 0) -> None:
+        self.name = name
+        self.width = width
+        self._mask = mask_for_width(width)
+        self.reset_value = reset & self._mask
+        self._value = self.reset_value
+        self._next: Optional[int] = None
+
+    # -- value access -----------------------------------------------------
+
+    @property
+    def value(self) -> int:
+        """Current (committed) value of the signal."""
+        return self._value
+
+    @property
+    def next(self) -> int:
+        """The pending next-cycle value (falls back to the current value)."""
+        return self._value if self._next is None else self._next
+
+    @next.setter
+    def next(self, value: int) -> None:
+        self._next = int(value) & self._mask
+
+    def drive(self, value: int) -> bool:
+        """Immediately drive ``value`` (combinational assignment).
+
+        Returns ``True`` when the driven value differs from the previous
+        value, which the simulator uses to detect combinational settling.
+        """
+        value = int(value) & self._mask
+        changed = value != self._value
+        self._value = value
+        return changed
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def commit(self) -> bool:
+        """Apply the pending next value; return whether the value changed."""
+        if self._next is None:
+            return False
+        changed = self._next != self._value
+        self._value = self._next
+        self._next = None
+        return changed
+
+    def reset(self) -> None:
+        """Return the signal to its reset value and clear pending updates."""
+        self._value = self.reset_value
+        self._next = None
+
+    # -- conveniences -------------------------------------------------------
+
+    def bit(self, index: int) -> int:
+        """Return bit ``index`` (0 = LSB) of the current value."""
+        if not 0 <= index < self.width:
+            raise IndexError(f"bit {index} out of range for {self.width}-bit signal {self.name}")
+        return (self._value >> index) & 1
+
+    def bits(self, hi: int, lo: int) -> int:
+        """Return the inclusive slice ``[hi:lo]`` of the current value."""
+        if hi < lo:
+            raise ValueError("bits() requires hi >= lo")
+        return (self._value >> lo) & mask_for_width(hi - lo + 1)
+
+    def is_set(self) -> bool:
+        """True when the signal is non-zero (an active-high strobe)."""
+        return self._value != 0
+
+    def __bool__(self) -> bool:
+        return self._value != 0
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Signal({self.name!r}, width={self.width}, value=0x{self._value:x})"

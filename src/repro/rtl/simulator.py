@@ -1,0 +1,142 @@
+"""Cycle-driven simulation engine.
+
+The simulator advances one clock cycle at a time:
+
+1. **clocked phase** — every registered clocked process runs once, reading
+   the *current* values of signals and scheduling updates via ``sig.next``.
+2. **commit phase** — all pending ``next`` assignments are applied at once,
+   which models all flip-flops updating on the same clock edge.
+3. **combinational settle** — combinational processes run repeatedly (driving
+   values with :meth:`repro.rtl.signal.Signal.drive`) until no signal changes
+   or the iteration limit is hit, which flags a combinational loop.
+
+This is the classical two-phase synchronous model used by cycle-based HDL
+simulators; it is sufficient for every protocol in the paper because all four
+target buses are single-clock synchronous interfaces.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from repro.rtl.signal import Signal
+
+
+class SimulationError(RuntimeError):
+    """Raised for structural simulation problems (e.g. combinational loops)."""
+
+
+Process = Callable[[], None]
+
+
+class Simulator:
+    """Synchronous, single-clock cycle-based simulator.
+
+    Parameters
+    ----------
+    max_settle_iterations:
+        Upper bound on combinational settle passes per cycle before a
+        combinational loop is reported.
+    """
+
+    def __init__(self, max_settle_iterations: int = 64) -> None:
+        self._signals: List[Signal] = []
+        self._clocked: List[Process] = []
+        self._comb: List[Process] = []
+        self._monitors: List[Process] = []
+        self.max_settle_iterations = max_settle_iterations
+        self.cycle = 0
+
+    # -- registration ------------------------------------------------------
+
+    def add_signal(self, signal: Signal) -> Signal:
+        """Track ``signal`` so commits and resets include it."""
+        self._signals.append(signal)
+        return signal
+
+    def add_signals(self, signals: Iterable[Signal]) -> None:
+        for sig in signals:
+            self.add_signal(sig)
+
+    def signal(self, name: str, width: int = 1, reset: int = 0) -> Signal:
+        """Create and register a new signal."""
+        return self.add_signal(Signal(name, width=width, reset=reset))
+
+    def add_clocked(self, process: Process) -> Process:
+        """Register a process executed once per rising clock edge."""
+        self._clocked.append(process)
+        return process
+
+    def add_comb(self, process: Process) -> Process:
+        """Register a combinational process run during the settle phase."""
+        self._comb.append(process)
+        return process
+
+    def add_monitor(self, process: Process) -> Process:
+        """Register a monitor run after every cycle (never drives signals)."""
+        self._monitors.append(process)
+        return process
+
+    def register_module(self, module) -> None:
+        """Register a :class:`repro.rtl.module.Module` and its children."""
+        module.attach(self)
+
+    # -- execution -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Reset every registered signal and the cycle counter."""
+        for sig in self._signals:
+            sig.reset()
+        self.cycle = 0
+        self.settle()
+
+    def settle(self) -> int:
+        """Run combinational processes until signals stop changing.
+
+        Returns the number of settle iterations used.
+        """
+        if not self._comb:
+            return 0
+        for iteration in range(1, self.max_settle_iterations + 1):
+            changed = False
+            for proc in self._comb:
+                before = _snapshot(self._signals)
+                proc()
+                if _snapshot(self._signals) != before:
+                    changed = True
+            if not changed:
+                return iteration
+        raise SimulationError(
+            "combinational logic failed to settle within "
+            f"{self.max_settle_iterations} iterations (possible combinational loop)"
+        )
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance the simulation ``cycles`` clock cycles."""
+        for _ in range(cycles):
+            for proc in self._clocked:
+                proc()
+            for sig in self._signals:
+                sig.commit()
+            self.settle()
+            self.cycle += 1
+            for mon in self._monitors:
+                mon()
+
+    def run_until(self, condition: Callable[[], bool], timeout: int = 100_000) -> int:
+        """Step until ``condition()`` is true; return the number of cycles taken.
+
+        Raises :class:`SimulationError` when ``timeout`` cycles elapse first.
+        """
+        start = self.cycle
+        while not condition():
+            if self.cycle - start >= timeout:
+                raise SimulationError(
+                    f"run_until timed out after {timeout} cycles (started at {start})"
+                )
+            self.step()
+        return self.cycle - start
+
+
+def _snapshot(signals: List[Signal]) -> tuple:
+    return tuple(sig.value for sig in signals)

@@ -1,0 +1,26 @@
+"""The Splice Interface Standard (Chapter 4).
+
+The SIS is the bus-independent protocol that sits between every native bus
+adapter and the user-logic stubs Splice generates.  This package provides the
+signal bundle (Figure 4.2), the two transfer-protocol variants (Figures 4.3
+and 4.4), and runtime protocol monitors used by the tests to check that
+generated hardware obeys the standard's communication axioms.
+"""
+
+from repro.sis.signals import SISBundle, SISFunctionPort, SIGNAL_DESCRIPTIONS
+from repro.sis.protocol import (
+    ProtocolVariant,
+    SISProtocolMonitor,
+    ProtocolViolation,
+    variant_for_bus,
+)
+
+__all__ = [
+    "SISBundle",
+    "SISFunctionPort",
+    "SIGNAL_DESCRIPTIONS",
+    "ProtocolVariant",
+    "SISProtocolMonitor",
+    "ProtocolViolation",
+    "variant_for_bus",
+]

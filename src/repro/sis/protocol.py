@@ -1,0 +1,157 @@
+"""SIS transfer protocols and runtime protocol checking (Sections 4.2).
+
+Two protocol variants exist:
+
+* **pseudo-asynchronous** (Figure 4.3) — the native bus provides per-beat
+  handshaking, so the adapter holds ``DATA_IN`` / ``DATA_IN_VALID`` /
+  ``FUNC_ID`` steady until the targeted function raises ``IO_DONE`` for one
+  cycle; reads complete when the function raises ``DATA_OUT_VALID`` and
+  ``IO_DONE`` together.
+* **strictly synchronous** (Figure 4.4) — the native bus cannot be paused;
+  writes must complete in the cycle they are presented and reads are
+  coordinated through the ``CALC_DONE`` status vector, which software polls
+  via the reserved function identifier zero.
+
+:class:`SISProtocolMonitor` watches a shared :class:`~repro.sis.signals.SISBundle`
+every cycle and records violations of the communication axioms; the test
+suite attaches it to generated hardware to prove adapters honour the SIS.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.rtl.simulator import Simulator
+from repro.sis.signals import SISBundle
+
+
+class ProtocolVariant(enum.Enum):
+    """Which SIS transfer protocol a native interface adapter implements."""
+
+    PSEUDO_ASYNCHRONOUS = "pseudo_asynchronous"
+    STRICTLY_SYNCHRONOUS = "strictly_synchronous"
+
+
+def variant_for_bus(pseudo_asynchronous: bool) -> ProtocolVariant:
+    """Map a bus capability flag onto the SIS protocol variant it requires."""
+    return (
+        ProtocolVariant.PSEUDO_ASYNCHRONOUS
+        if pseudo_asynchronous
+        else ProtocolVariant.STRICTLY_SYNCHRONOUS
+    )
+
+
+@dataclass
+class ProtocolViolation:
+    """One detected violation of the SIS communication axioms."""
+
+    cycle: int
+    rule: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting helper
+        return f"cycle {self.cycle}: [{self.rule}] {self.detail}"
+
+
+@dataclass
+class SISProtocolMonitor:
+    """Observes a shared SIS bundle and records protocol violations.
+
+    The checks encode the axioms stated in Section 4.2:
+
+    * ``DATA_IN_VALID`` may only be asserted while ``DATA_IN``/``FUNC_ID``
+      are stable (write payload must not glitch mid-transfer),
+    * ``IO_ENABLE`` strobes for a single cycle per request,
+    * ``DATA_OUT_VALID`` is only meaningful together with ``IO_DONE`` on
+      read completion, and
+    * function identifier zero is never the target of a write (it addresses
+      the read-only ``CALC_DONE`` status register).
+    """
+
+    bundle: SISBundle
+    variant: ProtocolVariant = ProtocolVariant.PSEUDO_ASYNCHRONOUS
+    violations: List[ProtocolViolation] = field(default_factory=list)
+    _prev_io_enable: int = 0
+    _io_enable_run: int = 0
+    _prev_valid: int = 0
+    _prev_data_in: int = 0
+    _prev_func_id: int = 0
+    _simulator: Optional[Simulator] = None
+
+    def attach(self, simulator: Simulator) -> "SISProtocolMonitor":
+        """Register the monitor with ``simulator`` (runs after every cycle)."""
+        self._simulator = simulator
+        simulator.add_monitor(self.sample)
+        return self
+
+    # -- checking ---------------------------------------------------------
+
+    def sample(self) -> None:
+        cycle = self._simulator.cycle if self._simulator is not None else len(self.violations)
+        bundle = self.bundle
+
+        io_enable = bundle.io_enable.value
+        if io_enable and self._prev_io_enable:
+            self._io_enable_run += 1
+            if self._io_enable_run >= 2:
+                self._record(cycle, "io_enable_strobe", "IO_ENABLE held high for more than one request cycle without a new request")
+        else:
+            self._io_enable_run = 0
+
+        if io_enable and bundle.data_in_valid.value and bundle.func_id.value == 0:
+            self._record(
+                cycle,
+                "status_register_write",
+                "write presented to function id 0, which is reserved for the CALC_DONE status register",
+            )
+
+        if (
+            self.variant is ProtocolVariant.PSEUDO_ASYNCHRONOUS
+            and self._prev_valid
+            and bundle.data_in_valid.value
+            and not bundle.io_done.value
+        ):
+            if bundle.data_in.value != self._prev_data_in:
+                self._record(
+                    cycle,
+                    "data_in_stability",
+                    "DATA_IN changed while DATA_IN_VALID was held waiting for IO_DONE",
+                )
+            if bundle.func_id.value != self._prev_func_id:
+                self._record(
+                    cycle,
+                    "func_id_stability",
+                    "FUNC_ID changed while DATA_IN_VALID was held waiting for IO_DONE",
+                )
+
+        if bundle.data_out_valid.value and not bundle.io_done.value and self.variant is ProtocolVariant.PSEUDO_ASYNCHRONOUS:
+            # Figure 4.3: DATA_OUT_VALID and IO_DONE rise together on reads.
+            self._record(
+                cycle,
+                "read_handshake",
+                "DATA_OUT_VALID asserted without IO_DONE on a pseudo-asynchronous interface",
+            )
+
+        self._prev_io_enable = io_enable
+        self._prev_valid = bundle.data_in_valid.value
+        self._prev_data_in = bundle.data_in.value
+        self._prev_func_id = bundle.func_id.value
+
+    def _record(self, cycle: int, rule: str, detail: str) -> None:
+        self.violations.append(ProtocolViolation(cycle=cycle, rule=rule, detail=detail))
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def clean(self) -> bool:
+        """True when no violations have been observed."""
+        return not self.violations
+
+    def report(self) -> str:
+        if self.clean:
+            return "SIS protocol: no violations observed"
+        lines = [f"SIS protocol: {len(self.violations)} violation(s)"]
+        lines.extend(str(v) for v in self.violations)
+        return "\n".join(lines)

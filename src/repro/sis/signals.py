@@ -1,0 +1,114 @@
+"""SIS signal bundles (Figure 4.2).
+
+The SIS consists of ten signals.  Six are *broadcast* — driven by the native
+bus adapter and seen by every user-logic function: ``CLK``, ``RST``,
+``DATA_IN``, ``DATA_IN_VALID``, ``IO_ENABLE`` and ``FUNC_ID``.  Four are
+*per-function* — each user-logic stub produces its own copy, which the
+arbitration unit multiplexes back to the adapter: ``DATA_OUT``,
+``DATA_OUT_VALID``, ``IO_DONE`` and ``CALC_DONE``.
+
+In this reproduction ``CLK`` is implicit (the simulator's global clock);
+every other signal is a real :class:`repro.rtl.Signal`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.rtl.signal import Signal
+
+#: Functional description of each SIS signal, reproducing Figure 4.2.
+SIGNAL_DESCRIPTIONS: Dict[str, str] = {
+    "CLK": "Global clock signal used to coordinate all bus transactions.",
+    "RST": "Reset signal used to terminate current operations and return the user logic to a known state.",
+    "DATA_IN": "Input data from the processor for use by the user logic.",
+    "DATA_IN_VALID": "Signals that input data is valid and waiting to be stored in the user logic.",
+    "IO_ENABLE": "Signals the arrival of a new data request (read or write) to ensure proper timing of burst and DMA transactions.",
+    "FUNC_ID": "Targets a specific user-logic function and directs I/O requests across the SIS.",
+    "DATA_OUT": "Output data from the user logic in response to a processor request.",
+    "DATA_OUT_VALID": "Signals that output data is valid and waiting to be read by the processor.",
+    "IO_DONE": "Signals that the previous load or store operation sent to this function has completed.",
+    "CALC_DONE": "Signals that the calculation operations performed by this function have all completed.",
+}
+
+#: Broadcast signals (adapter -> all functions).
+BROADCAST_SIGNALS = ("RST", "DATA_IN", "DATA_IN_VALID", "IO_ENABLE", "FUNC_ID")
+
+#: Per-function signals (function -> arbiter -> adapter).
+PER_FUNCTION_SIGNALS = ("DATA_OUT", "DATA_OUT_VALID", "IO_DONE", "CALC_DONE")
+
+
+@dataclass
+class SISFunctionPort:
+    """The per-function side of the SIS for one user-logic instance.
+
+    The arbitration unit collects one of these per function instance and
+    multiplexes the outputs onto the shared bundle based on ``FUNC_ID``.
+    """
+
+    func_id: int
+    data_out: Signal
+    data_out_valid: Signal
+    io_done: Signal
+    calc_done: Signal
+
+    @classmethod
+    def create(cls, name: str, func_id: int, data_width: int) -> "SISFunctionPort":
+        return cls(
+            func_id=func_id,
+            data_out=Signal(f"{name}.DATA_OUT", width=data_width),
+            data_out_valid=Signal(f"{name}.DATA_OUT_VALID", width=1),
+            io_done=Signal(f"{name}.IO_DONE", width=1),
+            calc_done=Signal(f"{name}.CALC_DONE", width=1),
+        )
+
+    def signals(self) -> List[Signal]:
+        return [self.data_out, self.data_out_valid, self.io_done, self.calc_done]
+
+
+@dataclass
+class SISBundle:
+    """The shared (adapter-facing) SIS signal bundle."""
+
+    data_width: int
+    func_id_width: int
+    rst: Signal = field(init=False)
+    data_in: Signal = field(init=False)
+    data_in_valid: Signal = field(init=False)
+    io_enable: Signal = field(init=False)
+    func_id: Signal = field(init=False)
+    data_out: Signal = field(init=False)
+    data_out_valid: Signal = field(init=False)
+    io_done: Signal = field(init=False)
+    calc_done: Signal = field(init=False)
+    name: str = "sis"
+
+    def __post_init__(self) -> None:
+        prefix = self.name
+        self.rst = Signal(f"{prefix}.RST", width=1)
+        self.data_in = Signal(f"{prefix}.DATA_IN", width=self.data_width)
+        self.data_in_valid = Signal(f"{prefix}.DATA_IN_VALID", width=1)
+        self.io_enable = Signal(f"{prefix}.IO_ENABLE", width=1)
+        self.func_id = Signal(f"{prefix}.FUNC_ID", width=self.func_id_width)
+        self.data_out = Signal(f"{prefix}.DATA_OUT", width=self.data_width)
+        self.data_out_valid = Signal(f"{prefix}.DATA_OUT_VALID", width=1)
+        self.io_done = Signal(f"{prefix}.IO_DONE", width=1)
+        # CALC_DONE on the shared bundle is the amalgamated per-function
+        # vector (the "status register" readable at function id zero).
+        self.calc_done = Signal(f"{prefix}.CALC_DONE", width=max(1, (1 << self.func_id_width) - 1))
+
+    def broadcast_signals(self) -> List[Signal]:
+        """Signals driven by the adapter toward the user logic."""
+        return [self.rst, self.data_in, self.data_in_valid, self.io_enable, self.func_id]
+
+    def return_signals(self) -> List[Signal]:
+        """Signals driven by the arbiter back toward the adapter."""
+        return [self.data_out, self.data_out_valid, self.io_done, self.calc_done]
+
+    def signals(self) -> List[Signal]:
+        return self.broadcast_signals() + self.return_signals()
+
+    def new_function_port(self, name: str, func_id: int) -> SISFunctionPort:
+        """Create a per-function port compatible with this bundle."""
+        return SISFunctionPort.create(name, func_id, self.data_width)

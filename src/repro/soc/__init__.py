@@ -1,0 +1,15 @@
+"""SoC model: processor bus master plus system assembly.
+
+The paper evaluates Splice on real development boards (ML-403, SP3-1500)
+with a processor driving the bus.  Here the same role is played by
+:class:`~repro.soc.cpu.ProcessorModel`, a blocking bus master that executes
+driver-issued transactions and accounts for every bus clock cycle, and
+:class:`~repro.soc.system.SpliceSystem`, which wires the processor, the bus
+model, a generated (or hand-coded) peripheral and the runtime drivers into a
+single runnable object.
+"""
+
+from repro.soc.cpu import ProcessorModel
+from repro.soc.system import SpliceSystem, build_system
+
+__all__ = ["ProcessorModel", "SpliceSystem", "build_system"]

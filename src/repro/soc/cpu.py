@@ -1,0 +1,74 @@
+"""Blocking processor model used to execute generated drivers.
+
+The embedded processors in the paper (PowerPC 405, LEON2) execute driver
+code whose loads and stores appear on the bus one at a time; the processor
+stalls on each access until the bus completes it.  :class:`ProcessorModel`
+reproduces that behaviour: every :meth:`execute` submits one
+:class:`~repro.buses.base.BusTransaction` to the bus master and advances the
+simulation until it finishes, charging a small configurable inter-instruction
+gap between consecutive accesses (address generation / loop overhead in the
+driver code).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.buses.base import BusMaster, BusTransaction
+from repro.rtl.simulator import Simulator
+
+
+class ProcessorModel:
+    """A blocking bus-master CPU with cycle accounting."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        master: BusMaster,
+        *,
+        inter_op_gap: int = 1,
+        timeout: int = 100_000,
+    ) -> None:
+        self.simulator = simulator
+        self.master = master
+        self.inter_op_gap = inter_op_gap
+        self.timeout = timeout
+        self.executed: List[BusTransaction] = []
+
+    # -- cycle accounting ---------------------------------------------------------
+
+    @property
+    def cycles(self) -> int:
+        """Bus clock cycles elapsed since the simulation started."""
+        return self.simulator.cycle
+
+    def elapsed_since(self, start_cycle: int) -> int:
+        return self.simulator.cycle - start_cycle
+
+    # -- execution -------------------------------------------------------------------
+
+    def execute(self, transaction: BusTransaction) -> BusTransaction:
+        """Run ``transaction`` to completion (blocking, like a CPU load/store)."""
+        self.master.submit(transaction)
+        self.simulator.run_until(lambda: transaction.done, timeout=self.timeout)
+        if self.inter_op_gap:
+            self.simulator.step(self.inter_op_gap)
+        self.executed.append(transaction)
+        return transaction
+
+    def execute_many(self, transactions) -> List[BusTransaction]:
+        return [self.execute(txn) for txn in transactions]
+
+    def idle(self, cycles: int) -> None:
+        """Spin the clock without bus activity (models CPU-side computation)."""
+        if cycles > 0:
+            self.simulator.step(cycles)
+
+    # -- statistics -------------------------------------------------------------------
+
+    @property
+    def transactions_issued(self) -> int:
+        return len(self.executed)
+
+    def bus_utilization(self) -> float:
+        return self.master.utilization()

@@ -1,0 +1,113 @@
+"""System assembly: bus + processor + peripheral + drivers in one object.
+
+:func:`build_system` is the one-call path from a Splice specification to a
+runnable simulated SoC:
+
+1. run the Splice engine on the specification,
+2. instantiate the targeted bus (slave bundle + master model),
+3. elaborate the generated hardware with the user's behaviours,
+4. create the runtime drivers bound to a blocking processor model, and
+5. register everything with a fresh simulator and reset it.
+
+Hand-coded peripherals (the Chapter 9 baselines) use :class:`SpliceSystem`
+directly with ``peripheral`` already constructed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.buses.base import BusMaster, SlaveBundle
+from repro.buses.registry import create_bus
+from repro.core.drivers.macro_lib import SoftwareMacroLibrary, macro_library_for
+from repro.core.drivers.runtime import DriverSet
+from repro.core.engine import GenerationResult, Splice
+from repro.core.params import ModuleParams
+from repro.rtl.module import Module
+from repro.rtl.simulator import Simulator
+from repro.sis.protocol import SISProtocolMonitor, variant_for_bus
+from repro.soc.cpu import ProcessorModel
+
+
+@dataclass
+class SpliceSystem:
+    """A fully assembled, resettable simulated SoC."""
+
+    simulator: Simulator
+    slave: SlaveBundle
+    master: BusMaster
+    processor: ProcessorModel
+    peripheral: Module
+    drivers: Optional[DriverSet] = None
+    module_params: Optional[ModuleParams] = None
+    generation: Optional[GenerationResult] = None
+    monitor: Optional[SISProtocolMonitor] = None
+
+    def driver(self, func_name: str):
+        """The runtime driver for ``func_name``."""
+        if self.drivers is None:
+            raise KeyError("this system was built without generated drivers")
+        return self.drivers[func_name]
+
+    @property
+    def cycles(self) -> int:
+        return self.simulator.cycle
+
+    def reset(self) -> None:
+        self.simulator.reset()
+
+    def run(self, cycles: int) -> None:
+        self.simulator.step(cycles)
+
+
+def build_system(
+    source: str,
+    *,
+    behaviors: Optional[Dict[str, object]] = None,
+    calc_latencies: Optional[Dict[str, int]] = None,
+    engine: Optional[Splice] = None,
+    inter_op_gap: int = 1,
+    attach_monitor: bool = True,
+) -> SpliceSystem:
+    """Build a runnable system from a Splice specification string."""
+    engine = engine or Splice()
+    result = engine.generate(source)
+    module = result.module
+    bus = result.bus
+
+    simulator = Simulator()
+    slave, master = create_bus(
+        bus.name,
+        data_width=module.data_width,
+        func_id_width=module.func_id_width,
+        base_address=module.base_addr,
+        prefix=module.mod_name,
+    )
+    peripheral = result.elaborate(slave, behaviors=behaviors, calc_latencies=calc_latencies)
+
+    simulator.register_module(master)
+    simulator.register_module(peripheral)
+
+    monitor = None
+    if attach_monitor:
+        monitor = SISProtocolMonitor(
+            peripheral.sis, variant=variant_for_bus(bus.pseudo_asynchronous)
+        ).attach(simulator)
+
+    processor = ProcessorModel(simulator, master, inter_op_gap=inter_op_gap)
+    library: SoftwareMacroLibrary = result.macro_library or macro_library_for(bus.name)
+    drivers = DriverSet.build(module, library, processor)
+
+    simulator.reset()
+    return SpliceSystem(
+        simulator=simulator,
+        slave=slave,
+        master=master,
+        processor=processor,
+        peripheral=peripheral,
+        drivers=drivers,
+        module_params=module,
+        generation=result,
+        monitor=monitor,
+    )

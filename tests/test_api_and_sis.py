@@ -1,0 +1,161 @@
+"""Tests for the SIS protocol machinery and the Chapter 7 extension API."""
+
+import pytest
+
+from repro.core.api.plugin import BusAdapterPlugin, PluginRegistry, load_plugin
+from repro.core.capabilities import BusCapabilities
+from repro.core.drivers.macro_lib import SoftwareMacroLibrary
+from repro.core.engine import Splice
+from repro.core.syntax.errors import SplicePluginError
+from repro.rtl import Simulator
+from repro.sis import (
+    SIGNAL_DESCRIPTIONS,
+    ProtocolVariant,
+    SISBundle,
+    SISProtocolMonitor,
+    variant_for_bus,
+)
+
+
+class TestSISBundle:
+    def test_figure_4_2_signal_set(self):
+        assert set(SIGNAL_DESCRIPTIONS) == {
+            "CLK", "RST", "DATA_IN", "DATA_IN_VALID", "IO_ENABLE", "FUNC_ID",
+            "DATA_OUT", "DATA_OUT_VALID", "IO_DONE", "CALC_DONE",
+        }
+
+    def test_bundle_signal_widths(self):
+        bundle = SISBundle(data_width=32, func_id_width=3)
+        assert bundle.data_in.width == 32
+        assert bundle.func_id.width == 3
+        assert bundle.calc_done.width == 7
+        assert len(bundle.signals()) == 9  # CLK is implicit
+
+    def test_function_ports_track_ids(self):
+        bundle = SISBundle(data_width=32, func_id_width=4)
+        port = bundle.new_function_port("f", 5)
+        assert port.func_id == 5 and port.data_out.width == 32
+
+
+class TestProtocolMonitor:
+    def _monitored(self):
+        sim = Simulator()
+        bundle = SISBundle(data_width=32, func_id_width=3)
+        sim.add_signals(bundle.signals())
+        monitor = SISProtocolMonitor(bundle).attach(sim)
+        return sim, bundle, monitor
+
+    def test_variant_selection(self):
+        assert variant_for_bus(True) is ProtocolVariant.PSEUDO_ASYNCHRONOUS
+        assert variant_for_bus(False) is ProtocolVariant.STRICTLY_SYNCHRONOUS
+
+    def test_clean_when_idle(self):
+        sim, _, monitor = self._monitored()
+        sim.step(10)
+        assert monitor.clean
+        assert "no violations" in monitor.report()
+
+    def test_write_to_status_register_flagged(self):
+        sim, bundle, monitor = self._monitored()
+        bundle.io_enable.next = 1
+        bundle.data_in_valid.next = 1
+        bundle.func_id.next = 0
+        sim.step(2)
+        assert not monitor.clean
+        assert any(v.rule == "status_register_write" for v in monitor.violations)
+
+    def test_data_instability_flagged(self):
+        sim, bundle, monitor = self._monitored()
+        bundle.data_in_valid.next = 1
+        bundle.data_in.next = 0x11
+        bundle.func_id.next = 2
+        sim.step(2)
+        bundle.data_in.next = 0x22  # changes while still waiting for IO_DONE
+        sim.step(2)
+        assert any(v.rule == "data_in_stability" for v in monitor.violations)
+
+
+def _toy_plugin(name="ahb"):
+    capabilities = BusCapabilities(name=name, widths=(32, 64), supports_dma=True,
+                                   supports_burst=True, max_dma_bytes=1024,
+                                   dma_setup_transactions=2)
+
+    class AHBMacros(SoftwareMacroLibrary):
+        pass
+
+    library = AHBMacros()
+    library.name = name
+    library.supports_dma = True
+    library.max_burst_words = 4
+    return BusAdapterPlugin(
+        name=name,
+        capabilities=capabilities,
+        macro_library=library,
+        template="-- %COMP_NAME% AHB adapter\n%AHB_HANDSHAKE%\n",
+        markers={"AHB_HANDSHAKE": "-- burst-capable AHB handshake process"},
+    )
+
+
+class TestPluginRegistry:
+    def test_register_and_lookup(self):
+        registry = PluginRegistry()
+        plugin = registry.register(_toy_plugin())
+        assert "ahb" in registry
+        assert registry.get("AHB") is plugin
+        assert registry.capabilities()["ahb"].supports_dma
+
+    def test_duplicate_registration_rejected(self):
+        registry = PluginRegistry()
+        registry.register(_toy_plugin())
+        with pytest.raises(SplicePluginError):
+            registry.register(_toy_plugin())
+        registry.register(_toy_plugin(), replace=True)
+
+    def test_name_mismatch_rejected(self):
+        capabilities = BusCapabilities(name="other")
+        with pytest.raises(SplicePluginError):
+            BusAdapterPlugin(name="ahb", capabilities=capabilities,
+                             macro_library=SoftwareMacroLibrary())
+
+    def test_library_file_name_convention(self):
+        assert _toy_plugin().library_file_name == "libahb_interface.so"
+
+    def test_load_plugin_from_module_like_object(self):
+        class FakeModule:
+            SPLICE_PLUGIN = _toy_plugin()
+
+        assert load_plugin(FakeModule).name == "ahb"
+        with pytest.raises(SplicePluginError):
+            load_plugin(object())
+
+
+class TestEngineWithPlugin:
+    def test_generate_for_plugin_bus(self):
+        engine = Splice()
+        engine.register_plugin(_toy_plugin())
+        assert "ahb" in engine.supported_buses
+        result = engine.generate(
+            "%device_name accel\n%bus_type ahb\n%bus_width 64\n%base_address 0x90000000\n"
+            "int mac(int a, int b);\n"
+        )
+        interface = result.hardware_files["ahb_interface.vhd"]
+        assert "AHB handshake" in interface
+        assert "accel" in interface
+
+    def test_parameter_checker_hook_runs(self):
+        rejected = []
+
+        def checker(module, capabilities):
+            rejected.append(module.mod_name)
+            raise SplicePluginError("this bus refuses every design")
+
+        plugin = _toy_plugin()
+        plugin.parameter_checker = checker
+        engine = Splice()
+        engine.register_plugin(plugin)
+        with pytest.raises(SplicePluginError):
+            engine.generate(
+                "%device_name x\n%bus_type ahb\n%bus_width 32\n%base_address 0x90000000\n"
+                "int f(int a);\n"
+            )
+        assert rejected == ["x"]

@@ -1,0 +1,236 @@
+"""Integration tests: specification -> generated hardware -> simulated SoC -> drivers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.syntax.errors import SpliceGenerationError
+from repro.soc.system import build_system
+
+BASE_PLB = "%device_name dev\n%bus_type plb\n%bus_width 32\n%base_address 0x80000000\n"
+BASE_FCB = "%device_name dev\n%bus_type fcb\n%bus_width 32\n"
+BASE_APB = "%device_name dev\n%bus_type apb\n%bus_width 32\n%base_address 0x40000000\n"
+
+
+def _mask32(value):
+    return value & 0xFFFFFFFF
+
+
+class TestScalarFunctions:
+    @pytest.mark.parametrize("base", [BASE_PLB, BASE_FCB, BASE_APB], ids=["plb", "fcb", "apb"])
+    def test_two_argument_add(self, base):
+        system = build_system(base + "int add(int a, int b);\n",
+                              behaviors={"add": lambda a, b: _mask32(a + b)})
+        assert system.drivers["add"](40, 2) == 42
+        assert system.monitor.clean
+
+    def test_sixty_four_bit_round_trip(self):
+        system = build_system(
+            BASE_PLB + "%user_type llong, unsigned long long, 64\nllong echo(llong value);\n",
+            behaviors={"echo": lambda value: value},
+        )
+        assert system.drivers["echo"](0xDEADBEEFCAFEBABE) == 0xDEADBEEFCAFEBABE
+
+    def test_void_blocking_function_waits_for_completion(self):
+        seen = []
+        system = build_system(
+            BASE_PLB + "void record(int x);\n",
+            behaviors={"record": lambda x: seen.append(x)},
+            calc_latencies={"record": 20},
+        )
+        system.drivers["record"](7)
+        assert seen == [7]  # completed before the driver returned
+
+    def test_no_argument_function(self):
+        system = build_system(BASE_PLB + "int answer();\n", behaviors={"answer": lambda: 42})
+        assert system.drivers["answer"]() == 42
+
+
+class TestArrayTransfers:
+    def test_explicit_array(self):
+        system = build_system(
+            BASE_PLB + "int sum4(int*:4 xs);\n",
+            behaviors={"sum4": lambda xs: _mask32(sum(xs))},
+        )
+        assert system.drivers["sum4"]([1, 2, 3, 4]) == 10
+
+    def test_implicit_array(self):
+        system = build_system(
+            BASE_PLB + "int total(char n, int*:n xs);\n",
+            behaviors={"total": lambda n, xs: _mask32(sum(xs))},
+        )
+        assert system.drivers["total"](3, [5, 6, 7]) == 18
+        assert system.drivers["total"](1, [100]) == 100
+
+    def test_packed_transfer_reduces_transactions(self):
+        packed = build_system(
+            BASE_PLB + "int sum8(char*:8+ xs);\n",
+            behaviors={"sum8": lambda xs: _mask32(sum(xs))},
+        )
+        unpacked = build_system(
+            BASE_PLB.replace("device_name dev", "device_name dev2") + "int sum8(char*:8 xs);\n",
+            behaviors={"sum8": lambda xs: _mask32(sum(xs))},
+        )
+        data = list(range(8))
+        assert packed.drivers["sum8"](data) == sum(data)
+        assert unpacked.drivers["sum8"](data) == sum(data)
+        assert packed.drivers["sum8"].last_call.transactions < unpacked.drivers["sum8"].last_call.transactions
+
+    def test_array_of_doubles_splits(self):
+        system = build_system(
+            BASE_PLB + "int count_big(double*:3 xs);\n",
+            behaviors={"count_big": lambda xs: sum(1 for x in xs if x > 0xFFFFFFFF)},
+        )
+        assert system.drivers["count_big"]([1, 0x1_0000_0000, 0x2_0000_0000]) == 2
+
+    def test_pointer_output(self):
+        system = build_system(
+            BASE_PLB + "int*:4 firstn(int seed);\n",
+            behaviors={"firstn": lambda seed: [seed + i for i in range(4)]},
+        )
+        assert system.drivers["firstn"](10) == [10, 11, 12, 13]
+
+    def test_fcb_burst_path(self):
+        system = build_system(
+            BASE_FCB + "%burst_support true\nint sum(char n, int*:n xs);\n",
+            behaviors={"sum": lambda n, xs: _mask32(sum(xs))},
+        )
+        data = list(range(1, 11))
+        assert system.drivers["sum"](len(data), data) == sum(data)
+        assert system.monitor.clean
+
+
+class TestAdvancedFeatures:
+    def test_dma_transfer_delivers_same_result(self):
+        dma_system = build_system(
+            BASE_PLB + "%dma_support true\nint sum(char n, int*:n^ xs);\n",
+            behaviors={"sum": lambda n, xs: _mask32(sum(xs))},
+        )
+        data = list(range(16))
+        assert dma_system.drivers["sum"](len(data), data) == sum(data)
+
+    def test_dma_reduces_cycles_for_large_transfers(self):
+        plain = build_system(
+            BASE_PLB + "void sink(int*:24 xs);\n",
+            behaviors={"sink": lambda xs: None},
+        )
+        dma = build_system(
+            BASE_PLB + "%dma_support true\nvoid sink(int*:24^ xs);\n",
+            behaviors={"sink": lambda xs: None},
+        )
+        data = list(range(24))
+        plain.drivers["sink"](data)
+        dma.drivers["sink"](data)
+        assert dma.drivers["sink"].last_call.cycles < plain.drivers["sink"].last_call.cycles
+
+    def test_multiple_instances_are_independent(self):
+        system = build_system(
+            BASE_PLB + "int scale(int x):3;\n",
+            behaviors={"scale": [lambda x: x * 1, lambda x: x * 2, lambda x: x * 3]},
+        )
+        driver = system.drivers["scale"]
+        assert driver(10, inst_index=0) == 10
+        assert driver(10, inst_index=1) == 20
+        assert driver(10, inst_index=2) == 30
+
+    def test_instance_index_out_of_range(self):
+        system = build_system(BASE_PLB + "int f(int x):2;\n", behaviors={"f": lambda x: x})
+        with pytest.raises(SpliceGenerationError):
+            system.drivers["f"](1, inst_index=2)
+
+    def test_nowait_returns_before_calculation_completes(self):
+        seen = []
+        system = build_system(
+            BASE_PLB + "nowait fire(int x);\n",
+            behaviors={"fire": lambda x: seen.append(x)},
+            calc_latencies={"fire": 50},
+        )
+        system.drivers["fire"](9)
+        assert seen == []           # still calculating when the driver returned
+        system.run(100)
+        assert seen == [9]          # ...but it completes on its own
+
+    def test_multiple_functions_share_one_bus(self):
+        system = build_system(
+            BASE_PLB + "int inc(int x);\nint dec(int x);\nint neg(int x);\n",
+            behaviors={
+                "inc": lambda x: _mask32(x + 1),
+                "dec": lambda x: _mask32(x - 1),
+                "neg": lambda x: _mask32(-x),
+            },
+        )
+        assert system.drivers["inc"](5) == 6
+        assert system.drivers["dec"](5) == 4
+        assert system.drivers["neg"](5) == _mask32(-5)
+
+    def test_back_to_back_calls_reuse_the_same_stub(self):
+        system = build_system(
+            BASE_PLB + "int double_it(int x);\n",
+            behaviors={"double_it": lambda x: _mask32(2 * x)},
+        )
+        driver = system.drivers["double_it"]
+        for value in (1, 2, 3, 4, 5):
+            assert driver(value) == 2 * value
+        assert system.peripheral.stub("double_it").activations == 5
+
+    def test_default_behavior_returns_zero(self):
+        system = build_system(BASE_PLB + "int stubbed(int x);\n")
+        assert system.drivers["stubbed"](99) == 0
+
+
+class TestStrictlySynchronous:
+    def test_apb_polls_status_register(self):
+        system = build_system(
+            BASE_APB + "int slow(int x);\n",
+            behaviors={"slow": lambda x: x + 1},
+            calc_latencies={"slow": 40},
+        )
+        driver = system.drivers["slow"]
+        assert driver(5) == 6
+        assert driver.last_call.polls >= 1
+
+    def test_apb_parameterless_function(self):
+        system = build_system(BASE_APB + "int seven();\n", behaviors={"seven": lambda: 7})
+        assert system.drivers["seven"]() == 7
+
+    def test_apb_multi_word_output(self):
+        system = build_system(
+            BASE_APB + "%user_type llong, unsigned long long, 64\nllong wide();\n",
+            behaviors={"wide": lambda: 0x0102030405060708},
+        )
+        assert system.drivers["wide"]() == 0x0102030405060708
+
+
+class TestCycleAccounting:
+    def test_larger_transfers_cost_more_cycles(self):
+        system = build_system(
+            BASE_PLB + "void sink(char n, int*:n xs);\n",
+            behaviors={"sink": lambda n, xs: None},
+        )
+        driver = system.drivers["sink"]
+        driver(2, [1, 2])
+        small = driver.last_call.cycles
+        driver(10, list(range(10)))
+        large = driver.last_call.cycles
+        assert large > small
+
+    def test_fcb_is_faster_than_opb_for_the_same_interface(self):
+        body = "int add(int a, int b);\n"
+        fcb = build_system(BASE_FCB + body, behaviors={"add": lambda a, b: a + b})
+        opb = build_system(
+            "%device_name dev\n%bus_type opb\n%bus_width 32\n%base_address 0x80000000\n" + body,
+            behaviors={"add": lambda a, b: a + b},
+        )
+        fcb.drivers["add"](1, 2)
+        opb.drivers["add"](1, 2)
+        assert fcb.drivers["add"].last_call.cycles < opb.drivers["add"].last_call.cycles
+
+
+@settings(max_examples=15, deadline=None)
+@given(values=st.lists(st.integers(min_value=0, max_value=2**31 - 1), min_size=1, max_size=12))
+def test_property_implicit_array_sum_round_trip(values):
+    """The full stack (driver -> bus -> adapter -> stub) preserves array contents."""
+    system = build_system(
+        BASE_PLB + "int total(char n, int*:n xs);\n",
+        behaviors={"total": lambda n, xs: _mask32(sum(xs))},
+    )
+    assert system.drivers["total"](len(values), values) == _mask32(sum(values))

@@ -1,0 +1,185 @@
+"""Unit tests for the RTL simulation kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rtl import FSM, Module, Signal, Simulator, SimulationError, TraceRecorder
+from repro.rtl.signal import mask_for_width, truncate
+
+
+class TestSignal:
+    def test_reset_value_and_width_masking(self):
+        sig = Signal("s", width=4, reset=0x1F)
+        assert sig.value == 0xF  # masked to 4 bits
+
+    def test_two_phase_update(self):
+        sig = Signal("s", width=8)
+        sig.next = 0xAB
+        assert sig.value == 0
+        assert sig.commit() is True
+        assert sig.value == 0xAB
+
+    def test_commit_without_pending_is_noop(self):
+        sig = Signal("s", width=8, reset=3)
+        assert sig.commit() is False
+        assert sig.value == 3
+
+    def test_drive_reports_change(self):
+        sig = Signal("s", width=8)
+        assert sig.drive(5) is True
+        assert sig.drive(5) is False
+
+    def test_bit_and_bits_accessors(self):
+        sig = Signal("s", width=8, reset=0b1011_0010)
+        assert sig.bit(1) == 1
+        assert sig.bit(0) == 0
+        assert sig.bits(7, 4) == 0b1011
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(IndexError):
+            Signal("s", width=4).bit(4)
+
+    def test_bool_and_int_conversions(self):
+        assert not Signal("s", width=1)
+        assert int(Signal("s", width=8, reset=7)) == 7
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            Signal("s", width=0)
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=0))
+    def test_truncate_always_fits(self, width, value):
+        assert truncate(value, width) <= mask_for_width(width)
+
+
+class TestSimulator:
+    def test_clocked_process_advances_state(self):
+        sim = Simulator()
+        counter = sim.signal("count", width=8)
+        sim.add_clocked(lambda: setattr(counter, "next", counter.value + 1))
+        sim.step(5)
+        assert counter.value == 5
+        assert sim.cycle == 5
+
+    def test_comb_settles_chain(self):
+        sim = Simulator()
+        a = sim.signal("a", width=8)
+        b = sim.signal("b", width=8)
+        c = sim.signal("c", width=8)
+        sim.add_comb(lambda: b.drive(a.value + 1))
+        sim.add_comb(lambda: c.drive(b.value + 1))
+        sim.add_clocked(lambda: setattr(a, "next", 10))
+        sim.step()
+        assert (b.value, c.value) == (11, 12)
+
+    def test_comb_loop_detection(self):
+        sim = Simulator(max_settle_iterations=8)
+        a = sim.signal("a", width=8)
+        sim.add_comb(lambda: a.drive(a.value + 1))
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_run_until_times_out(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.run_until(lambda: False, timeout=10)
+
+    def test_run_until_returns_elapsed_cycles(self):
+        sim = Simulator()
+        flag = sim.signal("flag")
+        sim.add_clocked(lambda: setattr(flag, "next", 1 if sim.cycle >= 3 else 0))
+        elapsed = sim.run_until(lambda: flag.value == 1)
+        assert elapsed >= 3
+
+    def test_reset_restores_signals_and_cycle(self):
+        sim = Simulator()
+        counter = sim.signal("count", width=8, reset=2)
+        sim.add_clocked(lambda: setattr(counter, "next", counter.value + 1))
+        sim.step(3)
+        sim.reset()
+        assert counter.value == 2
+        assert sim.cycle == 0
+
+
+class TestModule:
+    def test_signal_namespacing_and_duplicates(self):
+        mod = Module("m")
+        sig = mod.signal("x", width=4)
+        assert sig.name == "m.x"
+        with pytest.raises(ValueError):
+            mod.signal("x")
+
+    def test_attach_registers_children_recursively(self):
+        parent = Module("p")
+        child = Module("c")
+        child.signal("y")
+        parent.submodule(child)
+        ticks = []
+        child.clocked(lambda: ticks.append(1))
+        sim = Simulator()
+        sim.register_module(parent)
+        sim.step(2)
+        assert len(ticks) == 2
+        assert any(s.name == "c.y" for s in parent.iter_signals())
+
+
+class TestFSM:
+    def test_transitions(self):
+        fsm = FSM("f", ["A", "B", "C"])
+        sim = Simulator()
+        sim.add_signals(fsm.signals())
+        assert fsm.state == "A"
+        fsm.request("C")
+        sim.step(0)
+        for sig in fsm.signals():
+            sig.commit()
+        assert fsm.state == "C"
+        assert fsm.is_in("C")
+
+    def test_unknown_state_rejected(self):
+        fsm = FSM("f", ["A"])
+        with pytest.raises(KeyError):
+            fsm.encode("Z")
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(ValueError):
+            FSM("f", ["A", "A"])
+
+    def test_empty_states_rejected(self):
+        with pytest.raises(ValueError):
+            FSM("f", [])
+
+
+class TestTrace:
+    def test_recorder_samples_every_cycle(self):
+        sim = Simulator()
+        counter = sim.signal("count", width=8)
+        sim.add_clocked(lambda: setattr(counter, "next", counter.value + 1))
+        recorder = TraceRecorder(sim, [counter])
+        sim.step(4)
+        assert len(recorder.trace) == 4
+        assert recorder.trace.values("count") == [1, 2, 3, 4]
+
+    def test_edges_and_count_high(self):
+        sim = Simulator()
+        strobe = sim.signal("strobe")
+        sim.add_clocked(lambda: setattr(strobe, "next", 1 if sim.cycle % 2 == 0 else 0))
+        recorder = TraceRecorder(sim, [strobe])
+        sim.step(6)
+        trace = recorder.trace
+        assert trace.count_high("strobe") > 0
+        assert all(trace.values("strobe")[c] for c in trace.edges("strobe"))
+
+    def test_unknown_signal_rejected(self):
+        sim = Simulator()
+        recorder = TraceRecorder(sim, [sim.signal("a")])
+        sim.step(1)
+        with pytest.raises(KeyError):
+            recorder.trace.values("missing")
+
+    def test_render_contains_signal_names(self):
+        sim = Simulator()
+        sig = sim.signal("visible", width=8)
+        recorder = TraceRecorder(sim, [sig])
+        sim.step(2)
+        assert "visible" in recorder.trace.render()

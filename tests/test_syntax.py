@@ -1,0 +1,312 @@
+"""Unit and property tests for the Splice syntax front-end (Chapter 3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.syntax import (
+    BoundKind,
+    SpliceSyntaxError,
+    SpliceValidationError,
+    TypeTable,
+    parse_declaration,
+    parse_directive,
+    parse_spec,
+    validate_spec,
+)
+from repro.core.syntax.directives import DirectiveProcessor
+from repro.core.syntax.lexer import tokenize, TokenKind
+
+
+MINIMAL_TARGET = "%device_name dev\n%bus_type plb\n%bus_width 32\n%base_address 0x80000000\n"
+
+
+class TestLexer:
+    def test_tokenizes_declaration(self):
+        kinds = [t.kind for t in tokenize("int f(char* x:4+);")]
+        assert TokenKind.STAR in kinds and TokenKind.PLUS in kinds and kinds[-1] is TokenKind.END
+
+    def test_rejects_garbage(self):
+        with pytest.raises(SpliceSyntaxError):
+            tokenize("int f(@);")
+
+    def test_braces_act_as_parentheses(self):
+        kinds = [t.kind for t in tokenize("void f{};")]
+        assert TokenKind.LPAREN in kinds and TokenKind.RPAREN in kinds
+
+
+class TestDeclarationParser:
+    def test_basic_prototype(self):
+        decl = parse_declaration("long get_status();")
+        assert decl.name == "get_status"
+        assert decl.return_type.width == 32
+        assert decl.params == []
+        assert decl.blocking
+
+    def test_scalar_parameters(self):
+        decl = parse_declaration("int add(int a, short b, char c);")
+        assert [p.ctype.width for p in decl.params] == [32, 16, 8]
+
+    def test_explicit_pointer(self):
+        decl = parse_declaration("void f(int*:5 x);")
+        param = decl.params[0]
+        assert param.is_pointer and param.bound.kind is BoundKind.EXPLICIT and param.bound.count == 5
+
+    def test_implicit_pointer(self):
+        decl = parse_declaration("void f(char x, int*:x y);")
+        assert decl.params[1].bound.kind is BoundKind.IMPLICIT
+        assert decl.params[1].bound.index == "x"
+
+    def test_packed_and_dma_extensions(self):
+        decl = parse_declaration("void f(char*:16^+ x);")
+        param = decl.params[0]
+        assert param.packed and param.dma and param.bound.count == 16
+
+    def test_bound_after_name_accepted(self):
+        decl = parse_declaration("void f(char* x:8+);")
+        assert decl.params[0].bound.count == 8 and decl.params[0].packed
+
+    def test_multiple_instances(self):
+        decl = parse_declaration("void f(int x, int y):4;")
+        assert decl.instances == 4
+
+    def test_nowait(self):
+        decl = parse_declaration("nowait f(int x, int y);")
+        assert not decl.blocking and not decl.has_output
+
+    def test_multi_word_types(self):
+        decl = parse_declaration("unsigned long long widen(unsigned long x);")
+        assert decl.return_type.width == 64
+        assert decl.params[0].ctype.width == 32
+
+    def test_user_type(self):
+        types = TypeTable()
+        types.define_user_type("llong", "unsigned long long", 64)
+        decl = parse_declaration("llong get_threshold();", types)
+        assert decl.return_type.width == 64
+
+    def test_duplicate_parameter_names_rejected(self):
+        with pytest.raises(SpliceSyntaxError):
+            parse_declaration("void f(int x, int x);")
+
+    def test_void_parameter_rejected(self):
+        with pytest.raises(SpliceSyntaxError):
+            parse_declaration("void f(void x);")
+
+    def test_extension_without_pointer_rejected(self):
+        with pytest.raises(SpliceSyntaxError):
+            parse_declaration("void f(int:4 x);")
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(SpliceSyntaxError):
+            parse_declaration("void f(int);")
+
+    def test_zero_instances_rejected(self):
+        with pytest.raises(SpliceSyntaxError):
+            parse_declaration("void f(int x):0;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SpliceSyntaxError):
+            parse_declaration("void f(int x); junk")
+
+    def test_describe_round_trips_through_parser(self):
+        original = parse_declaration("void f(char n, int*:n data+, short*:4^ blob):2;")
+        # describe() may normalise ordering but must re-parse to the same AST
+        # (after registering no extra types).
+        text = original.describe()
+        reparsed_error = None
+        try:
+            reparsed = parse_declaration(text)
+        except SpliceSyntaxError as exc:  # pragma: no cover - diagnostic aid
+            reparsed_error = exc
+        assert reparsed_error is None
+        assert reparsed.instances == original.instances
+        assert [p.name for p in reparsed.params] == [p.name for p in original.params]
+
+
+class TestDirectives:
+    def test_canonical_and_spaced_spellings(self):
+        assert parse_directive("%bus_type plb").keyword == "bus_type"
+        assert parse_directive("% bus type plb").keyword == "bus_type"
+        assert parse_directive("% name hw_timer").keyword == "device_name"
+        assert parse_directive("% hdl type vhdl").keyword == "target_hdl"
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(SpliceSyntaxError):
+            parse_directive("%frobnicate yes")
+
+    def test_boolean_parsing(self):
+        proc = DirectiveProcessor()
+        proc.apply_line("%dma_support true")
+        assert proc.target.dma_support is True
+        with pytest.raises(SpliceSyntaxError):
+            proc.apply_line("%burst_support maybe")
+
+    def test_base_address_requires_hex(self):
+        proc = DirectiveProcessor()
+        with pytest.raises(SpliceSyntaxError):
+            proc.apply_line("%base_address 1234")
+
+    def test_duplicate_directive_rejected(self):
+        proc = DirectiveProcessor()
+        proc.apply_line("%bus_width 32", 1)
+        with pytest.raises(SpliceValidationError):
+            proc.apply_line("%bus_width 64", 2)
+
+    def test_user_type_requires_three_fields(self):
+        proc = DirectiveProcessor()
+        with pytest.raises(SpliceSyntaxError):
+            proc.apply_line("%user_type llong, unsigned long long")
+
+    def test_user_type_registers_type(self):
+        proc = DirectiveProcessor()
+        proc.apply_line("%user_type uint48, unsigned long long, 48")
+        assert proc.types.lookup("uint48").width == 48
+
+    def test_user_type_cannot_shadow_builtin(self):
+        proc = DirectiveProcessor()
+        with pytest.raises(SpliceValidationError):
+            proc.apply_line("%user_type int, unsigned, 32")
+
+    def test_invalid_hdl_rejected(self):
+        proc = DirectiveProcessor()
+        with pytest.raises(SpliceValidationError):
+            proc.apply_line("%target_hdl systemverilog")
+
+
+class TestSpecParser:
+    def test_full_spec_with_comments(self):
+        spec = parse_spec(MINIMAL_TARGET + "// a comment\nint f(int x); // inline\n")
+        assert len(spec.declarations) == 1
+        assert spec.target.bus_type == "plb"
+
+    def test_multiline_declaration(self):
+        spec = parse_spec(MINIMAL_TARGET + "int f(int a,\n int b);\n")
+        assert len(spec.declarations[0].params) == 2
+
+    def test_duplicate_function_names_rejected(self):
+        with pytest.raises(SpliceSyntaxError):
+            parse_spec(MINIMAL_TARGET + "void f(int x);\nvoid f(int y);\n")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(SpliceSyntaxError) as excinfo:
+            parse_spec(MINIMAL_TARGET + "\nint @bad(int x);\n")
+        assert "line" in str(excinfo.value)
+
+
+class TestValidation:
+    def _spec(self, body, target=MINIMAL_TARGET):
+        return parse_spec(target + body)
+
+    def test_valid_spec_returns_capabilities(self):
+        bus = validate_spec(self._spec("int f(int x);\n"))
+        assert bus.name == "plb"
+
+    def test_missing_bus_type(self):
+        spec = parse_spec("%device_name d\n%bus_width 32\nint f(int x);\n")
+        with pytest.raises(SpliceValidationError):
+            validate_spec(spec)
+
+    def test_missing_device_name(self):
+        spec = parse_spec("%bus_type plb\n%bus_width 32\n%base_address 0x80000000\nint f(int x);\n")
+        with pytest.raises(SpliceValidationError):
+            validate_spec(spec)
+
+    def test_unknown_bus(self):
+        spec = parse_spec("%device_name d\n%bus_type wishbone\n%bus_width 32\nint f(int x);\n")
+        with pytest.raises(SpliceValidationError):
+            validate_spec(spec)
+
+    def test_unsupported_width(self):
+        spec = parse_spec("%device_name d\n%bus_type fcb\n%bus_width 64\nint f(int x);\n")
+        with pytest.raises(SpliceValidationError):
+            validate_spec(spec)
+
+    def test_memory_mapped_bus_requires_base_address(self):
+        spec = parse_spec("%device_name d\n%bus_type plb\n%bus_width 32\nint f(int x);\n")
+        with pytest.raises(SpliceValidationError):
+            validate_spec(spec)
+
+    def test_fcb_does_not_require_base_address(self):
+        spec = parse_spec("%device_name d\n%bus_type fcb\n%bus_width 32\nint f(int x);\n")
+        assert validate_spec(spec).name == "fcb"
+
+    def test_unaligned_base_address(self):
+        spec = parse_spec(
+            "%device_name d\n%bus_type plb\n%bus_width 32\n%base_address 0x80000002\nint f(int x);\n"
+        )
+        with pytest.raises(SpliceValidationError):
+            validate_spec(spec)
+
+    def test_pointer_without_bound_rejected(self):
+        with pytest.raises(SpliceValidationError):
+            validate_spec(self._spec("void f(int* x);\n"))
+
+    def test_dma_without_directive_rejected(self):
+        with pytest.raises(SpliceValidationError):
+            validate_spec(self._spec("void f(int*:8^ x);\n"))
+
+    def test_dma_on_unsupported_bus_rejected(self):
+        spec = parse_spec(
+            "%device_name d\n%bus_type fcb\n%bus_width 32\n%dma_support true\nvoid f(int*:8^ x);\n"
+        )
+        with pytest.raises(SpliceValidationError):
+            validate_spec(spec)
+
+    def test_dma_allowed_when_enabled_on_plb(self):
+        spec = self._spec("void f(int*:8^ x);\n", MINIMAL_TARGET + "%dma_support true\n")
+        assert validate_spec(spec).supports_dma
+
+    def test_burst_on_unsupported_bus_rejected(self):
+        spec = parse_spec(
+            "%device_name d\n%bus_type opb\n%bus_width 32\n%base_address 0x80000000\n"
+            "%burst_support true\nvoid f(int x);\n"
+        )
+        with pytest.raises(SpliceValidationError):
+            validate_spec(spec)
+
+    def test_implicit_bound_must_reference_earlier_param(self):
+        with pytest.raises(SpliceValidationError):
+            validate_spec(self._spec("void f(int*:x y, int x);\n"))
+
+    def test_implicit_bound_must_reference_scalar(self):
+        with pytest.raises(SpliceValidationError):
+            validate_spec(self._spec("void f(int*:4 x, int*:x y);\n"))
+
+    def test_implicit_bound_must_be_integer(self):
+        with pytest.raises(SpliceValidationError):
+            validate_spec(self._spec("void f(float x, int*:x y);\n"))
+
+    def test_packing_wider_than_bus_rejected(self):
+        spec = self._spec("void f(double*:4+ x);\n")
+        with pytest.raises(SpliceValidationError):
+            validate_spec(spec)
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(SpliceValidationError):
+            validate_spec(parse_spec(MINIMAL_TARGET))
+
+
+# -- property-based tests -----------------------------------------------------------
+
+_identifier = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True).filter(
+    lambda s: s not in {"int", "char", "void", "short", "long", "float", "double",
+                        "single", "bool", "unsigned", "signed", "nowait"}
+)
+
+
+@given(name=_identifier, count=st.integers(min_value=1, max_value=64))
+def test_explicit_pointer_bound_round_trip(name, count):
+    decl = parse_declaration(f"void f(int*:{count} {name});")
+    assert decl.params[0].bound.count == count
+    assert decl.params[0].name == name
+
+
+@given(
+    names=st.lists(_identifier, min_size=1, max_size=5, unique=True),
+    instances=st.integers(min_value=1, max_value=8),
+)
+def test_parameter_order_is_preserved(names, instances):
+    params = ", ".join(f"int {n}" for n in names)
+    decl = parse_declaration(f"void f({params}):{instances};")
+    assert [p.name for p in decl.params] == names
+    assert decl.instances == instances
