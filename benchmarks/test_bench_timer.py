@@ -4,11 +4,16 @@ for the hardware timer device.
 The paper highlights that Splice "can generate interconnects almost
 instantly"; this bench measures end-to-end generation time for the Figure 8.2
 specification and the simulated bus-cycle cost of the Figure 8.8 test-suite
-sequence.
+sequence.  ``test_event_kernel_speedup`` additionally compares raw simulated
+cycles/second between the event-driven kernel and the snapshot-based
+reference kernel on the running timer.
 """
+
+import time
 
 from repro.core.engine import Splice
 from repro.devices.timer import TIMER_SPEC, build_timer_system
+from repro.rtl import ReferenceSimulator, Simulator
 
 
 def test_timer_generation_speed(benchmark):
@@ -39,6 +44,39 @@ def test_timer_test_suite_bus_cycles(benchmark, once):
           f"status=0x{outcome['status']:x}, threshold={outcome['threshold']}")
     assert outcome["status"] & 0b10  # the timer fired
     assert outcome["threshold"] == 2_000
+
+
+def test_event_kernel_speedup(benchmark, once):
+    """Cycles/second of the event-driven kernel vs the reference kernel.
+
+    Both kernels simulate the identical running timer (enabled, threshold far
+    away) for the same number of cycles; the differential harness guarantees
+    their traces are identical, so this measures pure kernel overhead.
+    """
+
+    def measure(cycles=20_000):
+        rates = {}
+        for label, factory in (("reference", ReferenceSimulator), ("event", Simulator)):
+            timer = build_timer_system(simulator_factory=factory)
+            timer.drivers["set_threshold"](1 << 40)  # effectively never fires
+            timer.drivers["enable"]()
+            start = time.perf_counter()
+            timer.system.run(cycles)
+            rates[label] = cycles / (time.perf_counter() - start)
+        return rates
+
+    rates = once(benchmark, measure)
+    speedup = rates["event"] / rates["reference"]
+    print(
+        f"\nTimer kernel throughput: event {rates['event']:,.0f} cycles/s, "
+        f"reference {rates['reference']:,.0f} cycles/s ({speedup:.1f}x)"
+    )
+    if getattr(benchmark, "disabled", False):
+        # Smoke mode (--benchmark-disable, e.g. CI on shared runners): only
+        # require the event kernel to win, not the full margin.
+        assert speedup > 1.0, f"event-driven kernel slower than reference ({speedup:.2f}x)"
+    else:
+        assert speedup >= 3.0, f"event-driven kernel only {speedup:.2f}x faster"
 
 
 def test_driver_call_latency_plb(benchmark, once):

@@ -93,7 +93,10 @@ class BusMaster(Module):
     """Common transaction queue / bookkeeping for every bus master model.
 
     Subclasses implement :meth:`_tick`, a clocked process advancing the
-    native-protocol state machine one cycle.
+    native-protocol state machine one cycle.  Masters are fully clocked —
+    they register no combinational processes — so on cycles where a master
+    sits idle and schedules no differing signal value, the event-driven
+    kernel's settle-skipping fast path applies.
     """
 
     #: Cycles of master-side overhead (arbitration, address decode) charged

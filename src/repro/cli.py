@@ -3,6 +3,13 @@
 Mirrors how the original tool was driven: point it at a specification file
 and it writes the generated hardware and software files into a subdirectory
 named after the ``%device_name`` directive.
+
+``--simulate N`` additionally elaborates the generated design into a
+simulated SoC (with default stub behaviours), advances it ``N`` bus cycles,
+and prints the kernel's :class:`~repro.rtl.simulator.SimulatorStats` —
+settle passes, process activations, and fast-path cycles.  ``--kernel``
+selects the event-driven kernel (default) or the snapshot-based reference
+kernel for comparison.
 """
 
 from __future__ import annotations
@@ -29,13 +36,45 @@ def build_arg_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the files that would be generated without writing them",
     )
+    parser.add_argument(
+        "--simulate",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="elaborate the design, run CYCLES bus cycles, and print simulator stats "
+        "(no files are written)",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=("event", "reference"),
+        default="event",
+        help="simulation kernel used with --simulate (default: event-driven)",
+    )
     return parser
+
+
+def _simulate(args) -> int:
+    from repro.rtl.simulator import ReferenceSimulator, Simulator
+    from repro.soc.system import build_system
+
+    factory = Simulator if args.kernel == "event" else ReferenceSimulator
+    source = Path(args.spec).read_text()
+    system = build_system(source, simulator_factory=factory)
+    system.run(max(0, args.simulate))
+    print(f"Simulated {system.cycles} bus cycles with the {args.kernel} kernel:")
+    print(system.stats.report())
+    return 0
 
 
 def main(argv=None) -> int:
     args = build_arg_parser().parse_args(argv)
+    if args.simulate is not None and args.list_only:
+        print("splice: --list-only and --simulate are mutually exclusive", file=sys.stderr)
+        return 2
     engine = Splice()
     try:
+        if args.simulate is not None:
+            return _simulate(args)
         result = engine.generate_file(Path(args.spec))
     except FileNotFoundError:
         print(f"splice: specification file not found: {args.spec}", file=sys.stderr)

@@ -34,18 +34,20 @@ class PLBToSIS(Module):
 
     def _tick(self) -> None:
         plb, sis = self.plb, self.sis
-        # Single-cycle strobes default low every cycle.
-        sis.io_enable.next = 0
-        plb.wr_ack.next = 0
-        plb.rd_ack.next = 0
+        # Single-cycle strobes default low every cycle; this runs every bus
+        # cycle, so deassert through direct slot checks (no-op while low).
+        for strobe in (sis.io_enable, plb.wr_ack, plb.rd_ack):
+            if strobe._value or strobe._next is not None:
+                strobe.next = 0
 
-        if plb.rst.value:
+        if plb.rst._value:
             sis.rst.next = 1
             sis.data_in_valid.next = 0
             sis.func_id.next = 0
             self._state = "idle"
             return
-        sis.rst.next = 0
+        if sis.rst._value or sis.rst._next is not None:
+            sis.rst.next = 0
 
         if self._state == "idle":
             if plb.wr_req.value and plb.wr_ce.value:
@@ -202,7 +204,12 @@ class APBToSIS(Module):
         self.ports = dict(ports)
         self.base_address = base_address
         self.clocked(self._tick)
-        self.comb(self._read_mux)
+        # The read mux decodes PSEL/PADDR against the per-function DATA_OUT
+        # registers and the CALC_DONE vector — its complete input set.
+        sensitivity = [apb.psel, apb.paddr]
+        for port in self.ports.values():
+            sensitivity += [port.data_out, port.calc_done]
+        self.comb(self._read_mux, sensitive_to=sensitivity)
 
     def _slot(self, address: int) -> int:
         return (address - self.base_address) // (self.apb.data_width // 8)

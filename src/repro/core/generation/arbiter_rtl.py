@@ -30,7 +30,12 @@ class SISArbiter(Module):
             if port.func_id == STATUS_FUNC_ID:
                 raise ValueError("function id 0 is reserved for the CALC_DONE status register")
             self.ports[port.func_id] = port
-        self.comb(self._mux)
+        # The mux reads FUNC_ID plus every per-function output; declaring the
+        # full input set lets the event-driven kernel skip it otherwise.
+        sensitivity = [sis.func_id]
+        for port in self.ports.values():
+            sensitivity += [port.data_out, port.data_out_valid, port.io_done, port.calc_done]
+        self.comb(self._mux, sensitive_to=sensitivity)
 
     # -- combinational multiplexing ------------------------------------------------
 

@@ -174,42 +174,53 @@ class FunctionStub(Module):
     # -- the ICOB process ----------------------------------------------------------
 
     def _icob(self) -> None:
+        # This process runs for every stub on every cycle, so the idle path
+        # reads signal slots directly (``_value``/``_next``) instead of going
+        # through property dispatch, and only deasserts strobes that are
+        # actually high or pending — semantically identical, much cheaper.
         sis = self.sis
         port = self.port
+        state = self._state
 
         # Default strobes.
-        port.io_done.next = 0
-        if not (self.strictly_synchronous and self._state in ("OUT_RESULT", "OUT_STATUS")):
-            port.data_out_valid.next = 0
+        io_done = port.io_done
+        if io_done._value or io_done._next is not None:
+            io_done.next = 0
+        if not (self.strictly_synchronous and state in ("OUT_RESULT", "OUT_STATUS")):
+            data_out_valid = port.data_out_valid
+            if data_out_valid._value or data_out_valid._next is not None:
+                data_out_valid.next = 0
 
-        if sis.rst.value:
+        if sis.rst._value:
             self._reset_activation(full=True)
             port.calc_done.next = 0
             return
 
-        selected = sis.func_id.value == self.my_func_id
-        new_request = bool(sis.io_enable.value and selected)
-        write_beat = new_request and bool(sis.data_in_valid.value)
-        read_request = new_request and not sis.data_in_valid.value
-        if read_request:
-            self._pending_read = True
+        if sis.io_enable._value and sis.func_id._value == self.my_func_id:
+            new_request = True
+            write_beat = bool(sis.data_in_valid._value)
+            if not write_beat:
+                self._pending_read = True
+        else:
+            new_request = False
+            write_beat = False
 
-        if self._state.startswith("IN_"):
+        if state.startswith("IN_"):
             self._handle_input_state(write_beat)
-        elif self._state == "TRIGGER":
+        elif state == "TRIGGER":
             self._handle_trigger_state(new_request, write_beat)
-        elif self._state == "CALC":
+        elif state == "CALC":
             self._handle_calc_state()
-        elif self._state in ("OUT_RESULT", "OUT_STATUS"):
+        elif state in ("OUT_RESULT", "OUT_STATUS"):
             self._handle_output_state()
 
     # -- per-state handlers -------------------------------------------------------
 
     def _handle_input_state(self, write_beat: bool) -> None:
-        io = self._current_input()
-        assert io is not None
         if not write_beat:
             return
+        io = self._current_input()
+        assert io is not None
         self._beat_buffer.append(self.sis.data_in.value)
         self.port.io_done.next = 1
         expected = self._expected_beats(io)

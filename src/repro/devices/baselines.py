@@ -23,7 +23,7 @@ come purely from the interface logic — exactly the paper's methodology.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from repro.buses.base import BusTransaction, TransactionKind
 from repro.buses.fcb import FCBMaster, FCBSlaveBundle
@@ -361,9 +361,11 @@ class OptimizedFCBSystem(BaselineSystem):
         }
 
 
-def build_naive_plb_system(*, inter_op_gap: int = 1) -> NaivePLBSystem:
+def build_naive_plb_system(
+    *, inter_op_gap: int = 1, simulator_factory: Callable[[], Simulator] = Simulator
+) -> NaivePLBSystem:
     """Assemble the naïve hand-coded PLB interpolator system."""
-    simulator = Simulator()
+    simulator = simulator_factory()
     plb = PLBSlaveBundle("naive.plb", data_width=32, num_slots=_NUM_SLOTS)
     master = PLBMaster("naive.plb_master", plb, base_address=_BASE_ADDRESS)
     device = NaivePLBInterpolator("naive_plb_interp", plb)
@@ -377,9 +379,11 @@ def build_naive_plb_system(*, inter_op_gap: int = 1) -> NaivePLBSystem:
     )
 
 
-def build_optimized_fcb_system(*, inter_op_gap: int = 1) -> OptimizedFCBSystem:
+def build_optimized_fcb_system(
+    *, inter_op_gap: int = 1, simulator_factory: Callable[[], Simulator] = Simulator
+) -> OptimizedFCBSystem:
     """Assemble the hand-tuned FCB interpolator system."""
-    simulator = Simulator()
+    simulator = simulator_factory()
     fcb = FCBSlaveBundle("optfcb.fcb", data_width=32, func_id_width=4)
     master = FCBMaster("optfcb.fcb_master", fcb)
     device = OptimizedFCBInterpolator("optimized_fcb_interp", fcb)

@@ -17,8 +17,9 @@ interconnect.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence
 
+from repro.rtl.simulator import Simulator
 from repro.soc.system import SpliceSystem, build_system
 
 #: Fixed number of cycles the calculation logic takes in every
@@ -55,6 +56,25 @@ INTERPOLATOR_SPEC_FCB = f"""\
 %bus_type fcb
 %bus_width 32
 %burst_support true
+{_DECLARATION}
+"""
+
+#: OPB and APB targets for scenario-diversity testing: the paper's evaluation
+#: focuses on PLB/FCB, but the same declaration retargets to the other two
+#: built-in buses, exercising the full adapter matrix.
+INTERPOLATOR_SPEC_OPB = f"""\
+%device_name interp_opb
+%bus_type opb
+%bus_width 32
+%base_address 0x80040000
+{_DECLARATION}
+"""
+
+INTERPOLATOR_SPEC_APB = f"""\
+%device_name interp_apb
+%bus_type apb
+%bus_width 32
+%base_address 0x40050000
 {_DECLARATION}
 """
 
@@ -126,13 +146,23 @@ _SPECS = {
     "splice_plb": INTERPOLATOR_SPEC_PLB,
     "splice_plb_dma": INTERPOLATOR_SPEC_PLB_DMA,
     "splice_fcb": INTERPOLATOR_SPEC_FCB,
+    "splice_opb": INTERPOLATOR_SPEC_OPB,
+    "splice_apb": INTERPOLATOR_SPEC_APB,
 }
 
 
-def build_splice_interpolator(kind: str = "splice_plb", *, inter_op_gap: int = 1) -> SpliceInterpolator:
-    """Build one of the three Splice-generated interpolator systems.
+def build_splice_interpolator(
+    kind: str = "splice_plb",
+    *,
+    inter_op_gap: int = 1,
+    simulator_factory: Callable[[], Simulator] = Simulator,
+) -> SpliceInterpolator:
+    """Build one of the Splice-generated interpolator systems.
 
-    ``kind`` is one of ``"splice_plb"``, ``"splice_plb_dma"`` or ``"splice_fcb"``.
+    ``kind`` is one of ``"splice_plb"``, ``"splice_plb_dma"``,
+    ``"splice_fcb"``, ``"splice_opb"`` or ``"splice_apb"``.
+    ``simulator_factory`` selects the simulation kernel (see
+    :func:`repro.soc.system.build_system`).
     """
     try:
         spec = _SPECS[kind]
@@ -143,5 +173,6 @@ def build_splice_interpolator(kind: str = "splice_plb", *, inter_op_gap: int = 1
         behaviors={"interpolate": interpolator_behavior},
         calc_latencies={"interpolate": CALCULATION_LATENCY},
         inter_op_gap=inter_op_gap,
+        simulator_factory=simulator_factory,
     )
     return SpliceInterpolator(system=system, label=kind)

@@ -10,9 +10,10 @@ free-running counter process of Figure 8.6 is :class:`HardwareTimerCore`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.rtl.module import Module
+from repro.rtl.simulator import Simulator
 from repro.soc.system import SpliceSystem, build_system
 
 #: The Splice specification of Figure 8.2 (PLB target, 32-bit, 0x8000401C).
@@ -129,6 +130,7 @@ def build_timer_system(
     clock_rate_hz: int = 100_000_000,
     spec: str = TIMER_SPEC,
     inter_op_gap: int = 1,
+    simulator_factory: Callable[[], Simulator] = Simulator,
 ) -> TimerSystem:
     """Generate, elaborate and assemble the full Chapter-8 timer system."""
     core = HardwareTimerCore(clock_rate_hz=clock_rate_hz)
@@ -140,6 +142,7 @@ def build_timer_system(
             "get_snapshot", "get_clock", "get_status",
         )},
         inter_op_gap=inter_op_gap,
+        simulator_factory=simulator_factory,
     )
     system.simulator.register_module(core)
     return TimerSystem(system=system, core=core)

@@ -5,7 +5,10 @@ This package is the hardware substrate of the reproduction: every piece of
 every hand-coded baseline peripheral is expressed as a :class:`Module` built
 from :class:`Signal` objects and simulated by :class:`Simulator`.
 
-The simulator is deliberately simple and synchronous: a single global clock,
+Two kernels are provided: the default event-driven :class:`Simulator`
+(sensitivity-list scheduling, dirty-signal tracking, and a settle-skipping
+fast path) and the snapshot-based :class:`ReferenceSimulator` kept as the
+differential-testing oracle.  Both are synchronous: a single global clock,
 two-phase (read current values / commit next values) clocked processes, and a
 settling loop for combinational processes.  That matches the hardware the
 paper describes — all four target buses (PLB, OPB, FCB, APB) are synchronous
@@ -13,7 +16,12 @@ interfaces clocked from a single bus clock.
 """
 
 from repro.rtl.signal import Signal, mask_for_width, truncate
-from repro.rtl.simulator import Simulator, SimulationError
+from repro.rtl.simulator import (
+    ReferenceSimulator,
+    SimulationError,
+    Simulator,
+    SimulatorStats,
+)
 from repro.rtl.module import Module
 from repro.rtl.fsm import FSM
 from repro.rtl.trace import Trace, TraceRecorder
@@ -21,6 +29,8 @@ from repro.rtl.trace import Trace, TraceRecorder
 __all__ = [
     "Signal",
     "Simulator",
+    "ReferenceSimulator",
+    "SimulatorStats",
     "SimulationError",
     "Module",
     "FSM",

@@ -7,7 +7,7 @@ everything below it, mirroring how an HDL elaborates a design hierarchy.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.rtl.signal import Signal
 from repro.rtl.simulator import Process, Simulator
@@ -25,7 +25,7 @@ class Module:
         self.name = name
         self._signals: Dict[str, Signal] = {}
         self._clocked: List[Process] = []
-        self._comb: List[Process] = []
+        self._comb: List[Tuple[Process, Optional[Tuple[Signal, ...]]]] = []
         self._children: List["Module"] = []
         self._simulator: Optional[Simulator] = None
 
@@ -45,9 +45,17 @@ class Module:
         self._clocked.append(process)
         return process
 
-    def comb(self, process: Process) -> Process:
-        """Register a combinational process owned by this module."""
-        self._comb.append(process)
+    def comb(
+        self, process: Process, sensitive_to: Optional[Sequence[Signal]] = None
+    ) -> Process:
+        """Register a combinational process owned by this module.
+
+        ``sensitive_to`` lists the signals the process reads; the event-driven
+        kernel re-runs the process only when one of them changes.  Omitting it
+        falls back to run-always semantics (see ``Simulator.add_comb``).
+        """
+        sensitivity = tuple(sensitive_to) if sensitive_to is not None else None
+        self._comb.append((process, sensitivity))
         return process
 
     def submodule(self, module: "Module") -> "Module":
@@ -64,8 +72,8 @@ class Module:
             simulator.add_signal(sig)
         for proc in self._clocked:
             simulator.add_clocked(proc)
-        for proc in self._comb:
-            simulator.add_comb(proc)
+        for proc, sensitivity in self._comb:
+            simulator.add_comb(proc, sensitive_to=sensitivity)
         for child in self._children:
             child.attach(simulator)
 

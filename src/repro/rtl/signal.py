@@ -4,6 +4,12 @@ A :class:`Signal` models a fixed-width wire or register.  Clocked processes
 read ``sig.value`` and schedule updates with ``sig.next = x`` (applied when
 the simulator commits the cycle); combinational processes drive values
 immediately with :meth:`Signal.drive`.
+
+Signals participate in the event-driven scheduler through an *observer*
+backref (:meth:`Signal.bind`): scheduling a next value reports the signal to
+the simulator's pending-commit set, and any committed or driven value change
+reports it to the simulator's dirty set, so the settle phase only re-runs
+combinational processes whose inputs actually changed.
 """
 
 from __future__ import annotations
@@ -37,7 +43,7 @@ class Signal:
         Value the signal takes on reset and at construction.
     """
 
-    __slots__ = ("name", "width", "reset_value", "_value", "_next", "_mask")
+    __slots__ = ("name", "width", "reset_value", "_value", "_next", "_mask", "_observer")
 
     def __init__(self, name: str, width: int = 1, reset: int = 0) -> None:
         self.name = name
@@ -46,6 +52,19 @@ class Signal:
         self.reset_value = reset & self._mask
         self._value = self.reset_value
         self._next: Optional[int] = None
+        self._observer = None
+
+    # -- event reporting ---------------------------------------------------
+
+    def bind(self, observer) -> None:
+        """Attach the simulator observing this signal's update events.
+
+        ``observer`` must provide ``_signal_scheduled(sig)`` (a next value was
+        scheduled) and ``_signal_changed(sig)`` (the committed value changed).
+        A signal reports to at most one simulator; rebinding replaces the
+        previous observer.
+        """
+        self._observer = observer
 
     # -- value access -----------------------------------------------------
 
@@ -61,7 +80,18 @@ class Signal:
 
     @next.setter
     def next(self, value: int) -> None:
-        self._next = int(value) & self._mask
+        value = int(value) & self._mask
+        if self._next is None:
+            # Scheduling the current value with nothing pending is a no-op
+            # under two-phase semantics: committing it could never change the
+            # signal.  Skipping it keeps idle designs off the commit path.
+            if value == self._value:
+                return
+            self._next = value
+            if self._observer is not None:
+                self._observer._signal_scheduled(self)
+        else:
+            self._next = value
 
     def drive(self, value: int) -> bool:
         """Immediately drive ``value`` (combinational assignment).
@@ -72,6 +102,8 @@ class Signal:
         value = int(value) & self._mask
         changed = value != self._value
         self._value = value
+        if changed and self._observer is not None:
+            self._observer._signal_changed(self)
         return changed
 
     # -- lifecycle ---------------------------------------------------------
@@ -83,12 +115,17 @@ class Signal:
         changed = self._next != self._value
         self._value = self._next
         self._next = None
+        if changed and self._observer is not None:
+            self._observer._signal_changed(self)
         return changed
 
     def reset(self) -> None:
         """Return the signal to its reset value and clear pending updates."""
+        changed = self._value != self.reset_value
         self._value = self.reset_value
         self._next = None
+        if changed and self._observer is not None:
+            self._observer._signal_changed(self)
 
     # -- conveniences -------------------------------------------------------
 

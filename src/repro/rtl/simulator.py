@@ -1,23 +1,64 @@
-"""Cycle-driven simulation engine.
+"""Cycle-driven simulation engines: the event-driven kernel and its oracle.
 
-The simulator advances one clock cycle at a time:
+Two kernels share one registration API:
+
+* :class:`Simulator` — the **event-driven kernel** used everywhere by
+  default.  Signals report changes into a per-simulator dirty set (see
+  :meth:`repro.rtl.signal.Signal.bind`), combinational processes declare
+  *sensitivity lists* (``add_comb(proc, sensitive_to=[...])``), and the
+  settle phase only re-runs processes whose inputs changed.  When a cycle's
+  clocked phase commits no differing value, settle is skipped entirely (the
+  *fast path*), so an idle design costs only its clocked processes.
+* :class:`ReferenceSimulator` — the original snapshot-based kernel kept
+  verbatim as the differential-testing oracle.  Its settle phase re-runs
+  *every* combinational process and compares full signal-vector snapshots
+  until a pass changes nothing.  ``tests/test_kernel_equivalence.py`` proves
+  the two kernels produce cycle-identical traces on all four buses.
+
+Both kernels advance one clock cycle at a time:
 
 1. **clocked phase** — every registered clocked process runs once, reading
    the *current* values of signals and scheduling updates via ``sig.next``.
 2. **commit phase** — all pending ``next`` assignments are applied at once,
-   which models all flip-flops updating on the same clock edge.
-3. **combinational settle** — combinational processes run repeatedly (driving
-   values with :meth:`repro.rtl.signal.Signal.drive`) until no signal changes
-   or the iteration limit is hit, which flags a combinational loop.
+   which models all flip-flops updating on the same clock edge.  (The
+   event-driven kernel only visits signals that actually scheduled a value.)
+3. **combinational settle** — combinational processes run (driving values
+   with :meth:`repro.rtl.signal.Signal.drive`) until no signal changes or
+   the iteration limit is hit, which flags a combinational loop.
+
+Sensitivity lists and the purity contract
+-----------------------------------------
+
+``add_comb(proc, sensitive_to=[sig, ...])`` declares that ``proc`` reads
+only the listed signals; the event-driven kernel re-runs it exactly when one
+of them changed.  Omitting ``sensitive_to`` falls back to *run always*
+semantics for legacy callers: the process re-runs on every settle pass, like
+the reference kernel — but settle itself is still skipped on cycles where no
+signal changed at all.  Both modes therefore assume combinational processes
+are **pure functions of signal values**: a process that reads non-signal
+Python state mutated elsewhere may not be re-run when that state changes.
+Every in-tree combinational process satisfies this contract.
+
+When the fast path applies
+--------------------------
+
+``step()`` skips the settle phase for a cycle when the commit phase changed
+no signal value and nothing was driven since the previous settle.  Because
+combinational outputs are pure functions of signal values and were already
+at a fixed point, re-running them could not change anything.  Designs that
+spend most cycles idle (e.g. a bus master waiting on a peripheral) run at
+clocked-process cost only; :class:`SimulatorStats` counts how often the fast
+path fired.
 
 This is the classical two-phase synchronous model used by cycle-based HDL
-simulators; it is sufficient for every protocol in the paper because all four
-target buses are single-clock synchronous interfaces.
+simulators; it is sufficient for every protocol in the paper because all
+four target buses are single-clock synchronous interfaces.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.rtl.signal import Signal
 
@@ -29,8 +70,51 @@ class SimulationError(RuntimeError):
 Process = Callable[[], None]
 
 
+@dataclass
+class SimulatorStats:
+    """Counters describing how much work the kernel performed.
+
+    ``fast_path_cycles`` counts cycles on which the settle phase was skipped
+    because no signal changed during the commit phase.  The reference kernel
+    never takes the fast path, so comparing the two objects for the same
+    stimulus shows what the event-driven scheduler saved.
+    """
+
+    cycles: int = 0
+    settle_calls: int = 0
+    settle_iterations: int = 0
+    comb_activations: int = 0
+    clocked_activations: int = 0
+    fast_path_cycles: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter (done automatically by ``Simulator.reset``)."""
+        self.cycles = 0
+        self.settle_calls = 0
+        self.settle_iterations = 0
+        self.comb_activations = 0
+        self.clocked_activations = 0
+        self.fast_path_cycles = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "cycles": self.cycles,
+            "settle_calls": self.settle_calls,
+            "settle_iterations": self.settle_iterations,
+            "comb_activations": self.comb_activations,
+            "clocked_activations": self.clocked_activations,
+            "fast_path_cycles": self.fast_path_cycles,
+        }
+
+    def report(self) -> str:
+        """Render the counters as an aligned, human-readable block."""
+        rows = self.as_dict()
+        width = max(len(k) for k in rows)
+        return "\n".join(f"{name:<{width}}  {value}" for name, value in rows.items())
+
+
 class Simulator:
-    """Synchronous, single-clock cycle-based simulator.
+    """Event-driven, synchronous, single-clock cycle-based simulator.
 
     Parameters
     ----------
@@ -43,15 +127,32 @@ class Simulator:
         self._signals: List[Signal] = []
         self._clocked: List[Process] = []
         self._comb: List[Process] = []
+        self._always_comb: List[Process] = []
+        self._sensitive: Dict[Signal, List[Process]] = {}
         self._monitors: List[Process] = []
+        self._dirty: Set[Signal] = set()
+        self._scheduled: Set[Signal] = set()
         self.max_settle_iterations = max_settle_iterations
         self.cycle = 0
+        self.stats = SimulatorStats()
 
     # -- registration ------------------------------------------------------
 
     def add_signal(self, signal: Signal) -> Signal:
-        """Track ``signal`` so commits and resets include it."""
+        """Track ``signal`` so commits and resets include it.
+
+        Registration binds the signal's event observer to this simulator and
+        marks it dirty, so the first settle pass sees every signal as a
+        potential input change (mirroring the reference kernel, which always
+        runs every combinational process on the first cycle).
+        """
         self._signals.append(signal)
+        signal.bind(self)
+        self._dirty.add(signal)
+        if signal._next is not None:
+            # A next value scheduled before registration (observer not yet
+            # bound) must still be committed on the next cycle.
+            self._scheduled.add(signal)
         return signal
 
     def add_signals(self, signals: Iterable[Signal]) -> None:
@@ -67,9 +168,23 @@ class Simulator:
         self._clocked.append(process)
         return process
 
-    def add_comb(self, process: Process) -> Process:
-        """Register a combinational process run during the settle phase."""
+    def add_comb(
+        self, process: Process, sensitive_to: Optional[Sequence[Signal]] = None
+    ) -> Process:
+        """Register a combinational process run during the settle phase.
+
+        ``sensitive_to`` lists the signals the process reads; the settle
+        phase re-runs it only when one of them changed.  When omitted, the
+        process falls back to *run always* semantics (re-run on every settle
+        pass), which is correct for any pure process at the cost of extra
+        activations.
+        """
         self._comb.append(process)
+        if sensitive_to is None:
+            self._always_comb.append(process)
+        else:
+            for sig in sensitive_to:
+                self._sensitive.setdefault(sig, []).append(process)
         return process
 
     def add_monitor(self, process: Process) -> Process:
@@ -77,56 +192,126 @@ class Simulator:
         self._monitors.append(process)
         return process
 
+    @property
+    def signals(self) -> List[Signal]:
+        """The registered signals, in registration order."""
+        return list(self._signals)
+
     def register_module(self, module) -> None:
         """Register a :class:`repro.rtl.module.Module` and its children."""
         module.attach(self)
 
+    # -- signal event hooks (called by bound Signals) ----------------------
+
+    def _signal_scheduled(self, signal: Signal) -> None:
+        self._scheduled.add(signal)
+
+    def _signal_changed(self, signal: Signal) -> None:
+        self._dirty.add(signal)
+
     # -- execution -----------------------------------------------------------
 
     def reset(self) -> None:
-        """Reset every registered signal and the cycle counter."""
+        """Reset all registered signals, the cycle counter, and the stats.
+
+        Reset→settle contract: after every signal returns to its reset value
+        (clearing any pending ``next``), one settle phase re-derives all
+        combinational outputs *before* ``reset()`` returns, so monitors and
+        trace recorders observe a fully consistent design on the first
+        ``step()`` after reset.  Monitors are **not** invoked during reset —
+        traces begin with the first post-reset cycle.  When no combinational
+        processes exist the settle is a no-op and the reset values stand as
+        committed; this is safe because with no processes there is nothing
+        whose outputs could be stale.  ``SimulatorStats`` is cleared last, so
+        the reset-time settle is not counted against the run.
+        """
         for sig in self._signals:
             sig.reset()
-        self.cycle = 0
+        self._scheduled.clear()
+        self._dirty.clear()
+        self._dirty.update(self._signals)
         self.settle()
+        self.cycle = 0
+        self.stats.reset()
 
     def settle(self) -> int:
-        """Run combinational processes until signals stop changing.
+        """Run triggered combinational processes until signals stop changing.
 
-        Returns the number of settle iterations used.
+        Returns the number of settle passes used (0 when nothing was dirty).
         """
-        if not self._comb:
+        dirty = self._dirty
+        if not dirty:
             return 0
-        for iteration in range(1, self.max_settle_iterations + 1):
-            changed = False
-            for proc in self._comb:
-                before = _snapshot(self._signals)
+        comb = self._comb
+        if not comb:
+            dirty.clear()
+            return 0
+        stats = self.stats
+        stats.settle_calls += 1
+        sensitive = self._sensitive
+        always = self._always_comb
+        iterations = 0
+        while dirty:
+            if iterations >= self.max_settle_iterations:
+                raise SimulationError(
+                    "combinational logic failed to settle within "
+                    f"{self.max_settle_iterations} iterations (possible combinational loop)"
+                )
+            iterations += 1
+            triggered = set(always)
+            for sig in dirty:
+                procs = sensitive.get(sig)
+                if procs:
+                    triggered.update(procs)
+            dirty.clear()
+            if not triggered:
+                break
+            if len(triggered) == len(comb):
+                to_run: Sequence[Process] = comb
+            else:
+                # Preserve registration order for the triggered subset.
+                to_run = [proc for proc in comb if proc in triggered]
+            for proc in to_run:
                 proc()
-                if _snapshot(self._signals) != before:
-                    changed = True
-            if not changed:
-                return iteration
-        raise SimulationError(
-            "combinational logic failed to settle within "
-            f"{self.max_settle_iterations} iterations (possible combinational loop)"
-        )
+            stats.comb_activations += len(to_run)
+        stats.settle_iterations += iterations
+        return iterations
 
     def step(self, cycles: int = 1) -> None:
-        """Advance the simulation ``cycles`` clock cycles."""
+        """Advance the simulation ``cycles`` clock cycles.
+
+        Cycles on which the commit phase changes no signal value skip the
+        settle phase entirely (counted in ``stats.fast_path_cycles``).
+        """
+        clocked = self._clocked
+        scheduled = self._scheduled
+        dirty = self._dirty
+        stats = self.stats
         for _ in range(cycles):
-            for proc in self._clocked:
+            for proc in clocked:
                 proc()
-            for sig in self._signals:
-                sig.commit()
-            self.settle()
+            stats.clocked_activations += len(clocked)
+            if scheduled:
+                for sig in scheduled:
+                    sig.commit()
+                scheduled.clear()
+            if dirty:
+                self.settle()
+            else:
+                stats.fast_path_cycles += 1
             self.cycle += 1
+            stats.cycles += 1
             for mon in self._monitors:
                 mon()
 
     def run_until(self, condition: Callable[[], bool], timeout: int = 100_000) -> int:
         """Step until ``condition()`` is true; return the number of cycles taken.
 
-        Raises :class:`SimulationError` when ``timeout`` cycles elapse first.
+        The condition is evaluated *before* each step: a condition that is
+        already true when ``run_until`` is called returns 0 without stepping,
+        even with ``timeout=0``.  A false condition with ``timeout=0`` raises
+        immediately.  Raises :class:`SimulationError` when ``timeout`` cycles
+        elapse with the condition still false.
         """
         start = self.cycle
         while not condition():
@@ -136,6 +321,66 @@ class Simulator:
                 )
             self.step()
         return self.cycle - start
+
+
+class ReferenceSimulator(Simulator):
+    """The original snapshot-based kernel, kept as the equivalence oracle.
+
+    Every settle pass runs *every* combinational process and detects change
+    by snapshotting the full signal vector before and after each process —
+    O(signals × processes) per pass.  ``step()`` always settles, never taking
+    the fast path.  The settle/step algorithms are the seed implementation,
+    so the differential harness can prove the event-driven *scheduler*
+    (sensitivity lists, dirty tracking, fast path) cycle-exact against them.
+    Note the :class:`~repro.rtl.signal.Signal` layer itself is shared by both
+    kernels — defects there are oracle-blind and are covered instead by the
+    signal unit tests in ``tests/test_rtl.py``.
+    """
+
+    # Dirty/scheduled bookkeeping is unused by this kernel; keep the signal
+    # hooks as no-ops so its per-cycle cost matches the seed implementation.
+    def _signal_scheduled(self, signal: Signal) -> None:
+        pass
+
+    def _signal_changed(self, signal: Signal) -> None:
+        pass
+
+    def settle(self) -> int:
+        self._dirty.clear()
+        if not self._comb:
+            return 0
+        stats = self.stats
+        stats.settle_calls += 1
+        for iteration in range(1, self.max_settle_iterations + 1):
+            changed = False
+            for proc in self._comb:
+                before = _snapshot(self._signals)
+                proc()
+                stats.comb_activations += 1
+                if _snapshot(self._signals) != before:
+                    changed = True
+            if not changed:
+                stats.settle_iterations += iteration
+                return iteration
+        raise SimulationError(
+            "combinational logic failed to settle within "
+            f"{self.max_settle_iterations} iterations (possible combinational loop)"
+        )
+
+    def step(self, cycles: int = 1) -> None:
+        stats = self.stats
+        for _ in range(cycles):
+            for proc in self._clocked:
+                proc()
+            stats.clocked_activations += len(self._clocked)
+            for sig in self._signals:
+                sig.commit()
+            self._scheduled.clear()
+            self.settle()
+            self.cycle += 1
+            stats.cycles += 1
+            for mon in self._monitors:
+                mon()
 
 
 def _snapshot(signals: List[Signal]) -> tuple:

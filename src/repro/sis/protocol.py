@@ -89,10 +89,12 @@ class SISProtocolMonitor:
     # -- checking ---------------------------------------------------------
 
     def sample(self) -> None:
+        # Runs after every simulated cycle; read signal slots directly to keep
+        # the monitor's overhead out of the kernel-throughput numbers.
         cycle = self._simulator.cycle if self._simulator is not None else len(self.violations)
         bundle = self.bundle
 
-        io_enable = bundle.io_enable.value
+        io_enable = bundle.io_enable._value
         if io_enable and self._prev_io_enable:
             self._io_enable_run += 1
             if self._io_enable_run >= 2:
@@ -100,7 +102,7 @@ class SISProtocolMonitor:
         else:
             self._io_enable_run = 0
 
-        if io_enable and bundle.data_in_valid.value and bundle.func_id.value == 0:
+        if io_enable and bundle.data_in_valid._value and bundle.func_id._value == 0:
             self._record(
                 cycle,
                 "status_register_write",
@@ -110,23 +112,23 @@ class SISProtocolMonitor:
         if (
             self.variant is ProtocolVariant.PSEUDO_ASYNCHRONOUS
             and self._prev_valid
-            and bundle.data_in_valid.value
-            and not bundle.io_done.value
+            and bundle.data_in_valid._value
+            and not bundle.io_done._value
         ):
-            if bundle.data_in.value != self._prev_data_in:
+            if bundle.data_in._value != self._prev_data_in:
                 self._record(
                     cycle,
                     "data_in_stability",
                     "DATA_IN changed while DATA_IN_VALID was held waiting for IO_DONE",
                 )
-            if bundle.func_id.value != self._prev_func_id:
+            if bundle.func_id._value != self._prev_func_id:
                 self._record(
                     cycle,
                     "func_id_stability",
                     "FUNC_ID changed while DATA_IN_VALID was held waiting for IO_DONE",
                 )
 
-        if bundle.data_out_valid.value and not bundle.io_done.value and self.variant is ProtocolVariant.PSEUDO_ASYNCHRONOUS:
+        if bundle.data_out_valid._value and not bundle.io_done._value and self.variant is ProtocolVariant.PSEUDO_ASYNCHRONOUS:
             # Figure 4.3: DATA_OUT_VALID and IO_DONE rise together on reads.
             self._record(
                 cycle,
@@ -135,9 +137,9 @@ class SISProtocolMonitor:
             )
 
         self._prev_io_enable = io_enable
-        self._prev_valid = bundle.data_in_valid.value
-        self._prev_data_in = bundle.data_in.value
-        self._prev_func_id = bundle.func_id.value
+        self._prev_valid = bundle.data_in_valid._value
+        self._prev_data_in = bundle.data_in._value
+        self._prev_func_id = bundle.func_id._value
 
     def _record(self, cycle: int, rule: str, detail: str) -> None:
         self.violations.append(ProtocolViolation(cycle=cycle, rule=rule, detail=detail))

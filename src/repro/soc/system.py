@@ -16,7 +16,7 @@ directly with ``peripheral`` already constructed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.buses.base import BusMaster, SlaveBundle
 from repro.buses.registry import create_bus
@@ -25,7 +25,7 @@ from repro.core.drivers.runtime import DriverSet
 from repro.core.engine import GenerationResult, Splice
 from repro.core.params import ModuleParams
 from repro.rtl.module import Module
-from repro.rtl.simulator import Simulator
+from repro.rtl.simulator import Simulator, SimulatorStats
 from repro.sis.protocol import SISProtocolMonitor, variant_for_bus
 from repro.soc.cpu import ProcessorModel
 
@@ -54,6 +54,11 @@ class SpliceSystem:
     def cycles(self) -> int:
         return self.simulator.cycle
 
+    @property
+    def stats(self) -> SimulatorStats:
+        """Kernel work counters (settle passes, activations, fast-path cycles)."""
+        return self.simulator.stats
+
     def reset(self) -> None:
         self.simulator.reset()
 
@@ -69,14 +74,20 @@ def build_system(
     engine: Optional[Splice] = None,
     inter_op_gap: int = 1,
     attach_monitor: bool = True,
+    simulator_factory: Callable[[], Simulator] = Simulator,
 ) -> SpliceSystem:
-    """Build a runnable system from a Splice specification string."""
+    """Build a runnable system from a Splice specification string.
+
+    ``simulator_factory`` selects the simulation kernel — the event-driven
+    :class:`~repro.rtl.simulator.Simulator` by default, or
+    :class:`~repro.rtl.simulator.ReferenceSimulator` for differential testing.
+    """
     engine = engine or Splice()
     result = engine.generate(source)
     module = result.module
     bus = result.bus
 
-    simulator = Simulator()
+    simulator = simulator_factory()
     slave, master = create_bus(
         bus.name,
         data_width=module.data_width,

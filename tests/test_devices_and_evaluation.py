@@ -90,13 +90,32 @@ class TestInterpolator:
         result = interpolate_fixed_point([0, 100], [0, 100], [50])
         assert result == 50 << 16  # halfway between 0 and 100 in 16.16 fixed point
 
-    @pytest.mark.parametrize("kind", ["splice_plb", "splice_fcb", "splice_plb_dma"])
-    def test_splice_implementations_agree_with_reference(self, kind):
-        device = build_splice_interpolator(kind)
-        sets = scenario(2).generate_inputs()
+    @pytest.mark.parametrize("number", [1, 2, 3, 4])
+    @pytest.mark.parametrize("bus", ["plb", "opb", "fcb", "apb"])
+    def test_splice_implementations_agree_with_reference(self, bus, number):
+        """Figure 9.1 scenario diversity: all four buses x all four scenarios."""
+        device = build_splice_interpolator(f"splice_{bus}")
+        sets = scenario(number).generate_inputs()
         outcome = device.run_scenario(sets)
         assert outcome["result"] == interpolate_fixed_point(*sets) & 0xFFFFFFFF
         assert outcome["cycles"] > CALCULATION_LATENCY
+
+    @pytest.mark.parametrize("number", [1, 4])
+    def test_dma_implementation_agrees_with_reference(self, number):
+        device = build_splice_interpolator("splice_plb_dma")
+        sets = scenario(number).generate_inputs()
+        outcome = device.run_scenario(sets)
+        assert outcome["result"] == interpolate_fixed_point(*sets) & 0xFFFFFFFF
+
+    def test_scenario_cycles_grow_with_size_on_every_bus(self):
+        """Each bus sees monotonically growing cost across Figure 9.1 scenarios."""
+        for bus in ("plb", "opb", "fcb", "apb"):
+            device = build_splice_interpolator(f"splice_{bus}")
+            cycles = [
+                device.run_scenario(scenario(n).generate_inputs())["cycles"]
+                for n in (1, 2, 3, 4)
+            ]
+            assert cycles == sorted(cycles), f"{bus}: {cycles}"
 
     def test_baselines_agree_with_reference(self):
         sets = scenario(1).generate_inputs()
