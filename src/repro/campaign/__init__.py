@@ -1,0 +1,45 @@
+"""Campaign subsystem: declarative scenario grids, pluggable execution,
+content-addressed result caching, and report artifacts.
+
+The moving parts, bottom-up:
+
+* :mod:`repro.campaign.sweep` — parametric scenario generators extending
+  Figure 9.1's four rows to arbitrary set-size sweeps,
+* :mod:`repro.campaign.spec` — :class:`CampaignSpec`, the declarative grid
+  of implementations × scenarios × seeds × repeats,
+* :mod:`repro.campaign.executor` — :class:`SerialExecutor` and the
+  process-sharded :class:`ShardedExecutor` (bit-identical by construction),
+* :mod:`repro.campaign.cache` — content-addressed per-cell result cache,
+* :mod:`repro.campaign.runner` — :func:`run_campaign`, the orchestrator,
+* :mod:`repro.campaign.result` — :class:`CampaignResult` aggregation plus
+  JSON/CSV/markdown artifact writers,
+* :mod:`repro.campaign.presets` — ready-made grids ("the paper grid").
+"""
+
+from repro.campaign.cache import ResultCache, cell_digest, kernel_fingerprint
+from repro.campaign.executor import SerialExecutor, ShardedExecutor, execute_cells, make_executor
+from repro.campaign.presets import PAPER_IMPLEMENTATIONS, paper_grid, sweep_grid
+from repro.campaign.result import CampaignResult, CellResult
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import CampaignCell, CampaignSpec
+from repro.campaign.sweep import SWEEP_MODES, ScenarioSweep
+
+__all__ = [
+    "CampaignCell",
+    "CampaignSpec",
+    "CampaignResult",
+    "CellResult",
+    "ResultCache",
+    "ScenarioSweep",
+    "SWEEP_MODES",
+    "SerialExecutor",
+    "ShardedExecutor",
+    "PAPER_IMPLEMENTATIONS",
+    "cell_digest",
+    "execute_cells",
+    "kernel_fingerprint",
+    "make_executor",
+    "paper_grid",
+    "run_campaign",
+    "sweep_grid",
+]

@@ -1,0 +1,151 @@
+"""Pluggable campaign executors: serial and process-sharded.
+
+Executors turn a list of :class:`~repro.campaign.spec.CampaignCell` into
+``{cell.key: (result, cycles, transactions)}``.  Both executors share the
+same per-shard runner (:func:`execute_cells`), so serial and sharded runs
+are bit-identical by construction: every cell's inputs are derived only from
+the cell itself, and runners are rebuilt fresh per shard.
+
+Simulators are not picklable, so :class:`ShardedExecutor` ships only the
+cell descriptors to each worker process; workers rebuild systems from the
+label via :mod:`repro.devices.registry`.  Cells are label-sorted before
+being split into contiguous shards, so each worker elaborates each of its
+implementations exactly once and reuses the runner across all of that
+label's cells.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.spec import CampaignCell
+from repro.devices.registry import build_runner
+
+#: What an executor returns per cell: (result, cycles, transactions).
+CellOutcome = Tuple[int, int, int]
+
+#: Progress callback: invoked with (cell, outcome) as results land, so the
+#: caller can persist incrementally (an interrupted campaign keeps what it
+#: finished).  Serial execution reports per cell; sharded per shard.
+ResultCallback = Callable[[CampaignCell, CellOutcome], None]
+
+
+def execute_cells(
+    cells: Sequence[CampaignCell],
+    on_result: Optional[ResultCallback] = None,
+) -> Dict[tuple, CellOutcome]:
+    """Run ``cells`` in-process, building each implementation once.
+
+    This is both the whole of :class:`SerialExecutor` and the per-worker body
+    of :class:`ShardedExecutor` — a single code path keeps the two executors
+    trivially equivalent.  (Workers call it without ``on_result``; callbacks
+    don't cross process boundaries.)
+    """
+    outcomes: Dict[tuple, CellOutcome] = {}
+    runners: Dict[str, object] = {}
+    for cell in sorted(cells, key=lambda c: c.key):
+        runner = runners.get(cell.label)
+        if runner is None:
+            runner = runners[cell.label] = build_runner(cell.label)
+        sets = cell.generate_inputs()
+        outcome = runner.run_scenario(sets)
+        outcomes[cell.key] = result = (
+            int(outcome["result"]) & 0xFFFFFFFF,
+            int(outcome["cycles"]),
+            int(outcome.get("transactions", 0)),
+        )
+        if on_result is not None:
+            on_result(cell, result)
+    return outcomes
+
+
+class SerialExecutor:
+    """Run every cell in the calling process."""
+
+    name = "serial"
+    workers = 1
+
+    def execute(
+        self,
+        cells: Sequence[CampaignCell],
+        on_result: Optional[ResultCallback] = None,
+    ) -> Dict[tuple, CellOutcome]:
+        return execute_cells(cells, on_result)
+
+
+class ShardedExecutor:
+    """Partition cells across worker processes.
+
+    Each worker receives a contiguous, label-sorted shard and rebuilds its
+    own systems (simulators are not picklable), so shards are independent
+    and the merged result is identical to a serial run.
+
+    Workers resolve labels through :mod:`repro.devices.registry` at import
+    time.  Labels registered at runtime via ``register_runner`` are only
+    visible to workers under the ``fork`` start method (Linux default); with
+    ``spawn`` (macOS/Windows), register them from a module that workers
+    import, or run serially.
+    """
+
+    name = "sharded"
+
+    def __init__(self, workers: int = 0) -> None:
+        self.workers = workers if workers > 0 else (os.cpu_count() or 1)
+
+    @staticmethod
+    def partition(cells: Sequence[CampaignCell], shards: int) -> List[List[CampaignCell]]:
+        """Label-sorted contiguous split into at most ``shards`` parts.
+
+        Sorting by key groups each label's cells together, so a shard that
+        holds k labels elaborates exactly k systems; contiguous splitting
+        keeps shard sizes within one cell of each other.
+        """
+        ordered = sorted(cells, key=lambda c: c.key)
+        shards = max(1, min(shards, len(ordered) or 1))
+        base, extra = divmod(len(ordered), shards)
+        parts: List[List[CampaignCell]] = []
+        start = 0
+        for index in range(shards):
+            size = base + (1 if index < extra else 0)
+            parts.append(ordered[start:start + size])
+            start += size
+        return [part for part in parts if part]
+
+    def execute(
+        self,
+        cells: Sequence[CampaignCell],
+        on_result: Optional[ResultCallback] = None,
+    ) -> Dict[tuple, CellOutcome]:
+        shards = self.partition(cells, self.workers)
+        if len(shards) <= 1:
+            return execute_cells(cells, on_result)
+        by_key = {cell.key: cell for cell in cells}
+        outcomes: Dict[tuple, CellOutcome] = {}
+        first_error: Optional[BaseException] = None
+        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+            futures = [pool.submit(execute_cells, shard) for shard in shards]
+            for future in as_completed(futures):
+                try:
+                    shard_result = future.result()
+                except BaseException as exc:
+                    # Keep draining: the other shards' finished work must
+                    # still reach on_result (the cache) before we re-raise.
+                    if first_error is None:
+                        first_error = exc
+                    continue
+                outcomes.update(shard_result)
+                if on_result is not None:
+                    for key, outcome in shard_result.items():
+                        on_result(by_key[key], outcome)
+        if first_error is not None:
+            raise first_error
+        return outcomes
+
+
+def make_executor(workers: int = 1) -> object:
+    """``workers <= 1`` → serial; otherwise a sharded pool of that size."""
+    if workers <= 1:
+        return SerialExecutor()
+    return ShardedExecutor(workers=workers)

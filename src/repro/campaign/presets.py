@@ -1,0 +1,69 @@
+"""Ready-made campaign specs.
+
+``paper_grid`` is *the* Chapter 9 evaluation — five interface
+implementations × the four Figure 9.1 scenarios — expressed as a campaign,
+so the legacy :mod:`repro.evaluation.experiments` entry points and the
+``splice campaign`` CLI both run the identical declarative object.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.sweep import ScenarioSweep
+from repro.evaluation.scenarios import SCENARIOS
+
+#: The five Section 9.2.1 implementations, in figure order.
+PAPER_IMPLEMENTATIONS = (
+    "simple_plb",
+    "splice_plb",
+    "splice_plb_dma",
+    "splice_fcb",
+    "optimized_fcb",
+)
+
+#: All splice-generated retargets (the full adapter matrix).
+SPLICE_IMPLEMENTATIONS = (
+    "splice_plb",
+    "splice_plb_dma",
+    "splice_fcb",
+    "splice_opb",
+    "splice_apb",
+)
+
+
+def paper_grid(*, seeds: Sequence[int] = (0,), repeats: int = 1) -> CampaignSpec:
+    """The paper's evaluation grid: 5 implementations × 4 scenarios."""
+    return CampaignSpec(
+        implementations=PAPER_IMPLEMENTATIONS,
+        scenarios=SCENARIOS,
+        seeds=tuple(seeds),
+        repeats=repeats,
+        name="paper-grid",
+    )
+
+
+def sweep_grid(
+    sweep: Optional[ScenarioSweep] = None,
+    *,
+    implementations: Sequence[str] = SPLICE_IMPLEMENTATIONS,
+    seeds: Sequence[int] = (0,),
+    repeats: int = 1,
+    name: str = "sweep-grid",
+) -> CampaignSpec:
+    """A campaign over a parametric sweep (default: linear, 4 steps)."""
+    sweep = sweep or ScenarioSweep()
+    return CampaignSpec(
+        implementations=tuple(implementations),
+        scenarios=sweep.scenarios(),
+        seeds=tuple(seeds),
+        repeats=repeats,
+        name=name,
+    )
+
+
+PRESETS = {
+    "paper": paper_grid,
+    "sweep": sweep_grid,
+}

@@ -1,0 +1,139 @@
+"""Declarative campaign descriptions.
+
+A :class:`CampaignSpec` is a pure-data description of an experiment grid:
+implementations × scenarios × seeds × repeats.  It carries no simulators and
+no open resources, so it pickles cleanly across process boundaries and can
+be fingerprinted for the result cache.
+
+:meth:`CampaignSpec.cells` expands the grid into :class:`CampaignCell`
+descriptors in a deterministic order; executors may run the cells in any
+order or partitioning, because results are keyed by :attr:`CampaignCell.key`
+and re-sorted during aggregation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.evaluation.scenarios import SCENARIOS, Scenario
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One cell of the campaign grid — plain data, picklable."""
+
+    label: str
+    scenario: Scenario
+    seed: int
+    repeat: int
+
+    #: Stride separating the input seeds of successive repeats.  Large and
+    #: prime so that (seed, repeat) pairs from grids mixing several seeds
+    #: with repeats > 1 never alias (they would with a stride of 1:
+    #: seed=0/repeat=1 and seed=1/repeat=0 would draw identical data).
+    REPEAT_SEED_STRIDE = 1_000_003
+
+    @property
+    def effective_seed(self) -> int:
+        """Seed actually used for input generation.
+
+        Repeats vary the seed so that averaging over repeats samples
+        *different* input data rather than re-measuring the identical run;
+        repeat 0 reproduces the single-run behaviour (plain ``seed``)
+        exactly.
+        """
+        return self.seed + self.repeat * self.REPEAT_SEED_STRIDE
+
+    @property
+    def key(self) -> Tuple[str, int, int, int, int, int, int]:
+        """Stable identity: label + full scenario shape + seed + repeat."""
+        s = self.scenario
+        return (self.label, s.number, s.set1, s.set2, s.set3, self.seed, self.repeat)
+
+    def generate_inputs(self) -> Tuple[List[int], List[int], List[int]]:
+        return self.scenario.generate_inputs(seed=self.effective_seed)
+
+    def describe(self) -> Dict[str, int]:
+        """JSON-friendly descriptor (used by the cache and artifacts)."""
+        s = self.scenario
+        return {
+            "label": self.label,
+            "scenario": s.number,
+            "set1": s.set1,
+            "set2": s.set2,
+            "set3": s.set3,
+            "seed": self.seed,
+            "repeat": self.repeat,
+        }
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative grid of implementations × scenarios × seeds × repeats."""
+
+    implementations: Tuple[str, ...]
+    scenarios: Tuple[Scenario, ...] = SCENARIOS
+    seeds: Tuple[int, ...] = (0,)
+    repeats: int = 1
+    name: str = "campaign"
+
+    def __post_init__(self) -> None:
+        if not self.implementations:
+            raise ValueError("a campaign needs at least one implementation")
+        if not self.scenarios:
+            raise ValueError("a campaign needs at least one scenario")
+        if self.repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {self.repeats}")
+        # Normalise list inputs so frozen instances hash/pickle predictably.
+        object.__setattr__(self, "implementations", tuple(self.implementations))
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        object.__setattr__(self, "seeds", tuple(self.seeds) or (0,))
+
+    @property
+    def cell_count(self) -> int:
+        return len(self.implementations) * len(self.scenarios) * len(self.seeds) * self.repeats
+
+    def cells(self) -> List[CampaignCell]:
+        """Expand the grid, implementation-major, in deterministic order."""
+        out: List[CampaignCell] = []
+        for label in self.implementations:
+            for scenario in self.scenarios:
+                for seed in self.seeds:
+                    for repeat in range(self.repeats):
+                        out.append(CampaignCell(label, scenario, seed, repeat))
+        return out
+
+    def describe(self) -> Dict[str, object]:
+        """Canonical JSON-friendly form (stable across processes)."""
+        return {
+            "name": self.name,
+            "implementations": list(self.implementations),
+            "scenarios": [
+                {"number": s.number, "set1": s.set1, "set2": s.set2, "set3": s.set3}
+                for s in self.scenarios
+            ],
+            "seeds": list(self.seeds),
+            "repeats": self.repeats,
+        }
+
+    def fingerprint(self) -> str:
+        """Content hash of the spec itself (not of the code that runs it)."""
+        payload = json.dumps(self.describe(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignSpec":
+        scenarios = tuple(
+            Scenario(number=s["number"], set1=s["set1"], set2=s["set2"], set3=s["set3"])
+            for s in data["scenarios"]
+        )
+        return cls(
+            implementations=tuple(data["implementations"]),
+            scenarios=scenarios,
+            seeds=tuple(data.get("seeds", (0,))),
+            repeats=int(data.get("repeats", 1)),
+            name=str(data.get("name", "campaign")),
+        )

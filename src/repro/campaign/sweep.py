@@ -1,0 +1,119 @@
+"""Parametric scenario sweeps: Figure 9.1 generalised to arbitrary grids.
+
+The paper evaluates four fixed set-size rows.  A :class:`ScenarioSweep`
+generates any number of rows from a growth rule, so a campaign can probe the
+interface implementations far beyond the published grid:
+
+``linear``
+    set sizes grow by a fixed increment per step (scenario *i* carries
+    ``base * i`` elements, Figure 9.1's own shape is roughly linear),
+``geometric``
+    set sizes double (or grow by ``ratio``) each step — stresses burst
+    handling and DMA crossover at the large end,
+``random``
+    independently drawn set sizes within ``[0, max_size]`` from a seeded
+    generator — deterministic for a given ``seed``,
+``burst``
+    burst-heavy rows: sizes are multiples of the quad-burst width with a
+    tiny control set, the best case for FCB bursts and DMA,
+``degenerate``
+    empty and near-empty sets ((0,0,0), single-element, one-empty-set
+    permutations) — the edge cases a hand-coded driver typically misses.
+
+Sweep scenarios are ordinary :class:`~repro.evaluation.scenarios.Scenario`
+instances (numbered from ``first_number`` upward), so everything downstream —
+input generation, runners, caching, reports — treats them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.evaluation.scenarios import SCENARIOS, Scenario
+
+#: Supported sweep modes.
+SWEEP_MODES = ("linear", "geometric", "random", "burst", "degenerate")
+
+
+@dataclass(frozen=True)
+class ScenarioSweep:
+    """A parametric generator of scenario rows."""
+
+    mode: str = "linear"
+    count: int = 4
+    base: Tuple[int, int, int] = (4, 2, 4)
+    ratio: float = 2.0
+    max_size: int = 64
+    seed: int = 0
+    first_number: int = 101
+
+    def __post_init__(self) -> None:
+        if self.mode not in SWEEP_MODES:
+            raise ValueError(f"unknown sweep mode {self.mode!r} (known: {SWEEP_MODES})")
+        if self.count < 1:
+            raise ValueError(f"sweep count must be >= 1, got {self.count}")
+        if self.mode == "geometric" and self.ratio <= 1.0:
+            raise ValueError(f"geometric sweeps need ratio > 1, got {self.ratio}")
+
+    def scenarios(self) -> Tuple[Scenario, ...]:
+        """Generate the sweep rows, deterministically."""
+        build = getattr(self, f"_{self.mode}")
+        return tuple(build())
+
+    # -- per-mode generators -----------------------------------------------------
+
+    def _linear(self):
+        b1, b2, b3 = self.base
+        for step in range(1, self.count + 1):
+            yield self._row(step - 1, b1 * step, b2 * step, b3 * step)
+
+    def _geometric(self):
+        b1, b2, b3 = self.base
+        for step in range(self.count):
+            factor = self.ratio ** step
+            yield self._row(step, int(b1 * factor), int(b2 * factor), int(b3 * factor))
+
+    def _random(self):
+        rng = np.random.default_rng(self.seed)
+        for step in range(self.count):
+            sizes = rng.integers(0, self.max_size + 1, size=3)
+            yield self._row(step, int(sizes[0]), int(sizes[1]), int(sizes[2]))
+
+    def _burst(self):
+        # Quad-burst-aligned timestamp/query sets with a minimal control set:
+        # the workload shape where burst-capable interconnects shine.
+        b1, _, b3 = self.base
+        for step in range(1, self.count + 1):
+            set1 = max(4, ((b1 * step + 3) // 4) * 4)
+            set3 = max(4, ((b3 * step + 3) // 4) * 4)
+            yield self._row(step - 1, set1, 1, set3)
+
+    def _degenerate(self):
+        rows = [
+            (0, 0, 0),  # nothing at all
+            (1, 1, 1),  # single element everywhere
+            (0, 4, 4),  # no timestamps
+            (4, 0, 4),  # no control values
+            (4, 4, 0),  # no queries
+            (1, 0, 0),  # lone timestamp
+        ]
+        for step in range(self.count):
+            sizes = rows[step % len(rows)]
+            yield self._row(step, *sizes)
+
+    def _row(self, step: int, set1: int, set2: int, set3: int) -> Scenario:
+        clamp = lambda n: max(0, min(int(n), self.max_size))
+        return Scenario(
+            number=self.first_number + step,
+            set1=clamp(set1),
+            set2=clamp(set2),
+            set3=clamp(set3),
+        )
+
+
+def figure_9_1_rows() -> Tuple[Scenario, ...]:
+    """The paper's own four rows, for symmetry with sweep generators."""
+    return SCENARIOS

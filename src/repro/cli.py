@@ -1,15 +1,29 @@
-"""Command-line interface: ``splice <spec-file> [-o OUTPUT_DIR]``.
+"""Command-line interface.
 
-Mirrors how the original tool was driven: point it at a specification file
-and it writes the generated hardware and software files into a subdirectory
-named after the ``%device_name`` directive.
+Subcommands:
 
-``--simulate N`` additionally elaborates the generated design into a
-simulated SoC (with default stub behaviours), advances it ``N`` bus cycles,
-and prints the kernel's :class:`~repro.rtl.simulator.SimulatorStats` —
-settle passes, process activations, and fast-path cycles.  ``--kernel``
-selects the event-driven kernel (default) or the snapshot-based reference
-kernel for comparison.
+``splice generate <spec-file> [-o OUTPUT_DIR] [--list-only]``
+    Mirrors how the original tool was driven: point it at a specification
+    file and it writes the generated hardware and software files into a
+    subdirectory named after the ``%device_name`` directive.
+    ``--simulate N`` additionally elaborates the generated design into a
+    simulated SoC (with default stub behaviours), advances it ``N`` bus
+    cycles, and prints the kernel's
+    :class:`~repro.rtl.simulator.SimulatorStats`; ``--kernel`` selects the
+    event-driven kernel (default) or the snapshot-based reference kernel.
+
+``splice campaign run``
+    Run a declarative campaign grid (a preset, or implementations × a
+    parametric scenario sweep) serially or sharded across worker processes,
+    with an optional content-addressed result cache, and write
+    JSON/CSV/markdown artifacts.
+
+``splice campaign report <campaign.json>``
+    Re-render a previously written campaign result as markdown, CSV or a
+    plain-text table without re-running anything.
+
+The legacy flat invocation ``splice <spec-file> [...]`` still works: when
+the first argument is not a subcommand name it is routed to ``generate``.
 """
 
 from __future__ import annotations
@@ -21,12 +35,11 @@ from pathlib import Path
 from repro.core.engine import Splice
 from repro.core.syntax.errors import SpliceError
 
+#: Names that select a subcommand; anything else routes to ``generate``.
+_SUBCOMMANDS = ("generate", "campaign")
 
-def build_arg_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="splice",
-        description="Generate bus-independent peripheral interfaces from a Splice specification.",
-    )
+
+def _add_generate_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("spec", help="path to the Splice specification file")
     parser.add_argument(
         "-o", "--output", default=".", help="directory under which <device_name>/ is created"
@@ -50,6 +63,67 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default="event",
         help="simulation kernel used with --simulate (default: event-driven)",
     )
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="splice",
+        description="Generate bus-independent peripheral interfaces from a Splice "
+        "specification, and run evaluation campaigns over them.",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    generate = subparsers.add_parser(
+        "generate", help="generate interface files from a specification"
+    )
+    _add_generate_arguments(generate)
+
+    campaign = subparsers.add_parser(
+        "campaign", help="run or report declarative experiment campaigns"
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    run = campaign_sub.add_parser("run", help="run a campaign grid")
+    run.add_argument(
+        "--preset",
+        choices=("paper", "sweep"),
+        default=None,
+        help="ready-made grid: 'paper' (5 implementations x Figure 9.1) or "
+        "'sweep' (splice implementations x a parametric sweep)",
+    )
+    run.add_argument(
+        "--implementations",
+        nargs="+",
+        metavar="LABEL",
+        default=None,
+        help="implementation labels (default: the preset's, or the paper's five)",
+    )
+    run.add_argument(
+        "--sweep",
+        choices=("linear", "geometric", "random", "burst", "degenerate"),
+        default=None,
+        help="generate scenarios from a parametric sweep instead of Figure 9.1",
+    )
+    run.add_argument("--sweep-count", type=int, default=4, metavar="N",
+                     help="number of sweep scenarios (default: 4)")
+    run.add_argument("--sweep-seed", type=int, default=0,
+                     help="seed for the 'random' sweep mode (default: 0)")
+    run.add_argument("--seeds", nargs="+", type=int, default=[0], metavar="S",
+                     help="input-data seeds (default: 0)")
+    run.add_argument("--repeats", type=int, default=1,
+                     help="repeats per cell; each repeat draws fresh inputs (default: 1)")
+    run.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="worker processes; 1 = serial (default: 1)")
+    run.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="content-addressed result cache directory (default: no cache)")
+    run.add_argument("--artifacts", default=None, metavar="DIR",
+                     help="write campaign.json/.csv/.md under DIR")
+
+    report = campaign_sub.add_parser("report", help="re-render a saved campaign result")
+    report.add_argument("result", help="path to a campaign.json written by 'campaign run'")
+    report.add_argument("--format", choices=("markdown", "csv", "text"), default="markdown",
+                        help="output format (default: markdown)")
+
     return parser
 
 
@@ -66,8 +140,7 @@ def _simulate(args) -> int:
     return 0
 
 
-def main(argv=None) -> int:
-    args = build_arg_parser().parse_args(argv)
+def _generate(args) -> int:
     if args.simulate is not None and args.list_only:
         print("splice: --list-only and --simulate are mutually exclusive", file=sys.stderr)
         return 2
@@ -96,5 +169,120 @@ def main(argv=None) -> int:
     return 0
 
 
+def _campaign_spec_from_args(args):
+    from repro.campaign.presets import PAPER_IMPLEMENTATIONS, paper_grid, sweep_grid
+    from repro.campaign.spec import CampaignSpec
+    from repro.campaign.sweep import ScenarioSweep
+    from repro.evaluation.scenarios import SCENARIOS
+
+    sweep = None
+    if args.sweep is not None or args.preset == "sweep":
+        # The sweep preset without an explicit --sweep mode uses the default
+        # (linear) mode but still honours --sweep-count / --sweep-seed.
+        sweep = ScenarioSweep(
+            mode=args.sweep or "linear", count=args.sweep_count, seed=args.sweep_seed
+        )
+
+    if args.preset == "paper" or (args.preset is None and sweep is None and args.implementations is None):
+        spec = paper_grid(seeds=tuple(args.seeds), repeats=args.repeats)
+    elif args.preset == "sweep" or sweep is not None:
+        kwargs = dict(seeds=tuple(args.seeds), repeats=args.repeats)
+        if args.implementations is not None:
+            kwargs["implementations"] = tuple(args.implementations)
+        spec = sweep_grid(sweep, **kwargs)
+    else:
+        spec = CampaignSpec(
+            implementations=tuple(args.implementations or PAPER_IMPLEMENTATIONS),
+            scenarios=SCENARIOS,
+            seeds=tuple(args.seeds),
+            repeats=args.repeats,
+            name="cli-grid",
+        )
+    return spec
+
+
+def _campaign_run(args) -> int:
+    from repro.campaign.runner import run_campaign
+    from repro.evaluation.experiments import IMPLEMENTATION_NAMES
+
+    if args.preset == "paper" and (args.sweep is not None or args.implementations is not None):
+        print(
+            "splice: --preset paper fixes the grid; it cannot be combined with "
+            "--sweep or --implementations (drop --preset to customise)",
+            file=sys.stderr,
+        )
+        return 2
+    spec = _campaign_spec_from_args(args)
+    cache = None
+    if args.cache_dir:
+        from repro.campaign.cache import ResultCache
+
+        try:
+            cache = ResultCache(args.cache_dir)
+        except OSError as exc:
+            print(f"splice: cannot use cache directory {args.cache_dir!r}: {exc}", file=sys.stderr)
+            return 2
+    result = run_campaign(spec, workers=args.workers, cache=cache)
+    meta = result.meta
+    print(
+        f"Campaign {spec.name!r}: {meta['cells_total']} cells "
+        f"({meta['cells_cached']} cached, {meta['cells_executed']} executed) "
+        f"via {meta['executor']} executor x{meta['workers']} "
+        f"in {meta['elapsed_s']:.3f}s"
+    )
+    if args.artifacts:
+        paths = result.write_artifacts(Path(args.artifacts), names=IMPLEMENTATION_NAMES)
+        for kind, path in sorted(paths.items()):
+            print(f"  {kind}: {path}")
+    else:
+        print()
+        print(result.to_markdown(names=IMPLEMENTATION_NAMES))
+    return 0
+
+
+def _campaign_report(args) -> int:
+    from repro.campaign.result import CampaignResult
+    from repro.evaluation.experiments import IMPLEMENTATION_NAMES
+    from repro.evaluation.report import cycles_report
+
+    path = Path(args.result)
+    if not path.exists():
+        print(f"splice: campaign result not found: {args.result}", file=sys.stderr)
+        return 2
+    result = CampaignResult.from_json(path)
+    if args.format == "markdown":
+        print(result.to_markdown(names=IMPLEMENTATION_NAMES), end="")
+    elif args.format == "csv":
+        print(result.to_csv(), end="")
+    else:
+        table = result.cycles_table()
+        ordered = {label: table[label] for label in result.spec.implementations if label in table}
+        print(cycles_report(ordered, IMPLEMENTATION_NAMES))
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Legacy flat invocation: `splice <spec-file> [...]`.  Only the FIRST
+    # token can select a subcommand — a later bare token may be an option
+    # value (e.g. `splice -o campaign spec.spl`).  Anything else routes to
+    # `generate`, except bare help flags, which get the top-level help.
+    if argv and argv[0] not in _SUBCOMMANDS and not all(t in ("-h", "--help") for t in argv):
+        argv = ["generate"] + argv
+
+    args = build_arg_parser().parse_args(argv)
+    if args.command == "campaign":
+        if args.campaign_command == "run":
+            return _campaign_run(args)
+        return _campaign_report(args)
+    if args.command == "generate":
+        return _generate(args)
+    build_arg_parser().print_help()
+    return 2
+
+
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(141)  # downstream pipe (e.g. `| head`) closed early

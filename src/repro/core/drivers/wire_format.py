@@ -51,6 +51,11 @@ def serialize_io(io: IOParams, value: Value, bus_width: int, element_count: int)
             f"I/O {io.io_name!r} needs {element_count} elements but only {len(values)} were supplied"
         )
     values = values[:element_count]
+    if not values:
+        # A zero-count pointer transfers no beats at all: the hardware stub
+        # skips the corresponding input state entirely, so emitting a padding
+        # word here would desynchronise the ICOB state machine.
+        return []
 
     if io.is_packed and io.io_width < bus_width:
         per_beat = max(1, bus_width // io.io_width)

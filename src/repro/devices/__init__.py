@@ -6,6 +6,8 @@
   Scan Eagle UAV linear interpolator behind Splice-generated interfaces.
 * :mod:`repro.devices.baselines` — the two hand-coded baseline interfaces
   (naïve PLB, optimized FCB) the paper compares against.
+* :mod:`repro.devices.registry` — the label → runner-builder registry the
+  campaign subsystem uses to rebuild systems inside worker processes.
 """
 
 from repro.devices.timer import TIMER_SPEC, HardwareTimerCore, build_timer_system
@@ -22,8 +24,12 @@ from repro.devices.baselines import (
     build_naive_plb_system,
     build_optimized_fcb_system,
 )
+from repro.devices.registry import build_runner, known_labels, register_runner
 
 __all__ = [
+    "build_runner",
+    "known_labels",
+    "register_runner",
     "TIMER_SPEC",
     "HardwareTimerCore",
     "build_timer_system",

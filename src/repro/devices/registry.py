@@ -1,0 +1,62 @@
+"""Runner-builder registry: implementation labels → runnable systems.
+
+The campaign subsystem ships grid cells to worker processes as plain data
+(label strings, scenario descriptors, seeds).  Simulators themselves are not
+picklable, so each worker looks the label up here and elaborates its own
+system.  The registry is populated at import time with the five Chapter 9
+implementations (plus the OPB/APB retargets) and stays open for plugins:
+:func:`register_runner` accepts any zero-argument builder whose result
+exposes ``run_scenario(sets) -> {"result", "cycles", ...}``.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Dict, List
+
+from repro.devices.baselines import build_naive_plb_system, build_optimized_fcb_system
+from repro.devices.interpolator import build_splice_interpolator
+
+#: label -> zero-argument builder returning an object with ``run_scenario``.
+_BUILDERS: Dict[str, Callable[[], object]] = {}
+
+
+def register_runner(label: str, builder: Callable[[], object], *, replace: bool = False) -> None:
+    """Register ``builder`` under ``label``.
+
+    Builders must be importable module-level callables (or partials of them)
+    so that worker processes can rebuild the runner from the label alone.
+    Note that a registration made at runtime only reaches sharded-executor
+    workers when processes are forked (Linux default); under the ``spawn``
+    start method, perform the registration in a module the workers import.
+    """
+    if label in _BUILDERS and not replace:
+        raise ValueError(f"runner label {label!r} is already registered")
+    _BUILDERS[label] = builder
+
+
+def known_labels() -> List[str]:
+    """All registered implementation labels, sorted."""
+    return sorted(_BUILDERS)
+
+
+def build_runner(label: str):
+    """Elaborate a fresh system for ``label`` and return it.
+
+    The returned object exposes ``run_scenario(sets)``; building is the
+    expensive step (parsing the spec, elaborating RTL), so callers should
+    build once per label and reuse the runner across scenarios.
+    """
+    try:
+        builder = _BUILDERS[label]
+    except KeyError:
+        raise KeyError(
+            f"unknown implementation label {label!r} (known: {known_labels()})"
+        ) from None
+    return builder()
+
+
+register_runner("simple_plb", build_naive_plb_system)
+register_runner("optimized_fcb", build_optimized_fcb_system)
+for _kind in ("splice_plb", "splice_plb_dma", "splice_fcb", "splice_opb", "splice_apb"):
+    register_runner(_kind, functools.partial(build_splice_interpolator, _kind))

@@ -20,21 +20,16 @@ helpers compute the headline percentages quoted in Sections 9.3.1 and 9.3.2.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.core.engine import Splice
-from repro.devices.baselines import (
-    build_naive_plb_system,
-    build_optimized_fcb_system,
-    naive_plb_resource_ir,
-    optimized_fcb_resource_ir,
-)
+from repro.devices.baselines import naive_plb_resource_ir, optimized_fcb_resource_ir
 from repro.devices.interpolator import (
     INTERPOLATOR_SPEC_FCB,
     INTERPOLATOR_SPEC_PLB,
     INTERPOLATOR_SPEC_PLB_DMA,
-    build_splice_interpolator,
 )
+from repro.devices.registry import build_runner
 from repro.evaluation.scenarios import SCENARIOS, Scenario
 from repro.resources.estimator import ResourceReport, estimate_entities, estimate_hardware
 
@@ -59,15 +54,7 @@ IMPLEMENTATION_NAMES = {
 
 def _runner_for(label: str) -> Callable[[Sequence[Sequence[int]]], Dict[str, int]]:
     """Build a fresh system for ``label`` and return its scenario runner."""
-    if label == "simple_plb":
-        return build_naive_plb_system().run_scenario
-    if label == "optimized_fcb":
-        return build_optimized_fcb_system().run_scenario
-    if label.startswith("splice_"):
-        # Covers the paper's three generated interfaces plus the OPB/APB
-        # retargets used for scenario-diversity testing.
-        return build_splice_interpolator(label).run_scenario
-    raise KeyError(f"unknown implementation label {label!r}")
+    return build_runner(label).run_scenario
 
 
 def run_cycles_experiment(
@@ -76,37 +63,46 @@ def run_cycles_experiment(
     *,
     repeats: int = 1,
     seed: int = 0,
+    workers: int = 1,
 ) -> Dict[str, Dict[int, int]]:
     """Figure 9.2: bus clock cycles per run for every implementation/scenario.
 
-    A fresh system is built per implementation; each scenario is run
-    ``repeats`` times (results are averaged) on identical input data.
-    Returns ``{implementation: {scenario_number: cycles}}``.
+    This is now a thin preset over :mod:`repro.campaign`: the grid is a
+    :class:`~repro.campaign.spec.CampaignSpec` and ``workers > 1`` shards the
+    cells across processes.  Each scenario is run ``repeats`` times and the
+    cycle counts are averaged; every repeat draws *fresh* input data
+    (see :attr:`~repro.campaign.spec.CampaignCell.effective_seed` —
+    averaging identical runs would be a no-op), with repeat 0 reproducing
+    the classic single-run measurement exactly.
+    Returns ``{implementation: {scenario_number: mean cycles}}``.
     """
-    results: Dict[str, Dict[int, int]] = {}
-    for label in implementations:
-        per_scenario: Dict[int, int] = {}
-        runner = _runner_for(label)
-        for scenario in scenarios:
-            cycles = []
-            for repeat in range(repeats):
-                sets = scenario.generate_inputs(seed=seed)
-                outcome = runner(sets)
-                cycles.append(outcome["cycles"])
-            per_scenario[scenario.number] = int(round(sum(cycles) / len(cycles)))
-        results[label] = per_scenario
-    return results
+    from repro.campaign.runner import run_campaign
+    from repro.campaign.spec import CampaignSpec
+
+    spec = CampaignSpec(
+        implementations=tuple(implementations),
+        scenarios=tuple(scenarios),
+        seeds=(seed,),
+        repeats=repeats,
+        name="figure-9.2",
+    )
+    result = run_campaign(spec, workers=workers)
+    table = result.cycles_table()
+    return {label: dict(sorted(table.get(label, {}).items())) for label in implementations}
 
 
 def run_correctness_check(scenarios: Sequence[Scenario] = SCENARIOS, *, seed: int = 0) -> Dict[int, bool]:
-    """Verify every implementation computes the identical result per scenario."""
+    """Verify every implementation computes the identical result per scenario.
+
+    Each implementation's system is elaborated once and reused across every
+    scenario (building is the expensive step; scenario runs leave the system
+    re-runnable).
+    """
+    runners = {label: _runner_for(label) for label in IMPLEMENTATIONS}
     agreement: Dict[int, bool] = {}
     for scenario in scenarios:
         sets = scenario.generate_inputs(seed=seed)
-        values = set()
-        for label in IMPLEMENTATIONS:
-            runner = _runner_for(label)
-            values.add(runner(sets)["result"] & 0xFFFFFFFF)
+        values = {runner(sets)["result"] & 0xFFFFFFFF for runner in runners.values()}
         agreement[scenario.number] = len(values) == 1
     return agreement
 
