@@ -1,0 +1,85 @@
+"""Kernel shoot-out benchmark — writes ``BENCH_kernels.json``.
+
+Measures simulated bus cycles per wall-clock second for the three kernels
+(snapshot-based reference, event-driven, levelized compiled) on two
+workloads, so the per-PR perf trajectory of the simulation core is tracked
+in one machine-readable artifact:
+
+* the **timer workload** — the Chapter 8 timer running with a far-away
+  threshold, the same design ``test_bench_timer.py`` uses, and
+* one **Figure 9.1 bus matrix** — scenario 2 through the Splice-generated
+  interpolator on all four buses.
+
+The compiled/event ratio on the timer workload is the gate: the compiled
+kernel must always win (ratio > 1 in smoke mode), and by >= 3x in full
+benchmark mode.  Only ratios are asserted — absolute cycles/s depend on the
+host — which is also what the CI kernel perf-smoke job re-checks.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.devices.interpolator import build_splice_interpolator
+from repro.devices.timer import build_timer_system
+from repro.evaluation.scenarios import SCENARIOS
+from repro.rtl import KERNELS
+
+_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+#: Fewer cycles for the reference kernel: it is O(signals x processes) per
+#: cycle, and the rate estimate converges long before 20k cycles.
+_TIMER_CYCLES = {"reference": 4_000, "event": 20_000, "compiled": 20_000}
+
+_FIG91_BUSES = ("plb", "fcb", "opb", "apb")
+
+
+def _timer_rate(kernel: str) -> float:
+    timer = build_timer_system(simulator_factory=KERNELS[kernel])
+    timer.drivers["set_threshold"](1 << 40)  # effectively never fires
+    timer.drivers["enable"]()
+    cycles = _TIMER_CYCLES[kernel]
+    start = time.perf_counter()
+    timer.system.run(cycles)
+    return cycles / (time.perf_counter() - start)
+
+
+def _fig91_rate(kernel: str, bus: str, sets) -> float:
+    device = build_splice_interpolator(f"splice_{bus}", simulator_factory=KERNELS[kernel])
+    start = time.perf_counter()
+    outcome = device.run_scenario(sets)
+    elapsed = time.perf_counter() - start
+    return outcome["cycles"] / elapsed if elapsed > 0 else 0.0
+
+
+def test_kernel_throughput_matrix(benchmark, once):
+    def measure():
+        timer = {kernel: round(_timer_rate(kernel), 1) for kernel in KERNELS}
+        scenario = next(s for s in SCENARIOS if s.number == 2)
+        sets = scenario.generate_inputs()
+        fig91 = {
+            bus: {kernel: round(_fig91_rate(kernel, bus, sets), 1) for kernel in KERNELS}
+            for bus in _FIG91_BUSES
+        }
+        return {"timer_cycles_per_s": timer, "fig91_scenario2_cycles_per_s": fig91}
+
+    record = once(benchmark, measure)
+    timer = record["timer_cycles_per_s"]
+    record["ratios"] = {
+        "event_over_reference_timer": round(timer["event"] / timer["reference"], 2),
+        "compiled_over_event_timer": round(timer["compiled"] / timer["event"], 2),
+        "compiled_over_reference_timer": round(timer["compiled"] / timer["reference"], 2),
+    }
+    _BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nBENCH_kernels.json: {json.dumps(record, indent=2)}")
+
+    ratio = record["ratios"]["compiled_over_event_timer"]
+    if getattr(benchmark, "disabled", False):
+        # Smoke mode (--benchmark-disable, e.g. CI on shared runners): the
+        # compiled kernel must still beat the event kernel outright.
+        assert ratio > 1.0, f"compiled kernel slower than event kernel ({ratio:.2f}x)"
+    else:
+        assert ratio >= 3.0, f"compiled kernel only {ratio:.2f}x over event kernel"
+    # The levelized sweep must also win on a busy bus workload, on every bus.
+    for bus, rates in record["fig91_scenario2_cycles_per_s"].items():
+        assert rates["compiled"] > rates["reference"], (bus, rates)

@@ -36,7 +36,7 @@ def execute_cells(
     cells: Sequence[CampaignCell],
     on_result: Optional[ResultCallback] = None,
 ) -> Dict[tuple, CellOutcome]:
-    """Run ``cells`` in-process, building each implementation once.
+    """Run ``cells`` in-process, building each (implementation, kernel) once.
 
     This is both the whole of :class:`SerialExecutor` and the per-worker body
     of :class:`ShardedExecutor` — a single code path keeps the two executors
@@ -44,11 +44,12 @@ def execute_cells(
     don't cross process boundaries.)
     """
     outcomes: Dict[tuple, CellOutcome] = {}
-    runners: Dict[str, object] = {}
+    runners: Dict[tuple, object] = {}
     for cell in sorted(cells, key=lambda c: c.key):
-        runner = runners.get(cell.label)
+        runner_key = (cell.label, cell.kernel)
+        runner = runners.get(runner_key)
         if runner is None:
-            runner = runners[cell.label] = build_runner(cell.label)
+            runner = runners[runner_key] = build_runner(cell.label, kernel=cell.kernel)
         sets = cell.generate_inputs()
         outcome = runner.run_scenario(sets)
         outcomes[cell.key] = result = (

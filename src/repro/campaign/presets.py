@@ -33,7 +33,9 @@ SPLICE_IMPLEMENTATIONS = (
 )
 
 
-def paper_grid(*, seeds: Sequence[int] = (0,), repeats: int = 1) -> CampaignSpec:
+def paper_grid(
+    *, seeds: Sequence[int] = (0,), repeats: int = 1, kernel: str = "event"
+) -> CampaignSpec:
     """The paper's evaluation grid: 5 implementations × 4 scenarios."""
     return CampaignSpec(
         implementations=PAPER_IMPLEMENTATIONS,
@@ -41,6 +43,7 @@ def paper_grid(*, seeds: Sequence[int] = (0,), repeats: int = 1) -> CampaignSpec
         seeds=tuple(seeds),
         repeats=repeats,
         name="paper-grid",
+        kernel=kernel,
     )
 
 
@@ -51,6 +54,7 @@ def sweep_grid(
     seeds: Sequence[int] = (0,),
     repeats: int = 1,
     name: str = "sweep-grid",
+    kernel: str = "event",
 ) -> CampaignSpec:
     """A campaign over a parametric sweep (default: linear, 4 steps)."""
     sweep = sweep or ScenarioSweep()
@@ -60,6 +64,7 @@ def sweep_grid(
         seeds=tuple(seeds),
         repeats=repeats,
         name=name,
+        kernel=kernel,
     )
 
 

@@ -27,7 +27,7 @@ from repro.campaign.spec import CampaignCell, CampaignSpec
 
 #: Column order shared by the CSV writer and the JSON cell payload.
 CELL_FIELDS = (
-    "label", "scenario", "set1", "set2", "set3", "seed", "repeat",
+    "label", "scenario", "set1", "set2", "set3", "seed", "repeat", "kernel",
     "result", "cycles", "transactions",
 )
 
@@ -134,6 +134,7 @@ class CampaignResult:
             cell = CampaignCell(
                 label=row["label"], scenario=scenario,
                 seed=row["seed"], repeat=row["repeat"],
+                kernel=row.get("kernel", spec.kernel),
             )
             cells.append(
                 CellResult(

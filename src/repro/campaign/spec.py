@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
 from repro.evaluation.scenarios import SCENARIOS, Scenario
+from repro.rtl import DEFAULT_KERNEL, KERNELS
 
 
 @dataclass(frozen=True)
@@ -29,6 +30,9 @@ class CampaignCell:
     scenario: Scenario
     seed: int
     repeat: int
+    #: Simulation kernel the cell runs on; part of the identity (and hence
+    #: the cache key), so the same grid on two kernels never shares results.
+    kernel: str = DEFAULT_KERNEL
 
     #: Stride separating the input seeds of successive repeats.  Large and
     #: prime so that (seed, repeat) pairs from grids mixing several seeds
@@ -48,15 +52,15 @@ class CampaignCell:
         return self.seed + self.repeat * self.REPEAT_SEED_STRIDE
 
     @property
-    def key(self) -> Tuple[str, int, int, int, int, int, int]:
-        """Stable identity: label + full scenario shape + seed + repeat."""
+    def key(self) -> Tuple[str, int, int, int, int, int, int, str]:
+        """Stable identity: label + scenario shape + seed + repeat + kernel."""
         s = self.scenario
-        return (self.label, s.number, s.set1, s.set2, s.set3, self.seed, self.repeat)
+        return (self.label, s.number, s.set1, s.set2, s.set3, self.seed, self.repeat, self.kernel)
 
     def generate_inputs(self) -> Tuple[List[int], List[int], List[int]]:
         return self.scenario.generate_inputs(seed=self.effective_seed)
 
-    def describe(self) -> Dict[str, int]:
+    def describe(self) -> Dict[str, object]:
         """JSON-friendly descriptor (used by the cache and artifacts)."""
         s = self.scenario
         return {
@@ -67,6 +71,7 @@ class CampaignCell:
             "set3": s.set3,
             "seed": self.seed,
             "repeat": self.repeat,
+            "kernel": self.kernel,
         }
 
 
@@ -79,6 +84,7 @@ class CampaignSpec:
     seeds: Tuple[int, ...] = (0,)
     repeats: int = 1
     name: str = "campaign"
+    kernel: str = DEFAULT_KERNEL
 
     def __post_init__(self) -> None:
         if not self.implementations:
@@ -87,6 +93,10 @@ class CampaignSpec:
             raise ValueError("a campaign needs at least one scenario")
         if self.repeats < 1:
             raise ValueError(f"repeats must be >= 1, got {self.repeats}")
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"unknown simulation kernel {self.kernel!r} (known: {sorted(KERNELS)})"
+            )
         # Normalise list inputs so frozen instances hash/pickle predictably.
         object.__setattr__(self, "implementations", tuple(self.implementations))
         object.__setattr__(self, "scenarios", tuple(self.scenarios))
@@ -103,7 +113,7 @@ class CampaignSpec:
             for scenario in self.scenarios:
                 for seed in self.seeds:
                     for repeat in range(self.repeats):
-                        out.append(CampaignCell(label, scenario, seed, repeat))
+                        out.append(CampaignCell(label, scenario, seed, repeat, self.kernel))
         return out
 
     def describe(self) -> Dict[str, object]:
@@ -117,6 +127,7 @@ class CampaignSpec:
             ],
             "seeds": list(self.seeds),
             "repeats": self.repeats,
+            "kernel": self.kernel,
         }
 
     def fingerprint(self) -> str:
@@ -136,4 +147,5 @@ class CampaignSpec:
             seeds=tuple(data.get("seeds", (0,))),
             repeats=int(data.get("repeats", 1)),
             name=str(data.get("name", "campaign")),
+            kernel=str(data.get("kernel", DEFAULT_KERNEL)),
         )

@@ -10,7 +10,8 @@ Subcommands:
     simulated SoC (with default stub behaviours), advances it ``N`` bus
     cycles, and prints the kernel's
     :class:`~repro.rtl.simulator.SimulatorStats`; ``--kernel`` selects the
-    event-driven kernel (default) or the snapshot-based reference kernel.
+    event-driven kernel (default), the snapshot-based reference kernel, or
+    the levelized compiled kernel (see :data:`repro.rtl.KERNELS`).
 
 ``splice campaign run``
     Run a declarative campaign grid (a preset, or implementations × a
@@ -34,9 +35,14 @@ from pathlib import Path
 
 from repro.core.engine import Splice
 from repro.core.syntax.errors import SpliceError
+from repro.rtl import DEFAULT_KERNEL, KERNELS
 
 #: Names that select a subcommand; anything else routes to ``generate``.
 _SUBCOMMANDS = ("generate", "campaign")
+
+#: Kernel choices come from the one registry, so a new kernel is
+#: automatically selectable here.
+_KERNEL_CHOICES = tuple(sorted(KERNELS))
 
 
 def _add_generate_arguments(parser: argparse.ArgumentParser) -> None:
@@ -59,9 +65,11 @@ def _add_generate_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--kernel",
-        choices=("event", "reference"),
-        default="event",
-        help="simulation kernel used with --simulate (default: event-driven)",
+        choices=_KERNEL_CHOICES,
+        default=DEFAULT_KERNEL,
+        help="simulation kernel used with --simulate: the event-driven "
+        "scheduler (default), the snapshot-based reference oracle, or the "
+        "levelized compiled kernel",
     )
 
 
@@ -112,6 +120,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
                      help="input-data seeds (default: 0)")
     run.add_argument("--repeats", type=int, default=1,
                      help="repeats per cell; each repeat draws fresh inputs (default: 1)")
+    run.add_argument("--kernel", choices=_KERNEL_CHOICES, default=DEFAULT_KERNEL,
+                     help="simulation kernel every cell runs on (default: "
+                     f"{DEFAULT_KERNEL}); the kernel is part of each cell's "
+                     "identity and cache key")
     run.add_argument("--workers", type=int, default=1, metavar="N",
                      help="worker processes; 1 = serial (default: 1)")
     run.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -128,12 +140,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
 
 def _simulate(args) -> int:
-    from repro.rtl.simulator import ReferenceSimulator, Simulator
     from repro.soc.system import build_system
 
-    factory = Simulator if args.kernel == "event" else ReferenceSimulator
     source = Path(args.spec).read_text()
-    system = build_system(source, simulator_factory=factory)
+    system = build_system(source, kernel=args.kernel)
     system.run(max(0, args.simulate))
     print(f"Simulated {system.cycles} bus cycles with the {args.kernel} kernel:")
     print(system.stats.report())
@@ -184,9 +194,9 @@ def _campaign_spec_from_args(args):
         )
 
     if args.preset == "paper" or (args.preset is None and sweep is None and args.implementations is None):
-        spec = paper_grid(seeds=tuple(args.seeds), repeats=args.repeats)
+        spec = paper_grid(seeds=tuple(args.seeds), repeats=args.repeats, kernel=args.kernel)
     elif args.preset == "sweep" or sweep is not None:
-        kwargs = dict(seeds=tuple(args.seeds), repeats=args.repeats)
+        kwargs = dict(seeds=tuple(args.seeds), repeats=args.repeats, kernel=args.kernel)
         if args.implementations is not None:
             kwargs["implementations"] = tuple(args.implementations)
         spec = sweep_grid(sweep, **kwargs)
@@ -197,6 +207,7 @@ def _campaign_spec_from_args(args):
             seeds=tuple(args.seeds),
             repeats=args.repeats,
             name="cli-grid",
+            kernel=args.kernel,
         )
     return spec
 

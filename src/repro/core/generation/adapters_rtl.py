@@ -30,24 +30,32 @@ class PLBToSIS(Module):
         self.plb = plb
         self.sis = sis
         self._state = "idle"
-        self.clocked(self._tick)
+        # The full input set (native request side + the SIS completion side)
+        # opts the adapter into compiled-kernel wait-state elision; ``_tick``
+        # reports activity through its return value.
+        self.clocked(
+            self._tick,
+            sensitive_to=[
+                plb.rst, plb.wr_req, plb.wr_ce, plb.rd_req, plb.rd_ce,
+                plb.data_to_slave, sis.io_done, sis.data_out_valid, sis.data_out,
+            ],
+        )
 
-    def _tick(self) -> None:
+    def _tick(self) -> bool:
         plb, sis = self.plb, self.sis
-        # Single-cycle strobes default low every cycle; this runs every bus
-        # cycle, so deassert through direct slot checks (no-op while low).
-        for strobe in (sis.io_enable, plb.wr_ack, plb.rd_ack):
-            if strobe._value or strobe._next is not None:
-                strobe.next = 0
+        # Single-cycle strobes default low every cycle; Signal.schedule is a
+        # no-op (and reports quiescence) while they are already low.
+        active = sis.io_enable.schedule(0)
+        active |= plb.wr_ack.schedule(0)
+        active |= plb.rd_ack.schedule(0)
 
         if plb.rst._value:
-            sis.rst.next = 1
-            sis.data_in_valid.next = 0
-            sis.func_id.next = 0
+            active |= sis.rst.schedule(1)
+            active |= sis.data_in_valid.schedule(0)
+            active |= sis.func_id.schedule(0)
             self._state = "idle"
-            return
-        if sis.rst._value or sis.rst._next is not None:
-            sis.rst.next = 0
+            return active
+        active |= sis.rst.schedule(0)
 
         if self._state == "idle":
             if plb.wr_req.value and plb.wr_ce.value:
@@ -57,26 +65,31 @@ class PLBToSIS(Module):
                 sis.data_in_valid.next = 1
                 sis.io_enable.next = 1
                 self._state = "write_wait"
-            elif plb.rd_req.value and plb.rd_ce.value:
+                return True
+            if plb.rd_req.value and plb.rd_ce.value:
                 slot = plb.selected_slot(write=False)
                 sis.func_id.next = slot
                 sis.io_enable.next = 1
                 self._state = "read_wait"
-            return
+                return True
+            return active
 
         if self._state == "write_wait":
             if sis.io_done.value:
                 sis.data_in_valid.next = 0
                 plb.wr_ack.next = 1
                 self._state = "idle"
-            return
+                return True
+            return active
 
         if self._state == "read_wait":
             if sis.io_done.value and sis.data_out_valid.value:
                 plb.data_from_slave.next = sis.data_out.value
                 plb.rd_ack.next = 1
                 self._state = "idle"
-            return
+                return True
+            return active
+        return active
 
 
 class OPBToSIS(PLBToSIS):
@@ -94,21 +107,28 @@ class FCBToSIS(Module):
         self._remaining = 0
         self._func_id = 0
         self._is_write = False
-        self.clocked(self._tick)
+        self.clocked(
+            self._tick,
+            sensitive_to=[
+                fcb.rst, fcb.req, fcb.func_sel, fcb.is_write, fcb.burst_len,
+                fcb.data_valid, fcb.data_to_slave,
+                sis.io_done, sis.data_out_valid, sis.data_out,
+            ],
+        )
 
-    def _tick(self) -> None:
+    def _tick(self) -> bool:
         fcb, sis = self.fcb, self.sis
-        sis.io_enable.next = 0
-        fcb.ack.next = 0
-        fcb.resp_valid.next = 0
+        active = sis.io_enable.schedule(0)
+        active |= fcb.ack.schedule(0)
+        active |= fcb.resp_valid.schedule(0)
 
-        if fcb.rst.value:
-            sis.rst.next = 1
-            sis.data_in_valid.next = 0
-            sis.func_id.next = 0
+        if fcb.rst._value:
+            active |= sis.rst.schedule(1)
+            active |= sis.data_in_valid.schedule(0)
+            active |= sis.func_id.schedule(0)
             self._state = "idle"
-            return
-        sis.rst.next = 0
+            return active
+        active |= sis.rst.schedule(0)
 
         if self._state == "idle":
             if fcb.req.value:
@@ -121,7 +141,8 @@ class FCBToSIS(Module):
                 else:
                     sis.io_enable.next = 1
                     self._state = "read_wait"
-            return
+                return True
+            return active
 
         if self._state == "write_beat":
             if fcb.data_valid.value:
@@ -130,29 +151,32 @@ class FCBToSIS(Module):
                 # burst state for every beat (part of the indirect-conversion
                 # cost the paper accepts in exchange for portability).
                 self._state = "write_present"
-            return
+                return True
+            return active
 
         if self._state == "write_present":
             self._present_write()
-            return
+            return True
 
         if self._state == "write_wait":
             if sis.io_done.value:
                 sis.data_in_valid.next = 0
                 self._state = "write_ack"
-            return
+                return True
+            return active
 
         if self._state == "write_ack":
             fcb.ack.next = 1
             self._remaining -= 1
             self._state = "write_gap" if self._remaining else "idle"
-            return
+            return True
 
         if self._state == "write_gap":
             # The master drops DATA_VALID for one cycle between beats.
             if not fcb.data_valid.value:
                 self._state = "write_beat"
-            return
+                return True
+            return active
 
         if self._state == "read_wait":
             if sis.io_done.value and sis.data_out_valid.value:
@@ -163,13 +187,15 @@ class FCBToSIS(Module):
                     self._state = "read_next"
                 else:
                     self._state = "idle"
-            return
+                return True
+            return active
 
         if self._state == "read_next":
             sis.func_id.next = self._func_id
             sis.io_enable.next = 1
             self._state = "read_wait"
-            return
+            return True
+        return active
 
     def _present_write(self) -> None:
         sis = self.sis
@@ -203,27 +229,31 @@ class APBToSIS(Module):
         self.sis = sis
         self.ports = dict(ports)
         self.base_address = base_address
-        self.clocked(self._tick)
+        self.clocked(
+            self._tick,
+            sensitive_to=[apb.rst, apb.psel, apb.penable, apb.paddr, apb.pwrite, apb.pwdata],
+        )
         # The read mux decodes PSEL/PADDR against the per-function DATA_OUT
-        # registers and the CALC_DONE vector — its complete input set.
+        # registers and the CALC_DONE vector — its complete input set; it
+        # only ever drives PRDATA.
         sensitivity = [apb.psel, apb.paddr]
         for port in self.ports.values():
             sensitivity += [port.data_out, port.calc_done]
-        self.comb(self._read_mux, sensitive_to=sensitivity)
+        self.comb(self._read_mux, sensitive_to=sensitivity, drives=[apb.prdata])
 
     def _slot(self, address: int) -> int:
         return (address - self.base_address) // (self.apb.data_width // 8)
 
-    def _tick(self) -> None:
+    def _tick(self) -> bool:
         apb, sis = self.apb, self.sis
-        sis.io_enable.next = 0
-        sis.data_in_valid.next = 0
+        active = sis.io_enable.schedule(0)
+        active |= sis.data_in_valid.schedule(0)
 
-        if apb.rst.value:
-            sis.rst.next = 1
-            sis.func_id.next = 0
-            return
-        sis.rst.next = 0
+        if apb.rst._value:
+            active |= sis.rst.schedule(1)
+            active |= sis.func_id.schedule(0)
+            return active
+        active |= sis.rst.schedule(0)
 
         if apb.psel.value and apb.penable.value:
             slot = self._slot(apb.paddr.value)
@@ -232,6 +262,8 @@ class APBToSIS(Module):
             if apb.pwrite.value:
                 sis.data_in.next = apb.pwdata.value
                 sis.data_in_valid.next = 1
+            return True
+        return active
 
     def _read_mux(self) -> None:
         apb = self.apb

@@ -31,11 +31,16 @@ class SISArbiter(Module):
                 raise ValueError("function id 0 is reserved for the CALC_DONE status register")
             self.ports[port.func_id] = port
         # The mux reads FUNC_ID plus every per-function output; declaring the
-        # full input set lets the event-driven kernel skip it otherwise.
+        # full input set lets the event-driven kernel skip it otherwise, and
+        # the output set lets the compiled kernel levelize it.
         sensitivity = [sis.func_id]
         for port in self.ports.values():
             sensitivity += [port.data_out, port.data_out_valid, port.io_done, port.calc_done]
-        self.comb(self._mux, sensitive_to=sensitivity)
+        self.comb(
+            self._mux,
+            sensitive_to=sensitivity,
+            drives=[sis.calc_done, sis.data_out, sis.data_out_valid, sis.io_done],
+        )
 
     # -- combinational multiplexing ------------------------------------------------
 

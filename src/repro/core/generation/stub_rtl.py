@@ -69,7 +69,15 @@ class FunctionStub(Module):
         #: History of captured input dictionaries, most recent last.
         self.call_log: List[Dict[str, Union[int, List[int]]]] = []
 
-        self.clocked(self._icob)
+        # Declaring the ICOB's complete SIS-side input set opts it into the
+        # compiled kernel's wait-state elision: an idle stub (sitting in an
+        # input/trigger/output wait state with stable inputs) is skipped
+        # entirely, and ``_icob``'s return value reports when it must keep
+        # running regardless (mid-calculation, strobes to deassert, ...).
+        self.clocked(
+            self._icob,
+            sensitive_to=[sis.rst, sis.io_enable, sis.func_id, sis.data_in, sis.data_in_valid],
+        )
 
     # -- state construction ----------------------------------------------------
 
@@ -173,52 +181,67 @@ class FunctionStub(Module):
 
     # -- the ICOB process ----------------------------------------------------------
 
-    def _icob(self) -> None:
-        # This process runs for every stub on every cycle, so the idle path
-        # reads signal slots directly (``_value``/``_next``) instead of going
-        # through property dispatch, and only deasserts strobes that are
-        # actually high or pending — semantically identical, much cheaper.
+    def _icob(self) -> bool:
+        # This process runs for every stub on every cycle (unless elided by
+        # the compiled kernel), so the idle path reads signal slots directly
+        # (``_value``/``_next``) instead of going through property dispatch,
+        # and only deasserts strobes that are actually high or pending —
+        # semantically identical, much cheaper.  The return value is the
+        # wait-state-elision activity flag: truthy whenever re-running next
+        # cycle with unchanged inputs would *not* be a no-op.
         sis = self.sis
         port = self.port
         state = self._state
+        active = False
 
-        # Default strobes.
+        # Default strobes — the one idiom kept inline instead of using
+        # ``Signal.schedule(0)``: this is the idle path of every stub on
+        # every cycle of the scan kernels, where the slot checks save a
+        # method call each.
         io_done = port.io_done
         if io_done._value or io_done._next is not None:
             io_done.next = 0
+            active = True
         if not (self.strictly_synchronous and state in ("OUT_RESULT", "OUT_STATUS")):
             data_out_valid = port.data_out_valid
             if data_out_valid._value or data_out_valid._next is not None:
                 data_out_valid.next = 0
+                active = True
 
         if sis.rst._value:
             self._reset_activation(full=True)
-            port.calc_done.next = 0
-            return
+            active |= port.calc_done.schedule(0)
+            return active
 
         if sis.io_enable._value and sis.func_id._value == self.my_func_id:
             new_request = True
             write_beat = bool(sis.data_in_valid._value)
             if not write_beat:
                 self._pending_read = True
+            active = True
         else:
             new_request = False
             write_beat = False
 
         if state.startswith("IN_"):
-            self._handle_input_state(write_beat)
+            if self._handle_input_state(write_beat):
+                active = True
         elif state == "TRIGGER":
-            self._handle_trigger_state(new_request, write_beat)
+            if self._handle_trigger_state(new_request, write_beat):
+                active = True
         elif state == "CALC":
             self._handle_calc_state()
+            active = True
         elif state in ("OUT_RESULT", "OUT_STATUS"):
-            self._handle_output_state()
+            if self._handle_output_state():
+                active = True
+        return active
 
     # -- per-state handlers -------------------------------------------------------
 
-    def _handle_input_state(self, write_beat: bool) -> None:
+    def _handle_input_state(self, write_beat: bool) -> bool:
         if not write_beat:
-            return
+            return False
         io = self._current_input()
         assert io is not None
         self._beat_buffer.append(self.sis.data_in.value)
@@ -228,6 +251,7 @@ class FunctionStub(Module):
             self._captured[io.io_name] = self._assemble_input(io, self._beat_buffer)
             self._beat_buffer = []
             self._advance_after_input(io)
+        return True
 
     def _advance_after_input(self, io: IOParams) -> None:
         index = self._states.index(f"IN_{io.io_name}")
@@ -249,12 +273,13 @@ class FunctionStub(Module):
                 self._state = nxt
                 following = self._current_input()
 
-    def _handle_trigger_state(self, new_request: bool, write_beat: bool) -> None:
+    def _handle_trigger_state(self, new_request: bool, write_beat: bool) -> bool:
         if not new_request:
-            return
+            return False
         if write_beat:
             self.port.io_done.next = 1
         self._enter_calc()
+        return True
 
     def _enter_calc(self) -> None:
         self._state = "CALC"
@@ -281,14 +306,16 @@ class FunctionStub(Module):
             self.port.calc_done.next = 1
             self._reset_activation(full=False)
 
-    def _handle_output_state(self) -> None:
+    def _handle_output_state(self) -> bool:
+        # The steady wait-for-read state re-asserts its outputs through
+        # Signal.schedule so a cycle that schedules nothing reports quiescence.
         port = self.port
-        port.calc_done.next = 1
+        active = port.calc_done.schedule(1)
         if self.strictly_synchronous:
-            port.data_out.next = self._output_words[self._out_index]
-            port.data_out_valid.next = 1
+            active |= port.data_out.schedule(self._output_words[self._out_index])
+            active |= port.data_out_valid.schedule(1)
         if not self._pending_read:
-            return
+            return active
         self._pending_read = False
         word = self._output_words[self._out_index]
         port.data_out.next = word
@@ -300,6 +327,7 @@ class FunctionStub(Module):
             if self.strictly_synchronous:
                 port.data_out_valid.next = 0
             self._reset_activation(full=False)
+        return True
 
     # -- lifecycle -----------------------------------------------------------------
 

@@ -69,16 +69,21 @@ class NaivePLBInterpolator(Module):
         self._pending_slot = 0
         self._pending_data = 0
         self.activations = 0
-        self.clocked(self._tick)
+        self.clocked(
+            self._tick,
+            sensitive_to=[
+                plb.rst, plb.wr_req, plb.wr_ce, plb.rd_req, plb.rd_ce, plb.data_to_slave,
+            ],
+        )
 
-    def _tick(self) -> None:
+    def _tick(self) -> bool:
         plb = self.plb
-        plb.wr_ack.next = 0
-        plb.rd_ack.next = 0
+        active = plb.wr_ack.schedule(0)
+        active |= plb.rd_ack.schedule(0)
 
         if plb.rst.value:
             self._reset_state()
-            return
+            return active
 
         if self._calculating:
             self._calc_counter += 1
@@ -89,6 +94,7 @@ class NaivePLBInterpolator(Module):
                 self.calc_done = True
                 self._calculating = False
                 self.activations += 1
+            active = True
 
         if self._state == "idle":
             if plb.wr_req.value and plb.wr_ce.value:
@@ -96,25 +102,29 @@ class NaivePLBInterpolator(Module):
                 self._pending_data = plb.data_to_slave.value
                 self._state = "write_decode"
                 self._delay = self.WRITE_WAIT_STATES
-            elif plb.rd_req.value and plb.rd_ce.value:
+                return True
+            if plb.rd_req.value and plb.rd_ce.value:
                 self._pending_slot = plb.selected_slot(write=False)
                 self._state = "read_decode"
                 self._delay = self.READ_WAIT_STATES
-            return
+                return True
+            return active
 
+        # Decode/wait states count down or respond every cycle regardless of
+        # input changes, so they always report activity.
         if self._state == "write_decode":
             if self._delay > 0:
                 self._delay -= 1
-                return
+                return True
             self._store_word(self._pending_slot, self._pending_data)
             plb.wr_ack.next = 1
             self._state = "idle"
-            return
+            return True
 
         if self._state == "read_decode":
             if self._delay > 0:
                 self._delay -= 1
-                return
+                return True
             if self._pending_slot == SLOT_STATUS:
                 plb.data_from_slave.next = 1 if self.calc_done else 0
                 plb.rd_ack.next = 1
@@ -131,7 +141,8 @@ class NaivePLBInterpolator(Module):
                 plb.data_from_slave.next = 0
                 plb.rd_ack.next = 1
                 self._state = "idle"
-            return
+            return True
+        return active
 
     # -- helpers ---------------------------------------------------------------
 
@@ -189,16 +200,22 @@ class OptimizedFCBInterpolator(Module):
         self._beat_seen = True
         self._decode_wait = 0
         self.activations = 0
-        self.clocked(self._tick)
+        self.clocked(
+            self._tick,
+            sensitive_to=[
+                fcb.rst, fcb.req, fcb.func_sel, fcb.is_write,
+                fcb.data_valid, fcb.data_to_slave,
+            ],
+        )
 
-    def _tick(self) -> None:
+    def _tick(self) -> bool:
         fcb = self.fcb
-        fcb.ack.next = 0
-        fcb.resp_valid.next = 0
+        active = fcb.ack.schedule(0)
+        active |= fcb.resp_valid.schedule(0)
 
         if fcb.rst.value:
             self._reset_state()
-            return
+            return active
 
         if self._calculating:
             self._calc_counter += 1
@@ -209,11 +226,13 @@ class OptimizedFCBInterpolator(Module):
                 self.calc_done = True
                 self._calculating = False
                 self.activations += 1
+            active = True
 
         if fcb.req.value:
             self._target_slot = fcb.func_sel.value
             self._is_write = bool(fcb.is_write.value)
             self._beat_seen = False
+            active = True
 
         if self._is_write:
             # The hand-tuned design registers the incoming beat, decodes the
@@ -222,17 +241,20 @@ class OptimizedFCBInterpolator(Module):
             if fcb.data_valid.value and not self._beat_seen:
                 if self._decode_wait < 3:
                     self._decode_wait += 1
-                    return
+                    return True
                 self._decode_wait = 0
                 self._store_word(self._target_slot, fcb.data_to_slave.value)
                 fcb.ack.next = 1
                 self._beat_seen = True
-            elif not fcb.data_valid.value:
-                self._beat_seen = False
+                return True
+            if not fcb.data_valid.value:
+                self._beat_seen = False  # idempotent while the bus is quiet
         else:
             if self._target_slot and not self._beat_seen:
                 if self._target_slot == SLOT_RESULT and not self.calc_done:
-                    return  # hold the co-processor port until the result is ready
+                    # Hold the co-processor port until the result is ready;
+                    # the calculation countdown above keeps us active.
+                    return True
                 if self._target_slot == SLOT_RESULT:
                     fcb.data_from_slave.next = self.result & 0xFFFFFFFF
                     self.calc_done = False
@@ -241,6 +263,8 @@ class OptimizedFCBInterpolator(Module):
                     fcb.data_from_slave.next = 1 if self.calc_done else 0
                 fcb.resp_valid.next = 1
                 self._beat_seen = True
+                return True
+        return active
 
     def _store_word(self, slot: int, word: int) -> None:
         if slot not in self.sets:

@@ -1,21 +1,26 @@
 """Runner-builder registry: implementation labels → runnable systems.
 
 The campaign subsystem ships grid cells to worker processes as plain data
-(label strings, scenario descriptors, seeds).  Simulators themselves are not
-picklable, so each worker looks the label up here and elaborates its own
-system.  The registry is populated at import time with the five Chapter 9
-implementations (plus the OPB/APB retargets) and stays open for plugins:
-:func:`register_runner` accepts any zero-argument builder whose result
-exposes ``run_scenario(sets) -> {"result", "cycles", ...}``.
+(label strings, scenario descriptors, seeds, kernel names).  Simulators
+themselves are not picklable, so each worker looks the label up here and
+elaborates its own system on the requested simulation kernel.  The registry
+is populated at import time with the five Chapter 9 implementations (plus
+the OPB/APB retargets) and stays open for plugins: :func:`register_runner`
+accepts any builder whose result exposes
+``run_scenario(sets) -> {"result", "cycles", ...}``; builders that accept a
+``simulator_factory`` keyword participate in kernel selection, zero-argument
+builders are restricted to the default kernel.
 """
 
 from __future__ import annotations
 
 import functools
+import inspect
 from typing import Callable, Dict, List
 
 from repro.devices.baselines import build_naive_plb_system, build_optimized_fcb_system
 from repro.devices.interpolator import build_splice_interpolator
+from repro.rtl import DEFAULT_KERNEL, kernel_factory
 
 #: label -> zero-argument builder returning an object with ``run_scenario``.
 _BUILDERS: Dict[str, Callable[[], object]] = {}
@@ -40,12 +45,24 @@ def known_labels() -> List[str]:
     return sorted(_BUILDERS)
 
 
-def build_runner(label: str):
-    """Elaborate a fresh system for ``label`` and return it.
+def _accepts_simulator_factory(builder: Callable[..., object]) -> bool:
+    """Whether ``builder`` can be called with ``simulator_factory=...``."""
+    try:
+        parameters = inspect.signature(builder).parameters.values()
+    except (TypeError, ValueError):  # builtins / exotic callables
+        return False
+    return any(
+        p.name == "simulator_factory" or p.kind is inspect.Parameter.VAR_KEYWORD
+        for p in parameters
+    )
+
+
+def build_runner(label: str, kernel: str = DEFAULT_KERNEL):
+    """Elaborate a fresh system for ``label`` on ``kernel`` and return it.
 
     The returned object exposes ``run_scenario(sets)``; building is the
     expensive step (parsing the spec, elaborating RTL), so callers should
-    build once per label and reuse the runner across scenarios.
+    build once per (label, kernel) and reuse the runner across scenarios.
     """
     try:
         builder = _BUILDERS[label]
@@ -53,6 +70,13 @@ def build_runner(label: str):
         raise KeyError(
             f"unknown implementation label {label!r} (known: {known_labels()})"
         ) from None
+    if _accepts_simulator_factory(builder):
+        return builder(simulator_factory=kernel_factory(kernel))
+    if kernel != DEFAULT_KERNEL:
+        raise TypeError(
+            f"builder for {label!r} does not accept simulator_factory; "
+            f"it cannot honour kernel={kernel!r}"
+        )
     return builder()
 
 

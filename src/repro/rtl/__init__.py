@@ -22,20 +22,47 @@ from repro.rtl.simulator import (
     Simulator,
     SimulatorStats,
 )
+from repro.rtl.compile import CompiledDesign, CompiledSimulator
 from repro.rtl.module import Module
 from repro.rtl.fsm import FSM
 from repro.rtl.trace import Trace, TraceRecorder
+
+#: Kernel name -> simulator factory, as exposed by ``--kernel`` everywhere.
+KERNELS = {
+    "event": Simulator,
+    "reference": ReferenceSimulator,
+    "compiled": CompiledSimulator,
+}
+
+#: The kernel used when nothing is specified.
+DEFAULT_KERNEL = "event"
+
+
+def kernel_factory(name: str):
+    """Resolve a kernel name to its simulator factory."""
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown simulation kernel {name!r} (known: {sorted(KERNELS)})"
+        ) from None
+
 
 __all__ = [
     "Signal",
     "Simulator",
     "ReferenceSimulator",
+    "CompiledSimulator",
+    "CompiledDesign",
     "SimulatorStats",
     "SimulationError",
     "Module",
     "FSM",
     "Trace",
     "TraceRecorder",
+    "KERNELS",
+    "DEFAULT_KERNEL",
+    "kernel_factory",
     "mask_for_width",
     "truncate",
 ]

@@ -1,0 +1,500 @@
+"""Levelized compiled simulation kernel: elaborate once, run straight-line.
+
+The event-driven kernel re-discovers, on every cycle, which processes to run
+— set unions over dirty signals, dict lookups per sensitivity entry, and a
+fixed-point settle loop.  Production cycle-based HDL simulators do none of
+that at runtime: they *levelize* the combinational network once at
+elaboration and emit a single evaluation order.  :class:`CompiledSimulator`
+brings that technique to this codebase.
+
+At registration-freeze time (the first ``step``/``settle``/``reset`` after a
+registration, or an explicit :meth:`CompiledSimulator.compile`) the kernel:
+
+1. **assigns dense integer ids** to every signal and process;
+2. **builds the sensitivity DAG** from the ``add_comb(..., sensitive_to=...,
+   drives=...)`` declarations — an edge from process P to process Q for each
+   signal P drives that Q is sensitive to;
+3. **topologically ranks** the combinational processes (Kahn's algorithm,
+   registration order within a rank), *statically rejecting* true
+   combinational cycles at compile time with the offending signal path in
+   the :class:`~repro.rtl.simulator.SimulationError` — before any cycle
+   runs;
+4. **code-generates a fused ``step(n)`` loop** — clocked phase, non-observer
+   commit of scheduled signals, a *single* rank-ordered settle sweep gated
+   by an integer event bitmask, and monitor dispatch — with every per-cycle
+   attribute/property lookup hoisted into locals and every process call
+   unrolled.
+
+Levelization is what makes the single sweep sufficient: producers are
+ordered before consumers, so each triggered process runs at most once per
+cycle and the sweep ends at the same fixed point the event-driven kernel
+iterates to.  The price is a stricter contract: every combinational process
+must declare both its complete input set (``sensitive_to``) and its complete
+output set (``drives``), and must be a pure function of signal values.
+
+Event bitmask layout
+--------------------
+
+One Python integer carries all pending work.  Bits ``[0, n_comb)`` are
+"combinational process i must re-run"; bits ``[n_comb, n_comb + n_gated)``
+are "elidable clocked process j must wake".  Each signal's
+:attr:`~repro.rtl.signal.Signal._ev_mask` is the OR of the bits of every
+process that reads it, so a committed or driven change is one ``|=`` — no
+sets, no dicts, no per-process scheduling structures.
+
+Clocked wait-state elision
+--------------------------
+
+Clocked processes registered with ``add_clocked(proc, sensitive_to=[...])``
+opt into elision: the compiled kernel skips them on cycles where none of
+their declared inputs changed *and* their previous run reported quiescence
+(a falsy return value).  The contract mirrors what the generated hardware
+does — an FSM sitting in a wait state with stable inputs computes nothing —
+and is what lets an idle SoC run at the cost of its genuinely active
+processes only.  A process must return truthy whenever re-running it with
+unchanged inputs would not be a no-op (it scheduled a signal, changed
+internal state it will act on, or is mid-countdown).  Processes registered
+without ``sensitive_to`` run every cycle, exactly as on the other kernels.
+
+``tests/test_kernel_equivalence.py`` proves the whole construction
+cycle-exact (full signal traces, every cycle) against both the event-driven
+kernel and the snapshot-based reference kernel on all four buses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.rtl.signal import Signal
+from repro.rtl.simulator import Process, SimulationError, Simulator
+
+
+@dataclass
+class CompiledDesign:
+    """Introspection record of one elaboration freeze.
+
+    Exposed as :attr:`CompiledSimulator.design` so tests and tools can see
+    exactly what the compiler decided: the dense ids, the levelization, and
+    the generated source itself.
+    """
+
+    #: Dense id per registered signal, in registration order.
+    signal_ids: Dict[str, int] = field(default_factory=dict)
+    #: Comb process ids in rank order (the settle sweep order).
+    comb_order: List[int] = field(default_factory=list)
+    #: Rank (level) per comb process id.
+    comb_ranks: Dict[int, int] = field(default_factory=dict)
+    #: Comb process ids grouped by rank, rank-major.
+    levels: List[List[int]] = field(default_factory=list)
+    #: Clocked process ids that opted into wait-state elision.
+    gated_clocked: Tuple[int, ...] = ()
+    #: Number of clocked processes that always run.
+    always_clocked: int = 0
+    #: The generated fused step-loop source (debugging aid).
+    source: str = ""
+
+
+def _find_cycle_path(
+    adjacency: Dict[int, Dict[int, Signal]], candidates: Sequence[int]
+) -> List[Signal]:
+    """Return the signals along one combinational cycle among ``candidates``.
+
+    ``adjacency[p][q]`` is a signal driven by process ``p`` and sensed by
+    process ``q``.  Called only when Kahn's algorithm left ``candidates``
+    unranked, so a cycle is guaranteed to exist among them.
+    """
+    # Trim nodes that merely sit downstream of the cycle (no successor left
+    # in the set) until only strongly-connected members remain; then any
+    # walk inside the set must revisit a node.
+    remaining = set(candidates)
+    trimmed = True
+    while trimmed:
+        trimmed = False
+        for node in list(remaining):
+            if not any(q in remaining for q in adjacency.get(node, ())):
+                remaining.discard(node)
+                trimmed = True
+    start = min(remaining)
+    stack: List[int] = [start]
+    on_path = {start: 0}
+    while True:
+        node = stack[-1]
+        successor = next(q for q in adjacency.get(node, ()) if q in remaining)
+        if successor in on_path:
+            cycle_nodes = stack[on_path[successor]:] + [successor]
+            return [
+                adjacency[cycle_nodes[i]][cycle_nodes[i + 1]]
+                for i in range(len(cycle_nodes) - 1)
+            ]
+        on_path[successor] = len(stack)
+        stack.append(successor)
+
+
+class CompiledSimulator(Simulator):
+    """Levelized, code-generated simulation kernel.
+
+    Shares the full registration API of :class:`~repro.rtl.simulator.Simulator`
+    but requires every combinational process to declare ``sensitive_to`` and
+    ``drives``.  Registration after a freeze simply invalidates the compiled
+    program; the next ``step``/``settle``/``reset`` re-freezes.
+
+    ``max_settle_iterations`` is accepted for API compatibility but unused:
+    combinational loops are rejected statically at compile time instead of
+    being detected by an iteration limit at runtime.
+    """
+
+    def __init__(self, max_settle_iterations: int = 64) -> None:
+        super().__init__(max_settle_iterations=max_settle_iterations)
+        self._sched: List[Signal] = []
+        self._events = 0
+        self._active = 0
+        self._comb_all = 0
+        self._gated_all = 0
+        self._step_fn: Optional[Callable[[int], None]] = None
+        self._settle_fn: Optional[Callable[[], int]] = None
+        self.design: Optional[CompiledDesign] = None
+
+    # -- registration (every mutation invalidates the compiled program) -----
+
+    def add_signal(self, signal: Signal) -> Signal:
+        self._step_fn = None
+        self._signals.append(signal)
+        signal.bind(self)
+        if signal._next is not None:
+            self._sched.append(signal)
+        return signal
+
+    def add_clocked(
+        self, process: Process, sensitive_to: Optional[Sequence[Signal]] = None
+    ) -> Process:
+        self._step_fn = None
+        return super().add_clocked(process, sensitive_to=sensitive_to)
+
+    def add_comb(
+        self,
+        process: Process,
+        sensitive_to: Optional[Sequence[Signal]] = None,
+        drives: Optional[Sequence[Signal]] = None,
+    ) -> Process:
+        self._step_fn = None
+        return super().add_comb(process, sensitive_to=sensitive_to, drives=drives)
+
+    def add_monitor(self, process: Process) -> Process:
+        self._step_fn = None
+        return super().add_monitor(process)
+
+    # -- signal event hooks --------------------------------------------------
+
+    def _signal_scheduled(self, signal: Signal) -> None:
+        self._sched.append(signal)
+
+    def _signal_changed(self, signal: Signal) -> None:
+        self._events |= signal._ev_mask
+
+    # -- compilation ---------------------------------------------------------
+
+    def compile(self) -> CompiledDesign:
+        """Freeze the registered design and build the fused step program.
+
+        Safe to call repeatedly; recompiles only after a registration.
+        Raises :class:`SimulationError` for combinational cycles or missing
+        ``sensitive_to``/``drives`` declarations.
+        """
+        if self._step_fn is None:
+            self._build()
+        assert self.design is not None
+        return self.design
+
+    def _ensure_compiled(self) -> None:
+        if self._step_fn is None:
+            self._build()
+
+    def _levelize(self) -> Tuple[List[int], Dict[int, int]]:
+        """Rank the comb processes; reject cycles with the signal path."""
+        decls = self._comb_decls
+        for pid, (proc, sense, driven) in enumerate(decls):
+            missing = [
+                name
+                for name, value in (("sensitive_to", sense), ("drives", driven))
+                if value is None
+            ]
+            if missing:
+                label = getattr(proc, "__qualname__", repr(proc))
+                raise SimulationError(
+                    f"CompiledSimulator requires every combinational process to "
+                    f"declare its inputs and outputs; process #{pid} ({label}) "
+                    f"is missing {' and '.join(missing)}.  Declare them via "
+                    f"add_comb(proc, sensitive_to=[...], drives=[...]) or use "
+                    f"the event-driven kernel for run-always processes."
+                )
+
+        # adjacency[p][q] = one signal driven by p and sensed by q.
+        readers: Dict[Signal, List[int]] = {}
+        for pid, (_, sense, _) in enumerate(decls):
+            for sig in sense:
+                readers.setdefault(sig, []).append(pid)
+        adjacency: Dict[int, Dict[int, Signal]] = {}
+        indegree = {pid: 0 for pid in range(len(decls))}
+        for pid, (_, _, driven) in enumerate(decls):
+            edges = adjacency.setdefault(pid, {})
+            for sig in driven:
+                for reader in readers.get(sig, ()):
+                    if reader not in edges:
+                        edges[reader] = sig
+                        indegree[reader] += 1
+
+        # Kahn's algorithm; ready set ordered by registration index so ties
+        # replay the event kernel's registration-order execution.
+        ranks: Dict[int, int] = {}
+        ready = sorted(pid for pid, deg in indegree.items() if deg == 0)
+        order: List[int] = []
+        while ready:
+            pid = ready.pop(0)
+            rank = max(
+                (ranks[p] + 1 for p, edges in adjacency.items() if pid in edges and p in ranks),
+                default=0,
+            )
+            ranks[pid] = rank
+            order.append(pid)
+            newly_ready = []
+            for successor in adjacency.get(pid, {}):
+                indegree[successor] -= 1
+                if indegree[successor] == 0:
+                    newly_ready.append(successor)
+            if newly_ready:
+                ready = sorted(ready + newly_ready)
+        if len(order) != len(decls):
+            leftovers = [pid for pid in range(len(decls)) if pid not in ranks]
+            path = _find_cycle_path(adjacency, leftovers)
+            chain = " -> ".join(sig.name for sig in path + path[:1])
+            raise SimulationError(
+                f"combinational cycle detected at compile time: {chain} "
+                f"(each signal is driven by a process sensitive to the "
+                f"previous one; break the loop with a clocked register)"
+            )
+        return order, ranks
+
+    def _build(self) -> None:
+        comb_procs = [proc for proc, _, _ in self._comb_decls]
+        order, ranks = self._levelize()
+        n_comb = len(comb_procs)
+
+        gated: List[int] = []
+        always: List[int] = []
+        for cid, (_, sense) in enumerate(self._clocked_decls):
+            (gated if sense is not None else always).append(cid)
+
+        # Dense ids + per-signal event masks.
+        signal_ids: Dict[str, int] = {}
+        for index, sig in enumerate(self._signals):
+            signal_ids.setdefault(sig.name, index)
+            sig._ev_mask = 0
+        for pid, (_, sense, _) in enumerate(self._comb_decls):
+            bit = 1 << pid
+            for sig in sense:
+                sig._ev_mask |= bit
+        for wake_pos, cid in enumerate(gated):
+            bit = 1 << (n_comb + wake_pos)
+            for sig in self._clocked_decls[cid][1]:
+                sig._ev_mask |= bit
+
+        self._comb_all = (1 << n_comb) - 1
+        self._gated_all = (1 << len(gated)) - 1
+
+        levels: List[List[int]] = []
+        for pid in order:
+            while len(levels) <= ranks[pid]:
+                levels.append([])
+            levels[ranks[pid]].append(pid)
+
+        source = self._codegen(order, gated, always, n_comb)
+        namespace: Dict[str, object] = {"SIM": self}
+        for cid, proc in enumerate(self._clocked):
+            namespace[f"c{cid}"] = proc
+        for pid, proc in enumerate(comb_procs):
+            namespace[f"p{pid}"] = proc
+        for mid, proc in enumerate(self._monitors):
+            namespace[f"m{mid}"] = proc
+        exec(compile(source, "<compiled-kernel>", "exec"), namespace)
+        self._step_fn = namespace["step"]  # type: ignore[assignment]
+        self._settle_fn = namespace["settle_once"]  # type: ignore[assignment]
+
+        self.design = CompiledDesign(
+            signal_ids=signal_ids,
+            comb_order=list(order),
+            comb_ranks=dict(ranks),
+            levels=levels,
+            gated_clocked=tuple(gated),
+            always_clocked=len(always),
+            source=source,
+        )
+
+        # A fresh freeze behaves like fresh registration on the event kernel:
+        # everything is pending, so the first cycle settles the whole network
+        # and runs every elidable process once.
+        self._events = self._comb_all | (self._gated_all << n_comb)
+        self._active = 0
+
+    def _codegen(self, order, gated, always, n_comb) -> str:
+        """Emit the fused step loop for the frozen design."""
+        comb_all = self._comb_all
+        gated_bit = {cid: 1 << pos for pos, cid in enumerate(gated)}
+        always_set = set(always)
+
+        clocked_lines: List[str] = []
+        for cid in range(len(self._clocked)):
+            if cid in always_set:
+                clocked_lines.append(f"            c{cid}()")
+            else:
+                # Re-reading the live event word per gated process gives the
+                # same-cycle visibility the scan kernels have: a clocked
+                # process that drive()s a declared input of a later-registered
+                # gated process wakes it within this very clocked phase.
+                clocked_lines.append(
+                    f"            if (run | (s._events >> {n_comb})) & {gated_bit[cid]}:"
+                )
+                clocked_lines.append(f"                _clk += 1")
+                clocked_lines.append(f"                if c{cid}(): nact |= {gated_bit[cid]}")
+        clocked_block = "\n".join(clocked_lines) or "            pass"
+
+        def sweep_block(indent: str) -> str:
+            # ``_ran`` tracks which processes this sweep executed; a comb bit
+            # that is set at sweep end for a process that never ran means the
+            # bit arrived *after* that process's levelized position — i.e. a
+            # process drove a signal outside its declared ``drives`` set.
+            # Turning that into a loud error keeps incomplete declarations
+            # from silently producing stale-value traces.
+            lines: List[str] = [f"{indent}_ran = 0"]
+            for pid in order:
+                lines.append(f"{indent}if s._events & {1 << pid}:")
+                lines.append(f"{indent}    p{pid}(); _comb += 1; _ran |= {1 << pid}")
+            lines.append(f"{indent}_late = s._events & {comb_all} & ~_ran")
+            lines.append(f"{indent}if _late:")
+            lines.append(f"{indent}    s._declaration_violation(_late)")
+            return "\n".join(lines) or f"{indent}pass"
+
+        monitor_calls = "; ".join(f"m{mid}()" for mid in range(len(self._monitors)))
+        monitor_line = f"            {monitor_calls}" if monitor_calls else "            pass"
+
+        settle_branch = f"""\
+            if s._events & {comb_all}:
+                _stl += 1
+{sweep_block("                ")}
+                s._events &= {~comb_all}
+            else:
+                _fast += 1"""
+        if n_comb == 0:
+            settle_branch = "            _fast += 1"
+
+        if gated:
+            phase_prologue = f"""\
+            ev = s._events
+            run = (ev >> {n_comb}) | s._active
+            s._events = ev & {comb_all}
+            nact = 0"""
+            phase_epilogue = f"""\
+            s._active = nact
+            _clk += {len(always)}"""
+        else:
+            phase_prologue = "            pass"
+            phase_epilogue = f"            _clk += {len(always)}"
+
+        return f"""\
+def step(n):
+    s = SIM
+    sched = s._sched
+    stats = s.stats
+    cyc = s.cycle
+    _clk = _stl = _comb = _fast = _done = 0
+    try:
+        for _ in range(n):
+{phase_prologue}
+{clocked_block}
+{phase_epilogue}
+            if sched:
+                d = s._events
+                for sig in sched:
+                    nxt = sig._next
+                    sig._next = None
+                    if nxt != sig._value:
+                        sig._value = nxt
+                        d |= sig._ev_mask
+                del sched[:]
+                s._events = d
+{settle_branch}
+            cyc += 1
+            s.cycle = cyc
+{monitor_line}
+            _done += 1
+    finally:
+        stats.cycles += _done
+        stats.clocked_activations += _clk
+        stats.settle_calls += _stl
+        stats.settle_iterations += _stl
+        stats.comb_activations += _comb
+        stats.fast_path_cycles += _fast
+
+
+def settle_once():
+    s = SIM
+    if not (s._events & {comb_all}):
+        return 0
+    stats = s.stats
+    stats.settle_calls += 1
+    stats.settle_iterations += 1
+    _comb = 0
+    try:
+{sweep_block("        ")}
+        s._events &= {~comb_all}
+    finally:
+        stats.comb_activations += _comb
+    return 1
+"""
+
+    def _declaration_violation(self, late_mask: int) -> None:
+        """Raise for comb bits that arrived after their levelized position."""
+        names = [
+            f"#{pid} ({getattr(proc, '__qualname__', repr(proc))})"
+            for pid, (proc, _, _) in enumerate(self._comb_decls)
+            if late_mask >> pid & 1
+        ]
+        raise SimulationError(
+            f"combinational process(es) {', '.join(names)} were triggered "
+            f"after their levelized position in the settle sweep: some "
+            f"process drove a signal outside its declared drives= set, so "
+            f"the compile-time ranking is unsound for this design.  Complete "
+            f"the add_comb(..., drives=[...]) declarations (the event kernel "
+            f"can run the design in the meantime)."
+        )
+
+    # -- execution -----------------------------------------------------------
+
+    def settle(self) -> int:
+        """Run one rank-ordered sweep if anything is pending; return passes."""
+        self._ensure_compiled()
+        return self._settle_fn()
+
+    def step(self, cycles: int = 1) -> None:
+        if self._step_fn is None:
+            self._build()
+        self._step_fn(cycles)
+
+    def reset(self) -> None:
+        """Reset signals, re-settle, zero the clock and stats.
+
+        Honours the reset→settle contract of the base kernel: combinational
+        outputs are re-derived from reset values before ``reset()`` returns,
+        monitors are not invoked, and the stats are cleared last.  All
+        elidable clocked processes are marked woken, matching the event
+        kernel (which runs every clocked process on every cycle anyway).
+        """
+        self._ensure_compiled()
+        for sig in self._signals:
+            sig.reset()
+        del self._sched[:]
+        self._events = self._comb_all | (self._gated_all << len(self._comb_decls))
+        self._active = 0
+        self.settle()
+        self.cycle = 0
+        self.stats.reset()

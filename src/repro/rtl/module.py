@@ -24,8 +24,10 @@ class Module:
     def __init__(self, name: str) -> None:
         self.name = name
         self._signals: Dict[str, Signal] = {}
-        self._clocked: List[Process] = []
-        self._comb: List[Tuple[Process, Optional[Tuple[Signal, ...]]]] = []
+        self._clocked: List[Tuple[Process, Optional[Tuple[Signal, ...]]]] = []
+        self._comb: List[
+            Tuple[Process, Optional[Tuple[Signal, ...]], Optional[Tuple[Signal, ...]]]
+        ] = []
         self._children: List["Module"] = []
         self._simulator: Optional[Simulator] = None
 
@@ -40,22 +42,37 @@ class Module:
         self._signals[name] = sig
         return sig
 
-    def clocked(self, process: Process) -> Process:
-        """Register a clocked process owned by this module."""
-        self._clocked.append(process)
+    def clocked(
+        self, process: Process, sensitive_to: Optional[Sequence[Signal]] = None
+    ) -> Process:
+        """Register a clocked process owned by this module.
+
+        ``sensitive_to`` optionally declares the process's complete signal
+        input set, opting it into the compiled kernel's wait-state elision;
+        the process must then report activity via its return value (see
+        ``Simulator.add_clocked``).
+        """
+        sensitivity = tuple(sensitive_to) if sensitive_to is not None else None
+        self._clocked.append((process, sensitivity))
         return process
 
     def comb(
-        self, process: Process, sensitive_to: Optional[Sequence[Signal]] = None
+        self,
+        process: Process,
+        sensitive_to: Optional[Sequence[Signal]] = None,
+        drives: Optional[Sequence[Signal]] = None,
     ) -> Process:
         """Register a combinational process owned by this module.
 
         ``sensitive_to`` lists the signals the process reads; the event-driven
         kernel re-runs the process only when one of them changes.  Omitting it
         falls back to run-always semantics (see ``Simulator.add_comb``).
+        ``drives`` lists the signals the process may drive, which the compiled
+        kernel requires to levelize the combinational network.
         """
         sensitivity = tuple(sensitive_to) if sensitive_to is not None else None
-        self._comb.append((process, sensitivity))
+        driven = tuple(drives) if drives is not None else None
+        self._comb.append((process, sensitivity, driven))
         return process
 
     def submodule(self, module: "Module") -> "Module":
@@ -70,10 +87,10 @@ class Module:
         self._simulator = simulator
         for sig in self._signals.values():
             simulator.add_signal(sig)
-        for proc in self._clocked:
-            simulator.add_clocked(proc)
-        for proc, sensitivity in self._comb:
-            simulator.add_comb(proc, sensitive_to=sensitivity)
+        for proc, sensitivity in self._clocked:
+            simulator.add_clocked(proc, sensitive_to=sensitivity)
+        for proc, sensitivity, driven in self._comb:
+            simulator.add_comb(proc, sensitive_to=sensitivity, drives=driven)
         for child in self._children:
             child.attach(simulator)
 

@@ -10,6 +10,16 @@ backref (:meth:`Signal.bind`): scheduling a next value reports the signal to
 the simulator's pending-commit set, and any committed or driven value change
 reports it to the simulator's dirty set, so the settle phase only re-runs
 combinational processes whose inputs actually changed.
+
+The compiled kernel (:class:`repro.rtl.compile.CompiledSimulator`) adds a
+*fast, non-observer commit path*: at compile time it stores a per-signal
+event bitmask in :attr:`Signal._ev_mask` (one bit per combinational process
+sensitive to the signal plus one bit per elidable clocked process reading
+it), and its generated ``step`` loop commits scheduled values by touching
+``_value``/``_next`` directly and OR-ing ``_ev_mask`` into the kernel's
+dirty word — no observer dispatch per signal.  :meth:`Signal.drive` still
+notifies the observer on change, which is how settle-phase updates feed the
+same bitmask.
 """
 
 from __future__ import annotations
@@ -43,7 +53,7 @@ class Signal:
         Value the signal takes on reset and at construction.
     """
 
-    __slots__ = ("name", "width", "reset_value", "_value", "_next", "_mask", "_observer")
+    __slots__ = ("name", "width", "reset_value", "_value", "_next", "_mask", "_observer", "_ev_mask")
 
     def __init__(self, name: str, width: int = 1, reset: int = 0) -> None:
         self.name = name
@@ -53,6 +63,9 @@ class Signal:
         self._value = self.reset_value
         self._next: Optional[int] = None
         self._observer = None
+        # Event bitmask assigned by the compiled kernel at elaboration freeze:
+        # which compiled processes a change to this signal must trigger/wake.
+        self._ev_mask = 0
 
     # -- event reporting ---------------------------------------------------
 
@@ -80,18 +93,30 @@ class Signal:
 
     @next.setter
     def next(self, value: int) -> None:
+        self.schedule(value)
+
+    def schedule(self, value: int) -> bool:
+        """Schedule ``value`` iff doing so has any effect; return whether it did.
+
+        Scheduling the current value with nothing pending is a no-op under
+        two-phase semantics — committing it could never change the signal —
+        and returns ``False``; skipping it keeps idle designs off the commit
+        path.  The report makes this the canonical idiom for FSM processes
+        that re-assert outputs every cycle and participate in the compiled
+        kernel's wait-state elision: ``active |= sig.schedule(v)`` both keeps
+        the two-phase semantics and feeds the activity flag the elision
+        contract requires.  The ``next`` setter is sugar for this method.
+        """
         value = int(value) & self._mask
         if self._next is None:
-            # Scheduling the current value with nothing pending is a no-op
-            # under two-phase semantics: committing it could never change the
-            # signal.  Skipping it keeps idle designs off the commit path.
             if value == self._value:
-                return
+                return False
             self._next = value
             if self._observer is not None:
                 self._observer._signal_scheduled(self)
-        else:
-            self._next = value
+            return True
+        self._next = value
+        return True
 
     def drive(self, value: int) -> bool:
         """Immediately drive ``value`` (combinational assignment).

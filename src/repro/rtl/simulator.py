@@ -1,6 +1,10 @@
 """Cycle-driven simulation engines: the event-driven kernel and its oracle.
 
-Two kernels share one registration API:
+(A third kernel, the levelized :class:`repro.rtl.compile.CompiledSimulator`,
+shares this registration API and is proven cycle-exact against both kernels
+here by ``tests/test_kernel_equivalence.py``.)
+
+Two kernels live in this module:
 
 * :class:`Simulator` — the **event-driven kernel** used everywhere by
   default.  Signals report changes into a per-simulator dirty set (see
@@ -135,6 +139,15 @@ class Simulator:
         self.max_settle_iterations = max_settle_iterations
         self.cycle = 0
         self.stats = SimulatorStats()
+        # Registration-order index per comb process: lets settle sort a
+        # triggered subset instead of filtering the full process list.
+        self._comb_index: Dict[Process, int] = {}
+        # Full declarations, kept for the compiled kernel (and introspection):
+        # (process, sensitivity, drives) per comb process and
+        # (process, sensitivity) per clocked process.  The event/reference
+        # kernels ignore ``drives`` and clocked sensitivity entirely.
+        self._comb_decls: List[tuple] = []
+        self._clocked_decls: List[tuple] = []
 
     # -- registration ------------------------------------------------------
 
@@ -163,13 +176,30 @@ class Simulator:
         """Create and register a new signal."""
         return self.add_signal(Signal(name, width=width, reset=reset))
 
-    def add_clocked(self, process: Process) -> Process:
-        """Register a process executed once per rising clock edge."""
+    def add_clocked(
+        self, process: Process, sensitive_to: Optional[Sequence[Signal]] = None
+    ) -> Process:
+        """Register a process executed once per rising clock edge.
+
+        ``sensitive_to`` optionally declares the complete set of signals the
+        process reads.  This kernel (and the reference kernel) runs every
+        clocked process on every cycle regardless; the declaration is the
+        opt-in for the compiled kernel's wait-state elision (see
+        :class:`repro.rtl.compile.CompiledSimulator`), under which the
+        process must return a truthy value from any invocation after which
+        re-running it with unchanged declared inputs would *not* be a no-op.
+        """
         self._clocked.append(process)
+        self._clocked_decls.append(
+            (process, tuple(sensitive_to) if sensitive_to is not None else None)
+        )
         return process
 
     def add_comb(
-        self, process: Process, sensitive_to: Optional[Sequence[Signal]] = None
+        self,
+        process: Process,
+        sensitive_to: Optional[Sequence[Signal]] = None,
+        drives: Optional[Sequence[Signal]] = None,
     ) -> Process:
         """Register a combinational process run during the settle phase.
 
@@ -177,9 +207,19 @@ class Simulator:
         phase re-runs it only when one of them changed.  When omitted, the
         process falls back to *run always* semantics (re-run on every settle
         pass), which is correct for any pure process at the cost of extra
-        activations.
+        activations.  ``drives`` lists the signals the process may drive;
+        this kernel ignores it, but the compiled kernel requires it to
+        levelize the combinational network at compile time.
         """
+        self._comb_index.setdefault(process, len(self._comb))
         self._comb.append(process)
+        self._comb_decls.append(
+            (
+                process,
+                tuple(sensitive_to) if sensitive_to is not None else None,
+                tuple(drives) if drives is not None else None,
+            )
+        )
         if sensitive_to is None:
             self._always_comb.append(process)
         else:
@@ -250,6 +290,7 @@ class Simulator:
         stats.settle_calls += 1
         sensitive = self._sensitive
         always = self._always_comb
+        comb_index = self._comb_index
         iterations = 0
         while dirty:
             if iterations >= self.max_settle_iterations:
@@ -269,8 +310,11 @@ class Simulator:
             if len(triggered) == len(comb):
                 to_run: Sequence[Process] = comb
             else:
-                # Preserve registration order for the triggered subset.
-                to_run = [proc for proc in comb if proc in triggered]
+                # Preserve registration order for the triggered subset by
+                # sorting it on the precomputed registration index —
+                # O(t log t) in the triggered count rather than a filter
+                # over every registered process.
+                to_run = sorted(triggered, key=comb_index.__getitem__)
             for proc in to_run:
                 proc()
             stats.comb_activations += len(to_run)

@@ -24,6 +24,7 @@ from repro.core.drivers.macro_lib import SoftwareMacroLibrary, macro_library_for
 from repro.core.drivers.runtime import DriverSet
 from repro.core.engine import GenerationResult, Splice
 from repro.core.params import ModuleParams
+from repro.rtl import DEFAULT_KERNEL, kernel_factory
 from repro.rtl.module import Module
 from repro.rtl.simulator import Simulator, SimulatorStats
 from repro.sis.protocol import SISProtocolMonitor, variant_for_bus
@@ -74,14 +75,21 @@ def build_system(
     engine: Optional[Splice] = None,
     inter_op_gap: int = 1,
     attach_monitor: bool = True,
-    simulator_factory: Callable[[], Simulator] = Simulator,
+    kernel: Optional[str] = None,
+    simulator_factory: Optional[Callable[[], Simulator]] = None,
 ) -> SpliceSystem:
     """Build a runnable system from a Splice specification string.
 
-    ``simulator_factory`` selects the simulation kernel — the event-driven
-    :class:`~repro.rtl.simulator.Simulator` by default, or
-    :class:`~repro.rtl.simulator.ReferenceSimulator` for differential testing.
+    The simulation kernel is selected either by name (``kernel`` being
+    ``"event"``, ``"reference"`` or ``"compiled"`` — see
+    :data:`repro.rtl.KERNELS`) or by an explicit ``simulator_factory``
+    callable; passing both is an error.  The default is the event-driven
+    :class:`~repro.rtl.simulator.Simulator`.
     """
+    if simulator_factory is None:
+        simulator_factory = kernel_factory(kernel or DEFAULT_KERNEL)
+    elif kernel is not None:
+        raise ValueError("pass either kernel= or simulator_factory=, not both")
     engine = engine or Splice()
     result = engine.generate(source)
     module = result.module

@@ -65,6 +65,41 @@ class TestSpec:
             CampaignSpec(implementations=("splice_plb",), scenarios=())
         with pytest.raises(ValueError):
             CampaignSpec(implementations=("splice_plb",), scenarios=SCENARIOS, repeats=0)
+        with pytest.raises(ValueError, match="unknown simulation kernel"):
+            CampaignSpec(implementations=("splice_plb",), kernel="vectorized")
+
+
+class TestKernelSelection:
+    def test_kernel_is_part_of_cell_identity_and_digest(self):
+        spec_event = CampaignSpec(implementations=("splice_plb",), scenarios=SCENARIOS[:1])
+        spec_compiled = CampaignSpec(
+            implementations=("splice_plb",), scenarios=SCENARIOS[:1], kernel="compiled"
+        )
+        event_cell = spec_event.cells()[0]
+        compiled_cell = spec_compiled.cells()[0]
+        assert event_cell.kernel == "event"
+        assert compiled_cell.kernel == "compiled"
+        assert event_cell.key != compiled_cell.key
+        assert event_cell.describe()["kernel"] == "event"
+        # The cache must never serve one kernel's outcome for another.
+        assert cell_digest(event_cell) != cell_digest(compiled_cell)
+        # Kernel survives the spec round trip.
+        assert CampaignSpec.from_dict(spec_compiled.describe()).kernel == "compiled"
+
+    def test_compiled_kernel_campaign_is_bit_identical_to_event(self):
+        """The paper grid yields byte-for-byte equal outcomes on both
+        scheduling kernels — the campaign-level cycle-exactness proof."""
+        event = run_campaign(paper_grid())
+        compiled = run_campaign(paper_grid(kernel="compiled"))
+
+        def rows(result):
+            return [
+                {k: v for k, v in row.items() if k != "kernel"}
+                for row in result.payload()
+            ]
+
+        assert rows(event) == rows(compiled)
+        assert all(compiled.agreement().values())
 
 
 class TestSweep:

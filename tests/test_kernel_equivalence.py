@@ -1,19 +1,21 @@
-"""Differential harness: the event-driven kernel is cycle-exact vs the oracle.
+"""Differential harness: every kernel is cycle-exact vs the oracle.
 
-Every test here builds the *same* design twice — once on the snapshot-based
+Every test here builds the *same* design once per kernel — the snapshot-based
 :class:`~repro.rtl.simulator.ReferenceSimulator` (the seed kernel, kept
-verbatim) and once on the event-driven :class:`~repro.rtl.simulator.Simulator`
-— drives both with identical stimulus, records **every registered signal on
-every cycle**, and asserts the two recordings are identical, cycle for cycle
-and bit for bit.  Coverage:
+verbatim), the event-driven :class:`~repro.rtl.simulator.Simulator`, and the
+levelized :class:`~repro.rtl.compile.CompiledSimulator` — drives all of them
+with identical stimulus, records **every registered signal on every cycle**,
+and asserts the recordings are identical, cycle for cycle and bit for bit.
+Coverage:
 
 * randomized register files on all four buses (seeded random read/write
   interleavings through the generated drivers),
 * the Figure 9.1 interpolator scenarios on all four buses, and
 * the Chapter 8 timer running the Figure 8.8 software test suite.
 
-Any missing sensitivity declaration, bad fast-path skip, or dirty-set bug
-shows up as a first-divergence cycle with the exact signals that differ.
+Any missing sensitivity declaration, bad fast-path skip, dirty-set bug,
+wrong levelization order, or unsound wait-state elision shows up as a
+first-divergence cycle with the exact signals that differ.
 """
 
 import random
@@ -23,10 +25,14 @@ import pytest
 from repro.devices.interpolator import build_splice_interpolator, interpolate_fixed_point
 from repro.devices.timer import build_timer_system
 from repro.evaluation.scenarios import SCENARIOS
-from repro.rtl import ReferenceSimulator, Simulator, TraceRecorder
+from repro.rtl import CompiledSimulator, ReferenceSimulator, Simulator, TraceRecorder
 from repro.soc.system import build_system
 
-KERNELS = (("reference", ReferenceSimulator), ("event", Simulator))
+KERNELS = (
+    ("reference", ReferenceSimulator),
+    ("event", Simulator),
+    ("compiled", CompiledSimulator),
+)
 
 BASES = {
     "plb": "%device_name dev\n%bus_type plb\n%bus_width 32\n%base_address 0x80000000\n",
@@ -38,25 +44,25 @@ BASES = {
 ALL_BUSES = sorted(BASES)
 
 
-def _assert_traces_equal(ref_trace, event_trace):
+def _assert_traces_equal(ref_trace, other_trace, label):
     """Fail with the first divergent cycle and the differing signals."""
-    for cycle, (ref_sample, event_sample) in enumerate(
-        zip(ref_trace.samples, event_trace.samples)
+    for cycle, (ref_sample, other_sample) in enumerate(
+        zip(ref_trace.samples, other_trace.samples)
     ):
-        if ref_sample != event_sample:
-            names = set(ref_sample) | set(event_sample)
+        if ref_sample != other_sample:
+            names = set(ref_sample) | set(other_sample)
             diff = {
-                name: (ref_sample.get(name), event_sample.get(name))
+                name: (ref_sample.get(name), other_sample.get(name))
                 for name in sorted(names)
-                if ref_sample.get(name) != event_sample.get(name)
+                if ref_sample.get(name) != other_sample.get(name)
             }
             pytest.fail(
-                f"kernel traces diverge at cycle {cycle}: "
-                + ", ".join(f"{n}: ref={a} event={b}" for n, (a, b) in diff.items())
+                f"{label} kernel trace diverges from reference at cycle {cycle}: "
+                + ", ".join(f"{n}: ref={a} {label}={b}" for n, (a, b) in diff.items())
             )
-    assert len(ref_trace) == len(event_trace), (
+    assert len(ref_trace) == len(other_trace), (
         f"kernels ran different cycle counts: reference={len(ref_trace)} "
-        f"event={len(event_trace)}"
+        f"{label}={len(other_trace)}"
     )
 
 
@@ -65,7 +71,8 @@ def _run_differential(build, stimulus):
 
     ``build(simulator_factory)`` must return an object exposing ``simulator``;
     ``stimulus(built)`` drives it and returns a comparable outcome.  Every
-    registered signal is recorded every cycle and compared exactly.
+    registered signal is recorded every cycle and every kernel's recording is
+    compared exactly against the reference kernel's.
     """
     traces = {}
     outcomes = {}
@@ -77,8 +84,9 @@ def _run_differential(build, stimulus):
         outcomes[label] = stimulus(built)
         traces[label] = recorder.trace
         stats[label] = simulator.stats
-    _assert_traces_equal(traces["reference"], traces["event"])
-    assert outcomes["reference"] == outcomes["event"]
+    for label, _ in KERNELS[1:]:
+        _assert_traces_equal(traces["reference"], traces[label], label)
+        assert outcomes["reference"] == outcomes[label], label
     return outcomes["event"], stats
 
 
@@ -123,6 +131,11 @@ class TestRandomizedRegisterFiles:
         assert stats["event"].fast_path_cycles > 0
         assert stats["reference"].fast_path_cycles == 0
         assert stats["event"].comb_activations < stats["reference"].comb_activations
+        # The compiled kernel must additionally have elided idle clocked
+        # processes (wait-state elision) while staying bit-identical.
+        assert stats["compiled"].fast_path_cycles > 0
+        assert stats["compiled"].comb_activations < stats["reference"].comb_activations
+        assert stats["compiled"].clocked_activations < stats["reference"].clocked_activations
 
 
 class TestFigure91Scenarios:
@@ -174,6 +187,8 @@ class TestTimerSuite:
         assert status & 0b10  # fired
         assert threshold == 400
         assert stats["event"].fast_path_cycles > 0
+        assert stats["compiled"].fast_path_cycles > 0
+        assert stats["compiled"].clocked_activations < stats["reference"].clocked_activations
 
 
 class TestDirectKernelSemantics:
@@ -189,10 +204,12 @@ class TestDirectKernelSemantics:
             sim.add_comb(
                 lambda: b.drive(a.value + 1),
                 sensitive_to=[a] if declare_sensitivity else None,
+                drives=[b] if declare_sensitivity else None,
             )
             sim.add_comb(
                 lambda: c.drive(b.value + 1),
                 sensitive_to=[b] if declare_sensitivity else None,
+                drives=[c] if declare_sensitivity else None,
             )
             counter = sim.signal("count", width=8)
             sim.add_clocked(lambda: setattr(counter, "next", counter.value + 1))
@@ -202,6 +219,11 @@ class TestDirectKernelSemantics:
             return recorder.trace.samples
 
         assert run(ReferenceSimulator) == run(Simulator)
+        if declare_sensitivity:
+            # Fully declared networks also levelize; undeclared ones are the
+            # event kernel's run-always fallback, which the compiled kernel
+            # rejects (covered in tests/test_compiled_kernel.py).
+            assert run(ReferenceSimulator) == run(CompiledSimulator)
 
     def test_sparse_activity_matches_reference(self):
         """A design that only changes every Nth cycle exercises the fast path."""
@@ -217,14 +239,22 @@ class TestDirectKernelSemantics:
                     pulse.next = 1 - pulse.value
 
             sim.add_clocked(clocked)
-            sim.add_comb(lambda: decoded.drive(0xAB if pulse.value else 0x11), sensitive_to=[pulse])
+            sim.add_comb(
+                lambda: decoded.drive(0xAB if pulse.value else 0x11),
+                sensitive_to=[pulse],
+                drives=[decoded],
+            )
             recorder = TraceRecorder(sim, [pulse, decoded])
             sim.step(40)
             return recorder.trace.samples, sim.stats.as_dict()
 
         ref_samples, _ = run(ReferenceSimulator)
         event_samples, event_stats = run(Simulator)
-        assert ref_samples == event_samples
+        compiled_samples, compiled_stats = run(CompiledSimulator)
+        assert ref_samples == event_samples == compiled_samples
         assert event_stats["fast_path_cycles"] > 0
-        # The decode ran only when PULSE changed, not every cycle.
+        # The decode ran only when PULSE changed, not every cycle — on both
+        # scheduling kernels.
         assert event_stats["comb_activations"] < 40
+        assert compiled_stats["fast_path_cycles"] > 0
+        assert compiled_stats["comb_activations"] < 40

@@ -5,6 +5,7 @@ from hypothesis import given, strategies as st
 
 from repro.rtl import (
     FSM,
+    CompiledSimulator,
     Module,
     ReferenceSimulator,
     Signal,
@@ -15,9 +16,16 @@ from repro.rtl import (
 )
 from repro.rtl.signal import mask_for_width, truncate
 
-#: Both kernels must satisfy every behavioural contract in this file.
+#: The scan-based kernels; used where run-always comb semantics matter.
 BOTH_KERNELS = pytest.mark.parametrize(
     "kernel", [Simulator, ReferenceSimulator], ids=["event", "reference"]
+)
+
+#: All three kernels must satisfy the shared behavioural contracts.
+ALL_KERNELS = pytest.mark.parametrize(
+    "kernel",
+    [Simulator, ReferenceSimulator, CompiledSimulator],
+    ids=["event", "reference", "compiled"],
 )
 
 
@@ -86,22 +94,25 @@ class TestSimulator:
         sim.step()
         assert (b.value, c.value) == (11, 12)
 
-    @BOTH_KERNELS
+    @ALL_KERNELS
     def test_comb_loop_detection(self, kernel):
+        # The scan kernels hit the settle iteration limit; the compiled
+        # kernel rejects the undeclared run-always process at compile time.
+        # Either way a SimulationError fires before the loop can spin.
         sim = kernel(max_settle_iterations=8)
         a = sim.signal("a", width=8)
         sim.add_comb(lambda: a.drive(a.value + 1))
         with pytest.raises(SimulationError):
             sim.step()
 
-    @BOTH_KERNELS
+    @ALL_KERNELS
     def test_mutually_driving_comb_processes_raise(self, kernel):
         """Two comb processes driving each other's inputs form a loop."""
         sim = kernel(max_settle_iterations=16)
         a = sim.signal("a", width=8)
         b = sim.signal("b", width=8)
-        sim.add_comb(lambda: a.drive(b.value + 1), sensitive_to=[b])
-        sim.add_comb(lambda: b.drive(a.value + 1), sensitive_to=[a])
+        sim.add_comb(lambda: a.drive(b.value + 1), sensitive_to=[b], drives=[a])
+        sim.add_comb(lambda: b.drive(a.value + 1), sensitive_to=[a], drives=[b])
         with pytest.raises(SimulationError):
             sim.step()
 
@@ -116,7 +127,7 @@ class TestSimulator:
             sim.step()
         assert len(runs) == 5
 
-    @BOTH_KERNELS
+    @ALL_KERNELS
     def test_value_scheduled_before_registration_still_commits(self, kernel):
         """A ``next`` set before add_signal() binds the observer is not lost."""
         sig = Signal("s", width=8)
@@ -141,7 +152,7 @@ class TestSimulator:
         elapsed = sim.run_until(lambda: flag.value == 1)
         assert elapsed >= 3
 
-    @BOTH_KERNELS
+    @ALL_KERNELS
     def test_run_until_checks_condition_before_stepping(self, kernel):
         """An already-true condition returns 0 cycles even with timeout=0."""
         sim = kernel()
@@ -151,7 +162,7 @@ class TestSimulator:
         with pytest.raises(SimulationError):
             sim.run_until(lambda: False, timeout=0)
 
-    @BOTH_KERNELS
+    @ALL_KERNELS
     def test_reset_restores_signals_and_cycle(self, kernel):
         sim = kernel()
         counter = sim.signal("count", width=8, reset=2)
@@ -161,12 +172,12 @@ class TestSimulator:
         assert counter.value == 2
         assert sim.cycle == 0
 
-    @BOTH_KERNELS
+    @ALL_KERNELS
     def test_reset_clears_stats_and_resettles_comb_outputs(self, kernel):
         sim = kernel()
         src = sim.signal("src", width=8, reset=3)
         derived = sim.signal("derived", width=8)
-        sim.add_comb(lambda: derived.drive(src.value * 2), sensitive_to=[src])
+        sim.add_comb(lambda: derived.drive(src.value * 2), sensitive_to=[src], drives=[derived])
         sim.add_clocked(lambda: setattr(src, "next", src.value + 1))
         sim.step(5)
         assert sim.stats.cycles == 5
@@ -176,7 +187,7 @@ class TestSimulator:
         assert sim.stats.as_dict() == SimulatorStats().as_dict()
         assert derived.value == 6
 
-    @BOTH_KERNELS
+    @ALL_KERNELS
     def test_reset_settles_safely_without_comb_processes(self, kernel):
         """reset() with no comb processes leaves reset values committed."""
         sim = kernel()
