@@ -8,15 +8,26 @@ in one machine-readable artifact:
 * the **timer workload** — the Chapter 8 timer running with a far-away
   threshold, the same design ``test_bench_timer.py`` uses, and
 * one **Figure 9.1 bus matrix** — scenario 2 through the Splice-generated
-  interpolator on all four buses.
+  interpolator on all four buses, repeated enough times that the ~1 ms
+  single-run wall-clock stops dominating the measurement.  Systems are
+  built with ``record_transactions=False`` (the campaign configuration).
 
-The compiled/event ratio on the timer workload is the gate: the compiled
-kernel must always win (ratio > 1 in smoke mode), and by >= 3x in full
-benchmark mode.  Only ratios are asserted — absolute cycles/s depend on the
-host — which is also what the CI kernel perf-smoke job re-checks.
+The record carries ``meta`` (host CPUs, Python version, platform, UTC
+timestamp) so numbers are comparable across hosts, and per-bus
+``compiled_over_event`` ratios for the Fig 9.1 matrix.
+
+Gates (ratios only — absolute cycles/s depend on the host):
+
+* timer: compiled > event always; >= 3x in full benchmark mode;
+* Fig 9.1: compiled must beat event outright on every bus, and by >= 1.5x
+  on at least one bus — the CI ``kernel-perf-smoke`` job re-checks both
+  with ``--benchmark-disable``.
 """
 
+import datetime
 import json
+import os
+import platform
 import time
 from pathlib import Path
 
@@ -33,6 +44,10 @@ _TIMER_CYCLES = {"reference": 4_000, "event": 20_000, "compiled": 20_000}
 
 _FIG91_BUSES = ("plb", "fcb", "opb", "apb")
 
+#: Scenario repetitions per measurement: one scenario-2 run is ~150 bus
+#: cycles (~1 ms), far too short to time on its own.
+_FIG91_REPEATS = {"reference": 10, "event": 40, "compiled": 40}
+
 
 def _timer_rate(kernel: str) -> float:
     timer = build_timer_system(simulator_factory=KERNELS[kernel])
@@ -45,11 +60,21 @@ def _timer_rate(kernel: str) -> float:
 
 
 def _fig91_rate(kernel: str, bus: str, sets) -> float:
-    device = build_splice_interpolator(f"splice_{bus}", simulator_factory=KERNELS[kernel])
-    start = time.perf_counter()
-    outcome = device.run_scenario(sets)
-    elapsed = time.perf_counter() - start
-    return outcome["cycles"] / elapsed if elapsed > 0 else 0.0
+    device = build_splice_interpolator(
+        f"splice_{bus}", simulator_factory=KERNELS[kernel], record_transactions=False
+    )
+    device.run_scenario(sets)  # warm-up: first-call elaboration/compile
+    repeats = _FIG91_REPEATS[kernel]
+    best = 0.0
+    for _ in range(3):  # best-of-3 damps scheduler noise on shared runners
+        cycles = 0
+        start = time.perf_counter()
+        for _ in range(repeats):
+            cycles += device.run_scenario(sets)["cycles"]
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, cycles / elapsed)
+    return best
 
 
 def test_kernel_throughput_matrix(benchmark, once):
@@ -65,10 +90,23 @@ def test_kernel_throughput_matrix(benchmark, once):
 
     record = once(benchmark, measure)
     timer = record["timer_cycles_per_s"]
+    fig91 = record["fig91_scenario2_cycles_per_s"]
     record["ratios"] = {
         "event_over_reference_timer": round(timer["event"] / timer["reference"], 2),
         "compiled_over_event_timer": round(timer["compiled"] / timer["event"], 2),
         "compiled_over_reference_timer": round(timer["compiled"] / timer["reference"], 2),
+        "compiled_over_event_fig91": {
+            bus: round(rates["compiled"] / rates["event"], 2) for bus, rates in fig91.items()
+        },
+    }
+    record["meta"] = {
+        "host_cpus": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "timestamp_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "fig91_repeats": dict(_FIG91_REPEATS),
     }
     _BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
     print(f"\nBENCH_kernels.json: {json.dumps(record, indent=2)}")
@@ -80,6 +118,13 @@ def test_kernel_throughput_matrix(benchmark, once):
         assert ratio > 1.0, f"compiled kernel slower than event kernel ({ratio:.2f}x)"
     else:
         assert ratio >= 3.0, f"compiled kernel only {ratio:.2f}x over event kernel"
-    # The levelized sweep must also win on a busy bus workload, on every bus.
-    for bus, rates in record["fig91_scenario2_cycles_per_s"].items():
+
+    # The fused harness path (scripted transactions + lowered waits + gated
+    # monitor fusion) must also win on the paper's bus workloads: outright on
+    # every bus, and by >= 1.5x on at least one (the named CI perf gate).
+    bus_ratios = record["ratios"]["compiled_over_event_fig91"]
+    for bus, rates in fig91.items():
+        assert rates["compiled"] > rates["event"], (bus, rates)
         assert rates["compiled"] > rates["reference"], (bus, rates)
+    best = max(bus_ratios.values())
+    assert best >= 1.5, f"compiled kernel best bus ratio only {best:.2f}x: {bus_ratios}"

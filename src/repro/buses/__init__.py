@@ -15,7 +15,15 @@ Supported interfaces:
 * ``apb`` — AMBA Peripheral Bus (strictly synchronous)
 """
 
-from repro.buses.base import BusMaster, BusTransaction, TransactionKind, SlaveBundle
+from repro.buses.base import (
+    BusMaster,
+    BusTransaction,
+    PollOp,
+    SlaveBundle,
+    TransactionKind,
+    TransactionOp,
+    TransactionScript,
+)
 from repro.buses.plb import PLBMaster, PLBSlaveBundle
 from repro.buses.opb import OPBMaster, OPBSlaveBundle
 from repro.buses.fcb import FCBMaster, FCBSlaveBundle
@@ -27,6 +35,9 @@ __all__ = [
     "BusMaster",
     "BusTransaction",
     "TransactionKind",
+    "TransactionOp",
+    "PollOp",
+    "TransactionScript",
     "SlaveBundle",
     "PLBMaster",
     "PLBSlaveBundle",

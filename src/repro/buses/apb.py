@@ -57,61 +57,81 @@ class APBMaster(BusMaster):
         self.base_address = base_address
         self._phase = "idle"
         self._delay = 0
+        self._delay_until = None
         self._word_index = 0
+        # Per-transaction facts hoisted out of the per-cycle FSM (see
+        # PLBMaster for rationale).
+        self._active_write = False
+        self._active_total = 0
 
     def _begin(self, transaction: BusTransaction) -> None:
         if transaction.kind.is_dma:
             raise ValueError("the APB has no DMA support")
         self._word_index = 0
+        self._active_write = transaction.kind.is_write
+        self._active_total = (
+            len(transaction.data) if self._active_write else transaction.word_count
+        )
         self._phase = "bridge"
         self._delay = self.ARBITRATION_CYCLES
 
-    def _tick(self, transaction: BusTransaction) -> None:
+    def _tick(self, transaction: BusTransaction) -> bool:
+        # The APB never waits on the peripheral: outside the bridge/recovery
+        # countdowns (which sleep under timed wakes) every phase of a
+        # transfer makes progress, so the FSM is active on every access
+        # cycle and has no _wake_signals().
         slave = self.slave
-        total = len(transaction.data) if transaction.kind.is_write else transaction.word_count
+        phase = self._phase
 
-        if self._phase == "bridge":
-            if self._delay > 0:
-                self._delay -= 1
-                return
-            self._phase = "setup"
+        if phase == "bridge":
+            until = self._delay_until
+            if until is None:
+                self._delay_until = until = self._cycle + self._delay
+            if self._cycle < until:
+                return self._sleep_until(until)
+            self._delay_until = None
+            phase = self._phase = "setup"
             # fall through
 
-        if self._phase == "setup":
-            slave.psel.next = 1
-            slave.penable.next = 0
-            slave.pwrite.next = 1 if transaction.kind.is_write else 0
-            slave.paddr.next = transaction.address + self._word_index * (slave.data_width // 8)
-            if transaction.kind.is_write:
-                slave.pwdata.next = transaction.data[self._word_index]
+        if phase == "setup":
+            slave.psel.schedule(1)
+            slave.penable.schedule(0)
+            slave.pwrite.schedule(1 if self._active_write else 0)
+            slave.paddr.schedule(transaction.address + self._word_index * (slave.data_width // 8))
+            if self._active_write:
+                slave.pwdata.schedule(transaction.data[self._word_index])
             self._phase = "access"
-            return
+            return True
 
-        if self._phase == "access":
-            slave.penable.next = 1
+        if phase == "access":
+            slave.penable.schedule(1)
             self._phase = "complete"
-            return
+            return True
 
-        if self._phase == "complete":
+        if phase == "complete":
             # The access cycle has committed: the slave saw PENABLE this
             # cycle and read data (if any) is now on PRDATA.
-            if not transaction.kind.is_write:
-                transaction.results.append(slave.prdata.value)
-            slave.psel.next = 0
-            slave.penable.next = 0
-            slave.pwrite.next = 0
-            slave.pwdata.next = 0
+            if not self._active_write:
+                transaction.results.append(slave.prdata._value)
+            slave.psel.schedule(0)
+            slave.penable.schedule(0)
+            slave.pwrite.schedule(0)
+            slave.pwdata.schedule(0)
             self._word_index += 1
-            if self._word_index < total:
+            if self._word_index < self._active_total:
                 self._phase = "setup"
             else:
                 self._phase = "recover"
                 self._delay = self.RECOVERY_CYCLES
-            return
+            return True
 
-        if self._phase == "recover":
-            if self._delay > 0:
-                self._delay -= 1
-                return
+        if phase == "recover":
+            until = self._delay_until
+            if until is None:
+                self._delay_until = until = self._cycle + self._delay
+            if self._cycle < until:
+                return self._sleep_until(until)
+            self._delay_until = None
             self._complete(transaction)
             self._phase = "idle"
+        return True

@@ -4,6 +4,24 @@ A :class:`BusTransaction` describes one logical bus operation (a single-word
 read or write, a burst, or a DMA block transfer).  A :class:`BusMaster`
 consumes queued transactions and drives its slave bundle cycle-by-cycle per
 the native protocol; the processor model waits for ``transaction.done``.
+
+Transaction scripts
+-------------------
+
+A driver call is not one transaction but a *sequence* — every input write
+beat, an optional ``CALC_DONE`` poll loop, every result read beat, with the
+processor's inter-operation gap between consecutive operations.  Driving
+that sequence one ``submit``/wait/``step(gap)`` round trip at a time keeps
+the whole call on the Python side of the kernel boundary.  A
+:class:`TransactionScript` instead hands the master the full sequence up
+front (:meth:`BusMaster.submit_script`): the master consumes it inside its
+own clocked process — charging the same inter-operation gaps, re-issuing
+poll reads until the polled bit is set, and aborting the remainder when the
+poll limit is hit — and reports completion by incrementing its
+``script_count`` signal, which the processor waits on with a single
+:class:`~repro.rtl.simulator.WaitCondition`.  The scripted execution is
+cycle-for-cycle identical to the equivalent sequence of blocking
+``execute`` calls (proven by ``tests/test_harness_scripting.py``).
 """
 
 from __future__ import annotations
@@ -11,7 +29,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional
+from typing import Deque, List, Optional, Sequence, Union
 
 from repro.rtl.module import Module
 
@@ -35,7 +53,7 @@ class TransactionKind(enum.Enum):
         return self in (TransactionKind.DMA_READ, TransactionKind.DMA_WRITE)
 
 
-@dataclass
+@dataclass(slots=True)
 class BusTransaction:
     """One logical bus operation submitted by a driver.
 
@@ -77,6 +95,70 @@ class BusTransaction:
         return self.results[0]
 
 
+@dataclass(slots=True)
+class TransactionOp:
+    """One scripted bus operation: run ``transaction`` to completion."""
+
+    transaction: BusTransaction
+
+
+@dataclass(slots=True)
+class PollOp:
+    """One scripted poll loop: re-issue a single-word read until satisfied.
+
+    The master clones a fresh ``(kind, address)`` read for each attempt (so
+    per-attempt results never accumulate), charges the script's gap between
+    attempts exactly as software polling did, and considers the loop finished
+    when ``result & mask`` is non-zero.  After ``limit`` unsatisfied attempts
+    the script's remaining operations are skipped and
+    ``TransactionScript.poll_failed`` is set — the caller raises, matching
+    the software ``WAIT_FOR_RESULTS`` failure path.
+    """
+
+    kind: TransactionKind
+    address: int
+    mask: int
+    limit: int
+
+
+ScriptOp = Union[TransactionOp, PollOp]
+
+
+class TransactionScript:
+    """A full driver-call beat sequence queued on a master at once.
+
+    ``gap`` is the inter-operation gap (in cycles) charged after every
+    completed operation, including the last — mirroring the blocking
+    processor model, which steps the gap after every ``execute``.  ``done``
+    flips when the trailing gap has elapsed; ``transactions`` counts every
+    completed bus transaction (poll attempts included), ``polls`` counts
+    poll attempts alone.  With ``record`` set, every completed transaction
+    object is kept in ``executed`` (off by default: campaign-scale runs must
+    not grow memory per transaction).
+    """
+
+    __slots__ = (
+        "ops",
+        "gap",
+        "record",
+        "done",
+        "poll_failed",
+        "transactions",
+        "polls",
+        "executed",
+    )
+
+    def __init__(self, ops: Sequence[ScriptOp], gap: int = 0, record: bool = False) -> None:
+        self.ops: List[ScriptOp] = list(ops)
+        self.gap = int(gap)
+        self.record = record
+        self.done = False
+        self.poll_failed = False
+        self.transactions = 0
+        self.polls = 0
+        self.executed: List[BusTransaction] = []
+
+
 class SlaveBundle:
     """Base class for the signal bundle a peripheral's slave port exposes."""
 
@@ -97,6 +179,16 @@ class BusMaster(Module):
     they register no combinational processes — so on cycles where a master
     sits idle and schedules no differing signal value, the event-driven
     kernel's settle-skipping fast path applies.
+
+    Masters also opt into the compiled kernel's wait-state elision: the
+    clocked process declares the slave handshake signals it reacts to (the
+    :meth:`_wake_signals` hook) plus an internal ``WAKE`` signal toggled by
+    :meth:`submit` / :meth:`submit_script`, and reports quiescence whenever
+    it is parked — idle with nothing queued, or holding a request steady
+    while the peripheral has not yet acknowledged.  Cycle bookkeeping
+    (``_cycle``, ``total_busy_cycles``) is resynchronised from the
+    simulator's cycle counter on wake-up, so the elided cycles are accounted
+    exactly as if the process had run.
     """
 
     #: Cycles of master-side overhead (arbitration, address decode) charged
@@ -104,6 +196,10 @@ class BusMaster(Module):
     ARBITRATION_CYCLES = 0
     #: Idle cycles inserted after a transaction completes.
     RECOVERY_CYCLES = 1
+
+    #: Width of the completion/script count signals; counts wrap, so waits
+    #: use equality against a masked target (wrap-safe for a blocking CPU).
+    COUNT_WIDTH = 32
 
     def __init__(self, name: str, slave: SlaveBundle) -> None:
         super().__init__(name)
@@ -113,20 +209,91 @@ class BusMaster(Module):
         self.completed: List[BusTransaction] = []
         self._cycle = 0
         self.total_busy_cycles = 0
-        self.clocked(self._base_tick)
+        #: Keep completed transaction objects in ``completed``.  Campaign
+        #: runs switch this off: the counters below keep counting either way.
+        self.record_transactions = True
+        self._completed_total = 0
+        self._scripts_total = 0
+        #: Completion-count signal: increments (mod 2**COUNT_WIDTH) when a
+        #: transaction completes, visible the same cycle ``done`` is set.
+        #: The processor waits on it instead of polling a Python lambda.
+        self.completion_count = self.signal("COMPLETIONS", width=self.COUNT_WIDTH)
+        #: Script-count signal: increments when a queued script (trailing
+        #: gap included) finishes.
+        self.script_count = self.signal("SCRIPTS", width=self.COUNT_WIDTH)
+        self._script: Optional[TransactionScript] = None
+        self._script_pc = 0
+        self._script_attempts = 0
+        self._gap_left = 0
+        #: Toggled by submit()/submit_script() so a sleeping (elided) master
+        #: wakes on the very next cycle — the same cycle it would have popped
+        #: the queue had it been running.
+        self._wake = self.signal("WAKE", width=1)
+        self.clocked(self._base_tick, sensitive_to=[self._wake] + list(self._wake_signals()))
+
+    def _wake_signals(self) -> List:
+        """Slave-side signals whose changes must wake a parked master.
+
+        Subclasses with request/acknowledge protocols return their ack /
+        response signals; strictly synchronous masters (fixed-latency FSMs
+        that are active on every busy cycle) can return nothing.
+        """
+        return []
+
+    def _now(self) -> int:
+        """The current bus cycle, valid even while this process is elided."""
+        sim = self._simulator
+        return sim.cycle if sim is not None else self._cycle
+
+    def _sleep_until(self, target: int) -> bool:
+        """Park a pure countdown until master-cycle ``target``; return False.
+
+        On kernels with timed wakes the master is skipped until the target
+        cycle (its cycle counter resynchronises on wake-up); scan kernels run
+        it every cycle regardless, and the countdown re-checks the target —
+        identical externally either way.  Returns the activity flag to hand
+        back from ``_tick`` (True when the target is next cycle anyway).
+        """
+        sim = self._simulator
+        if sim is None or not sim.timed_wakes:
+            return True
+        delta = target - self._cycle
+        if delta <= 1:
+            return True
+        sim.wake_after(self._base_tick, delta)
+        return False
 
     # -- driver-facing API ----------------------------------------------------
 
     def submit(self, transaction: BusTransaction) -> BusTransaction:
         """Queue ``transaction`` for execution; returns it for convenience."""
-        transaction.issue_cycle = self._cycle
+        transaction.issue_cycle = self._now()
         self._queue.append(transaction)
+        wake = self._wake
+        wake.drive(1 - wake._value)
         return transaction
+
+    def submit_script(self, script: TransactionScript) -> TransactionScript:
+        """Queue a full transaction script for in-master execution.
+
+        Only one script may be in flight, and it takes priority over plainly
+        queued transactions (the blocking processor model never mixes the
+        two).  An empty script is completed by the caller without touching
+        the simulation.
+        """
+        if self._script is not None:
+            raise ValueError(f"master {self.name!r} already has a script in flight")
+        self._script = script
+        self._script_pc = 0
+        self._script_attempts = 0
+        wake = self._wake
+        wake.drive(1 - wake._value)
+        return script
 
     @property
     def idle(self) -> bool:
-        """True when no transaction is active or pending."""
-        return self.active is None and not self._queue
+        """True when no transaction or script is active or pending."""
+        return self.active is None and not self._queue and self._script is None
 
     @property
     def pending(self) -> int:
@@ -136,33 +303,117 @@ class BusMaster(Module):
 
     @property
     def transactions_completed(self) -> int:
-        return len(self.completed)
+        return self._completed_total
 
     def utilization(self) -> float:
         """Fraction of simulated cycles during which the bus was busy."""
-        if self._cycle == 0:
+        cycles = self._now()
+        if cycles == 0:
             return 0.0
-        return self.total_busy_cycles / self._cycle
+        return self.total_busy_cycles / cycles
 
     # -- simulation -------------------------------------------------------------
 
-    def _base_tick(self) -> None:
-        self._cycle += 1
-        if self.active is None and self._queue:
-            self.active = self._queue.popleft()
-            if self.active.issue_cycle is None:
-                self.active.issue_cycle = self._cycle
-            self._begin(self.active)
-        if self.active is not None:
-            self.total_busy_cycles += 1
-            self._tick(self.active)
+    def _base_tick(self) -> bool:
+        # Elision-proof cycle accounting: the counter is resynchronised from
+        # the simulator, and busy cycles skipped while parked mid-transaction
+        # (possible only in an acknowledge wait, where the bus stays busy)
+        # are credited on wake-up — identical totals to running every cycle.
+        sim = self._simulator
+        cycle = (sim.cycle + 1) if sim is not None else (self._cycle + 1)
+        active = self.active
+        skipped = cycle - self._cycle - 1
+        if skipped > 0 and active is not None:
+            self.total_busy_cycles += skipped
+        self._cycle = cycle
+        if active is None:
+            if self._gap_left:
+                # Inter-operation gap: the bus sits idle exactly as it did
+                # between blocking execute() calls.
+                self._gap_left -= 1
+                if (
+                    not self._gap_left
+                    and self._script is not None
+                    and self._script_pc >= len(self._script.ops)
+                ):
+                    self._finish_script()
+                return True
+            if self._script is not None:
+                active = self._start_script_op()
+                if active is None:
+                    return True
+            elif self._queue:
+                active = self.active = self._queue.popleft()
+                if active.issue_cycle is None:
+                    active.issue_cycle = self._cycle
+                self._begin(active)
+            else:
+                # Idle and empty: sleep until a submit toggles WAKE.
+                return False
+        self.total_busy_cycles += 1
+        return self._tick(active) is not False
+
+    def _start_script_op(self) -> Optional[BusTransaction]:
+        script = self._script
+        if self._script_pc >= len(script.ops):
+            # Only reachable with gap == 0 (otherwise the gap countdown
+            # finishes the script): complete it without consuming a cycle.
+            self._finish_script()
+            return None
+        op = script.ops[self._script_pc]
+        if type(op) is PollOp:
+            transaction = BusTransaction(op.kind, op.address, word_count=1)
+        else:
+            transaction = op.transaction
+        self.active = transaction
+        if transaction.issue_cycle is None:
+            transaction.issue_cycle = self._cycle
+        self._begin(transaction)
+        return transaction
+
+    def _script_txn_done(self, script: TransactionScript, transaction: BusTransaction) -> None:
+        script.transactions += 1
+        if script.record:
+            script.executed.append(transaction)
+        op = script.ops[self._script_pc]
+        if type(op) is PollOp:
+            script.polls += 1
+            self._script_attempts += 1
+            if transaction.results and (transaction.results[0] & op.mask):
+                self._script_pc += 1
+                self._script_attempts = 0
+            elif self._script_attempts >= op.limit:
+                # Poll limit exhausted: skip the remaining operations; the
+                # caller observes poll_failed and raises, exactly where the
+                # software poll loop would have.
+                script.poll_failed = True
+                self._script_pc = len(script.ops)
+                self._script_attempts = 0
+        else:
+            self._script_pc += 1
+        if script.gap:
+            self._gap_left = script.gap
+        elif self._script_pc >= len(script.ops):
+            self._finish_script()
+
+    def _finish_script(self) -> None:
+        script = self._script
+        self._script = None
+        script.done = True
+        self._scripts_total += 1
+        self.script_count.next = self._scripts_total
 
     def _complete(self, transaction: BusTransaction) -> None:
         """Mark the active transaction finished."""
         transaction.done = True
         transaction.complete_cycle = self._cycle
-        self.completed.append(transaction)
+        self._completed_total += 1
+        self.completion_count.next = self._completed_total
+        if self.record_transactions:
+            self.completed.append(transaction)
         self.active = None
+        if self._script is not None:
+            self._script_txn_done(self._script, transaction)
 
     # -- subclass hooks -------------------------------------------------------
 

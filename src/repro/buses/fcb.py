@@ -74,11 +74,20 @@ class FCBMaster(BusMaster):
         self.base_address = base_address  # unused; kept for interface parity
         self._phase = "idle"
         self._word_index = 0
+        # Per-transaction facts hoisted out of the per-cycle FSM (see
+        # PLBMaster for rationale): direction, total beats, strobe pending.
+        self._active_write = False
+        self._active_total = 0
+
+    def _wake_signals(self):
+        # A parked FCB master resumes on the beat acknowledge or read response.
+        return [self.slave.ack, self.slave.resp_valid]
 
     def _begin(self, transaction: BusTransaction) -> None:
         if transaction.kind.is_dma:
             raise ValueError("the FCB is not memory accessible and therefore has no DMA support")
-        word_total = len(transaction.data) if transaction.kind.is_write else transaction.word_count
+        is_write = transaction.kind.is_write
+        word_total = len(transaction.data) if is_write else transaction.word_count
         if word_total > self.MAX_BURST_WORDS and transaction.kind in (
             TransactionKind.BURST_READ,
             TransactionKind.BURST_WRITE,
@@ -87,46 +96,55 @@ class FCBMaster(BusMaster):
                 f"FCB bursts move at most {self.MAX_BURST_WORDS} words, got {word_total}"
             )
         self._word_index = 0
+        self._active_write = is_write
+        self._active_total = word_total
         self._phase = "request"
 
-    def _tick(self, transaction: BusTransaction) -> None:
+    def _tick(self, transaction: BusTransaction) -> bool:
+        # Returns the wait-state-elision activity flag: False only while the
+        # request is held waiting for ACK / RESP_VALID (see PLBMaster._tick).
         slave = self.slave
-        total = len(transaction.data) if transaction.kind.is_write else transaction.word_count
+        phase = self._phase
+        total = self._active_total
 
-        if self._phase == "request":
-            slave.req.next = 1
-            slave.is_write.next = 1 if transaction.kind.is_write else 0
-            slave.func_sel.next = transaction.address
-            slave.burst_len.next = min(total, self.MAX_BURST_WORDS)
-            if transaction.kind.is_write:
-                slave.data_to_slave.next = transaction.data[0]
-                slave.data_valid.next = 1
-            self._phase = "wait_ack"
-            return
-
-        if self._phase == "wait_ack":
-            slave.req.next = 0
-            if transaction.kind.is_write and slave.ack.value:
-                self._word_index += 1
-                if self._word_index < total:
-                    # Drop DATA_VALID for one cycle so the peripheral can
-                    # delimit consecutive beats of a burst.
-                    slave.data_valid.next = 0
-                    self._phase = "next_beat"
-                else:
-                    self._finish(transaction)
-            elif not transaction.kind.is_write and slave.resp_valid.value:
-                transaction.results.append(slave.data_from_slave.value)
+        if phase == "wait_ack":
+            if self._active_write:
+                if slave.ack._value:
+                    self._word_index += 1
+                    if self._word_index < total:
+                        # Drop DATA_VALID for one cycle so the peripheral can
+                        # delimit consecutive beats of a burst.
+                        slave.data_valid.schedule(0)
+                        self._phase = "next_beat"
+                    else:
+                        self._finish(transaction)
+                    return True
+            elif slave.resp_valid._value:
+                transaction.results.append(slave.data_from_slave._value)
                 self._word_index += 1
                 if self._word_index >= total:
                     self._finish(transaction)
-            return
+                return True
+            return False
 
-        if self._phase == "next_beat":
-            slave.data_to_slave.next = transaction.data[self._word_index]
-            slave.data_valid.next = 1
+        if phase == "request":
+            # REQ strobes for one cycle (kernel-cleared pulse).
+            slave.req.pulse(1)
+            slave.is_write.schedule(1 if self._active_write else 0)
+            slave.func_sel.schedule(transaction.address)
+            slave.burst_len.schedule(min(total, self.MAX_BURST_WORDS))
+            if self._active_write:
+                slave.data_to_slave.schedule(transaction.data[0])
+                slave.data_valid.schedule(1)
             self._phase = "wait_ack"
-            return
+            return False  # parked until ACK / RESP_VALID wakes us
+
+        if phase == "next_beat":
+            slave.data_to_slave.schedule(transaction.data[self._word_index])
+            slave.data_valid.schedule(1)
+            self._phase = "wait_ack"
+            return False  # parked until the next beat acknowledge
+        return True
 
     def _finish(self, transaction: BusTransaction) -> None:
         slave = self.slave

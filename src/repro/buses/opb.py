@@ -19,7 +19,13 @@ class OPBSlaveBundle(PLBSlaveBundle):
 
 
 class OPBMaster(PLBMaster):
-    """Drives an :class:`OPBSlaveBundle`, adding bridge latency per request."""
+    """Drives an :class:`OPBSlaveBundle`, adding bridge latency per request.
+
+    The five-cycle arbitration charge makes this master the biggest
+    beneficiary of the inherited timed-wake countdown: under the compiled
+    kernel it sleeps through the bridge crossing of every beat instead of
+    decrementing a counter per cycle.
+    """
 
     #: PLB arbitration plus the PLB-to-OPB bridge crossing.
     ARBITRATION_CYCLES = 5

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.buses.base import BusMaster, BusTransaction, SlaveBundle, TransactionKind
-from repro.rtl.signal import Signal
+from repro.rtl.signal import Signal, schedule_zero
 
 
 class PLBSlaveBundle(SlaveBundle):
@@ -78,7 +78,22 @@ class PLBMaster(BusMaster):
         self.base_address = base_address
         self._phase = "idle"
         self._delay = 0
+        self._delay_until = None
         self._word_index = 0
+        # Per-transaction facts hoisted out of the per-cycle FSM: the write
+        # direction and streaming style never change mid-transaction —
+        # re-deriving them every cycle (enum properties) was measurable
+        # harness overhead on every kernel.
+        self._active_write = False
+        self._active_streaming = False
+        self._request_signals = (
+            slave.rd_req, slave.wr_req, slave.rd_ce, slave.wr_ce,
+            slave.be, slave.data_to_slave,
+        )
+
+    def _wake_signals(self):
+        # A parked PLB master resumes only when the peripheral acknowledges.
+        return [self.slave.wr_ack, self.slave.rd_ack]
 
     # -- helpers ---------------------------------------------------------------
 
@@ -93,98 +108,110 @@ class PLBMaster(BusMaster):
         return slot
 
     def _clear_request(self) -> None:
-        slave = self.slave
-        slave.rd_req.next = 0
-        slave.wr_req.next = 0
-        slave.rd_ce.next = 0
-        slave.wr_ce.next = 0
-        slave.be.next = 0
-        slave.data_to_slave.next = 0
+        schedule_zero(self._request_signals)
 
     # -- FSM ----------------------------------------------------------------------
 
     def _begin(self, transaction: BusTransaction) -> None:
         self._word_index = 0
-        if transaction.kind.is_dma:
+        kind = transaction.kind
+        self._active_write = kind.is_write
+        self._active_streaming = kind in (
+            TransactionKind.BURST_READ,
+            TransactionKind.BURST_WRITE,
+            TransactionKind.DMA_READ,
+            TransactionKind.DMA_WRITE,
+        )
+        if kind.is_dma:
             self._phase = "dma_setup"
             self._delay = self.DMA_SETUP_TRANSACTIONS * self.DMA_SETUP_TRANSACTION_CYCLES
         else:
             self._phase = "arbitrate"
             self._delay = self.ARBITRATION_CYCLES
 
-    def _tick(self, transaction: BusTransaction) -> None:
+    def _tick(self, transaction: BusTransaction) -> bool:
+        # Ordered by per-cycle frequency: a transaction spends most cycles
+        # waiting for an acknowledge, then counting delay cycles.  The return
+        # value is the wait-state-elision activity flag: because the REQ
+        # strobes are kernel-cleared pulses, the FSM is fully parked (False)
+        # from the cycle after the request until the peripheral acknowledges.
+        phase = self._phase
         slave = self.slave
-        if self._phase in ("arbitrate", "dma_setup"):
-            if self._delay > 0:
-                self._delay -= 1
-                return
+
+        if phase == "wait_ack":
+            if self._active_write:
+                if slave.wr_ack._value:
+                    self._word_index += 1
+                    return self._after_beat(transaction)
+            elif slave.rd_ack._value:
+                transaction.results.append(slave.data_from_slave._value)
+                self._word_index += 1
+                return self._after_beat(transaction)
+            return False
+
+        if phase == "arbitrate" or phase == "dma_setup":
+            # Pure countdown, expressed against the (elision-proof) cycle
+            # counter so the master can sleep through it under timed wakes.
+            until = self._delay_until
+            if until is None:
+                self._delay_until = until = self._cycle + self._delay
+            if self._cycle < until:
+                return self._sleep_until(until)
+            self._delay_until = None
             self._phase = "request"
             # fall through to issue the first beat this cycle
+        elif phase == "recover":
+            until = self._delay_until
+            if until is None:
+                self._delay_until = until = self._cycle + self._delay
+            if self._cycle < until:
+                return self._sleep_until(until)
+            self._delay_until = None
+            self._clear_request()
+            self._complete(transaction)
+            self._phase = "idle"
+            return True
 
         if self._phase == "request":
             slot = self._slot_for(transaction.address)
             onehot = 1 << slot
-            slave.be.next = (1 << (slave.data_width // 8)) - 1
-            if transaction.kind.is_write:
-                slave.wr_req.next = 1
-                slave.wr_ce.next = onehot
-                slave.data_to_slave.next = transaction.data[self._word_index]
+            slave.be.schedule((1 << (slave.data_width // 8)) - 1)
+            if self._active_write:
+                # REQ strobes for a single cycle (pulse); CE/BE/DATA stay held.
+                slave.wr_req.pulse(1)
+                slave.wr_ce.schedule(onehot)
+                slave.data_to_slave.schedule(transaction.data[self._word_index])
             else:
-                slave.rd_req.next = 1
-                slave.rd_ce.next = onehot
+                slave.rd_req.pulse(1)
+                slave.rd_ce.schedule(onehot)
             self._phase = "wait_ack"
-            return
+            return False  # parked until the acknowledge wakes us
+        return True
 
-        if self._phase == "wait_ack":
-            # REQ strobes for a single cycle; CE/BE/DATA stay held.
-            slave.rd_req.next = 0
-            slave.wr_req.next = 0
-            if transaction.kind.is_write and slave.wr_ack.value:
-                self._word_index += 1
-                self._after_beat(transaction)
-            elif not transaction.kind.is_write and slave.rd_ack.value:
-                transaction.results.append(slave.data_from_slave.value)
-                self._word_index += 1
-                self._after_beat(transaction)
-            return
-
-        if self._phase == "recover":
-            if self._delay > 0:
-                self._delay -= 1
-                return
-            self._clear_request()
-            self._complete(transaction)
-            self._phase = "idle"
-
-    def _after_beat(self, transaction: BusTransaction) -> None:
-        """Advance to the next word or finish the transaction."""
+    def _after_beat(self, transaction: BusTransaction) -> bool:
+        """Advance to the next word or finish; returns the activity flag."""
         slave = self.slave
-        total = transaction.word_count if not transaction.kind.is_write else len(transaction.data)
-        streaming = transaction.kind in (
-            TransactionKind.BURST_READ,
-            TransactionKind.BURST_WRITE,
-            TransactionKind.DMA_READ,
-            TransactionKind.DMA_WRITE,
-        )
+        total = len(transaction.data) if self._active_write else transaction.word_count
         if self._word_index < total:
-            if streaming:
+            if self._active_streaming:
                 # Back-to-back beat: keep the enables, present the next word.
-                if transaction.kind.is_write:
-                    slave.data_to_slave.next = transaction.data[self._word_index]
-                    slave.wr_req.next = 1
+                if self._active_write:
+                    slave.data_to_slave.schedule(transaction.data[self._word_index])
+                    slave.wr_req.pulse(1)
                 else:
-                    slave.rd_req.next = 1
+                    slave.rd_req.pulse(1)
                 self._phase = "wait_ack"
-            else:
-                # Single-word semantics: re-arbitrate for every beat.
-                self._clear_request()
-                self._phase = "arbitrate"
-                self._delay = self.ARBITRATION_CYCLES
-                self._phase_after_arb_request(transaction)
-        else:
+                return False  # parked until the next acknowledge
+            # Single-word semantics: re-arbitrate for every beat.
             self._clear_request()
-            self._phase = "recover"
-            self._delay = self.RECOVERY_CYCLES
+            self._phase = "arbitrate"
+            self._delay = self.ARBITRATION_CYCLES
+            self._phase_after_arb_request(transaction)
+            return True
+        self._clear_request()
+        self._phase = "recover"
+        self._delay = self.RECOVERY_CYCLES
+        return True
 
     def _phase_after_arb_request(self, transaction: BusTransaction) -> None:
         """Hook kept separate so subclasses (OPB) can add bridge latency."""

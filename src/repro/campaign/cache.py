@@ -75,6 +75,20 @@ class ResultCache:
     def _path(self, digest: str) -> Path:
         return self.directory / f"{digest}.json"
 
+    @property
+    def program_cache_dir(self) -> Path:
+        """Directory for the compiled kernel's persistent program cache.
+
+        ``run_campaign`` exports this via
+        :data:`repro.rtl.compile.PROGRAM_CACHE_ENV` so every worker's
+        :class:`~repro.rtl.compile.CompiledSimulator` reuses levelization +
+        codegen for identical design topologies instead of recompiling per
+        process.  Program entries carry their own compiler fingerprint in
+        the digest, so they invalidate independently of the result entries
+        (which glob only this directory's top level, not this subtree).
+        """
+        return self.directory / "programs"
+
     def get(self, cell: CampaignCell) -> Optional[Tuple[int, int, int]]:
         """The cached (result, cycles, transactions), or ``None`` on a miss."""
         path = self._path(cell_digest(cell))

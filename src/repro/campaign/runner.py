@@ -8,7 +8,9 @@ into a :class:`~repro.campaign.result.CampaignResult`.
 
 from __future__ import annotations
 
+import os
 import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Union
 
@@ -16,6 +18,30 @@ from repro.campaign.cache import ResultCache
 from repro.campaign.executor import CellOutcome, SerialExecutor, make_executor
 from repro.campaign.result import CampaignResult, CellResult
 from repro.campaign.spec import CampaignCell, CampaignSpec
+from repro.rtl.compile import PROGRAM_CACHE_ENV
+
+
+@contextmanager
+def _program_cache_env(cache: Optional[ResultCache]):
+    """Point compiled-kernel program caching at the campaign cache directory.
+
+    Exported through the environment so it reaches sharded-executor worker
+    processes (inherited under both fork and spawn); restored afterwards so
+    an un-cached campaign in the same process does not silently keep writing
+    into a stale directory.
+    """
+    if cache is None:
+        yield
+        return
+    previous = os.environ.get(PROGRAM_CACHE_ENV)
+    os.environ[PROGRAM_CACHE_ENV] = str(cache.program_cache_dir)
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(PROGRAM_CACHE_ENV, None)
+        else:
+            os.environ[PROGRAM_CACHE_ENV] = previous
 
 
 def run_campaign(
@@ -57,7 +83,8 @@ def run_campaign(
         # Persist outcomes as they land (per cell serially, per shard when
         # sharded), so an interrupted campaign resumes from what it finished.
         on_result = None if cache is None else cache.put
-        fresh = executor.execute(pending, on_result)
+        with _program_cache_env(cache):
+            fresh = executor.execute(pending, on_result)
         missing = [cell.key for cell in pending if cell.key not in fresh]
         if missing:
             raise RuntimeError(f"executor returned no outcome for cells: {missing[:5]}")

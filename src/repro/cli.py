@@ -23,6 +23,13 @@ Subcommands:
     Re-render a previously written campaign result as markdown, CSV or a
     plain-text table without re-running anything.
 
+``splice profile <label-or-spec> [--kernel K] [--scenario N] [--top N]``
+    Run one scenario (for a registry label such as ``splice_plb``) or a
+    plain simulation (for a specification file) under :mod:`cProfile` and
+    print the top cumulative hotspots — the reproducible way to attribute
+    wall-clock between the harness (drivers, masters, monitors) and the
+    simulation kernel.
+
 The legacy flat invocation ``splice <spec-file> [...]`` still works: when
 the first argument is not a subcommand name it is routed to ``generate``.
 """
@@ -38,7 +45,7 @@ from repro.core.syntax.errors import SpliceError
 from repro.rtl import DEFAULT_KERNEL, KERNELS
 
 #: Names that select a subcommand; anything else routes to ``generate``.
-_SUBCOMMANDS = ("generate", "campaign")
+_SUBCOMMANDS = ("generate", "campaign", "profile")
 
 #: Kernel choices come from the one registry, so a new kernel is
 #: automatically selectable here.
@@ -136,6 +143,31 @@ def build_arg_parser() -> argparse.ArgumentParser:
     report.add_argument("--format", choices=("markdown", "csv", "text"), default="markdown",
                         help="output format (default: markdown)")
 
+    profile = subparsers.add_parser(
+        "profile",
+        help="cProfile a scenario run (harness-vs-kernel attribution)",
+        description="Run one implementation scenario (or a spec-file simulation) "
+        "under cProfile and print the top cumulative hotspots, so "
+        "harness-vs-kernel time attribution is reproducible by anyone.",
+    )
+    profile.add_argument(
+        "spec",
+        help="an implementation label from the runner registry (e.g. splice_plb) "
+        "or a path to a Splice specification file",
+    )
+    profile.add_argument("--kernel", choices=_KERNEL_CHOICES, default=DEFAULT_KERNEL,
+                         help=f"simulation kernel to profile (default: {DEFAULT_KERNEL})")
+    profile.add_argument("--scenario", type=int, default=2, metavar="N",
+                         help="Figure 9.1 scenario number for registry labels (default: 2)")
+    profile.add_argument("--repeat", type=int, default=20, metavar="R",
+                         help="scenario repetitions under the profiler (default: 20)")
+    profile.add_argument("--cycles", type=int, default=20_000, metavar="CYCLES",
+                         help="cycles to simulate when profiling a spec file (default: 20000)")
+    profile.add_argument("--top", type=int, default=25, metavar="N",
+                         help="number of hotspots to print (default: 25)")
+    profile.add_argument("--sort", choices=("cumulative", "tottime"), default="cumulative",
+                         help="pstats sort order (default: cumulative)")
+
     return parser
 
 
@@ -176,6 +208,63 @@ def _generate(args) -> int:
     print(f"Generated {len(listing)} files for device {result.device_name!r}:")
     for name in listing:
         print(f"  {written[name]}")
+    return 0
+
+
+def _profile(args) -> int:
+    """``splice profile``: cProfile a scenario run, print top-N hotspots."""
+    import cProfile
+    import pstats
+
+    from repro.devices.registry import build_runner, known_labels
+    from repro.evaluation.scenarios import SCENARIOS
+
+    profiler = cProfile.Profile()
+    if args.spec in known_labels():
+        scenario = next((s for s in SCENARIOS if s.number == args.scenario), None)
+        if scenario is None:
+            numbers = sorted(s.number for s in SCENARIOS)
+            print(f"splice: unknown scenario {args.scenario} (known: {numbers})", file=sys.stderr)
+            return 2
+        runner = build_runner(args.spec, kernel=args.kernel)
+        sets = scenario.generate_inputs()
+        runner.run_scenario(sets)  # warm up: elaboration/compile stays out of the profile
+        cycles = 0
+        profiler.enable()
+        for _ in range(max(1, args.repeat)):
+            cycles += runner.run_scenario(sets)["cycles"]
+        profiler.disable()
+        subject = (
+            f"{args.spec} scenario {args.scenario} x{max(1, args.repeat)} "
+            f"({cycles} bus cycles)"
+        )
+    else:
+        from repro.soc.system import build_system
+
+        try:
+            source = Path(args.spec).read_text()
+        except OSError:
+            print(
+                f"splice: {args.spec!r} is neither a registered implementation label "
+                f"(known: {known_labels()}) nor a readable specification file",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            system = build_system(source, kernel=args.kernel)
+        except SpliceError as exc:
+            print(f"splice: {exc}", file=sys.stderr)
+            return 1
+        cycles = max(1, args.cycles)
+        system.run(1)  # warm up (first step compiles on the compiled kernel)
+        profiler.enable()
+        system.run(cycles)
+        profiler.disable()
+        subject = f"{args.spec} ({cycles} bus cycles)"
+
+    print(f"Profile of {subject} on the {args.kernel} kernel, by {args.sort} time:")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort).print_stats(max(1, args.top))
     return 0
 
 
@@ -286,6 +375,8 @@ def main(argv=None) -> int:
         if args.campaign_command == "run":
             return _campaign_run(args)
         return _campaign_report(args)
+    if args.command == "profile":
+        return _profile(args)
     if args.command == "generate":
         return _generate(args)
     build_arg_parser().print_help()

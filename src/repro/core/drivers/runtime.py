@@ -15,7 +15,13 @@ drivers in Figures 6.1 and 6.2:
 
 The driver issues its transactions through a *processor* object (usually
 :class:`repro.soc.cpu.ProcessorModel`), so calling a driver advances the
-simulation and its cost is measured in real bus clock cycles.
+simulation and its cost is measured in real bus clock cycles.  The whole
+call — every write beat, the ``CALC_DONE`` poll loop, every read beat and
+the inter-operation gaps between them — is submitted as one
+:class:`~repro.buses.base.TransactionScript` that the bus master consumes
+inside the simulation, so a driver call costs one kernel wait instead of one
+Python round trip per transaction (cycle-exact with the per-transaction
+path; see ``tests/test_harness_scripting.py``).
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.buses.base import PollOp, TransactionOp
 from repro.core.drivers.macro_lib import SoftwareMacroLibrary
 from repro.core.drivers.wire_format import beat_count, deserialize_io, serialize_io
 from repro.core.params import FuncParams, IOParams, ModuleParams
@@ -69,7 +76,13 @@ class GeneratedDriver:
     # -- public API -------------------------------------------------------------
 
     def __call__(self, *args: Value, inst_index: int = 0, **kwargs: Value):
-        """Invoke the hardware function exactly as the C driver would."""
+        """Invoke the hardware function exactly as the C driver would.
+
+        The full beat sequence is known before the bus is touched (the beat
+        counts depend only on the declaration and the bound argument sizes),
+        so the whole call is scripted onto the master and executed with a
+        single blocking wait.
+        """
         func = self.func
         if not 0 <= inst_index < func.nmbr_instances:
             raise SpliceGenerationError(
@@ -79,8 +92,8 @@ class GeneratedDriver:
         bound = self._bind_arguments(args, kwargs)
         func_id = func.func_id + inst_index
         start_cycle = self.processor.cycles
+        ops: List[object] = []
         transactions = 0
-        polls = 0
 
         # 1-2: transfer every input in declaration order.
         for io in func.inputs:
@@ -92,39 +105,60 @@ class GeneratedDriver:
             txns = self.library.write_transactions(
                 self.module, func_id, words, use_dma=io.is_dma, use_burst=use_burst and not io.is_dma
             )
-            for txn in txns:
-                self.processor.execute(txn)
-                transactions += 1
+            ops.extend(TransactionOp(txn) for txn in txns)
+            transactions += len(txns)
 
-        result = None
+        output_plan = None
+        read_txns: List = []
         if func.blocking:
             if self.library.requires_polling and not func.inputs:
                 # Strictly synchronous buses cannot pause a read until the
                 # function wakes up, so parameterless functions are started
                 # with an explicit trigger write before polling CALC_DONE.
                 trigger = self.library.write_transactions(self.module, func_id, [0])[0]
-                self.processor.execute(trigger)
+                ops.append(TransactionOp(trigger))
                 transactions += 1
-            # 3: WAIT_FOR_RESULTS.
-            polls = self._wait_for_results(func_id)
-            transactions += polls
+            if self.library.requires_polling:
+                # 3: WAIT_FOR_RESULTS — the poll loop runs inside the master.
+                template = self.library.poll_transaction(self.module)
+                ops.append(
+                    PollOp(template.kind, template.address, 1 << (func_id - 1), self.poll_limit)
+                )
             # 4-5: read back the result (or the pseudo-output status word).
             if func.has_output and func.output is not None:
                 output = func.output
                 count = self._element_count(output, bound)
                 beats = beat_count(output, self.module.data_width, count)
-                words = self._read_words(func_id, beats, output)
+                read_txns = self._read_transactions(func_id, beats, output)
+                ops.extend(TransactionOp(txn) for txn in read_txns)
                 transactions += beats
-                result = deserialize_io(output, words, self.module.data_width, count)
+                output_plan = (output, count, beats)
             else:
-                status_words = self._read_words(func_id, 1, None)
+                read_txns = self._read_transactions(func_id, 1, None)
+                ops.extend(TransactionOp(txn) for txn in read_txns)
                 transactions += 1
-                result = None if not status_words else None
         elif not func.inputs:
             # A nowait function with no inputs still needs a trigger write.
             txn = self.library.write_transactions(self.module, func_id, [0])[0]
-            self.processor.execute(txn)
+            ops.append(TransactionOp(txn))
             transactions += 1
+
+        script = self.processor.execute_script(ops)
+        polls = script.polls
+        transactions += polls
+        if script.poll_failed:
+            raise SpliceGenerationError(
+                f"WAIT_FOR_RESULTS for function id {func_id} did not complete within "
+                f"{self.poll_limit} status polls"
+            )
+
+        result = None
+        if output_plan is not None:
+            output, count, beats = output_plan
+            words: List[int] = []
+            for txn in read_txns:
+                words.extend(txn.results)
+            result = deserialize_io(output, words[:beats], self.module.data_width, count)
 
         record = DriverCallRecord(
             func_name=func.func_name,
@@ -175,35 +209,14 @@ class GeneratedDriver:
             return io.io_number
         return 1
 
-    def _read_words(self, func_id: int, beats: int, output: Optional[IOParams]) -> List[int]:
+    def _read_transactions(self, func_id: int, beats: int, output: Optional[IOParams]) -> List:
+        """The read-macro transactions moving ``beats`` result words."""
         if beats <= 0:
             return []
         use_dma = bool(output is not None and output.is_dma)
         use_burst = self.library.max_burst_words > 1
-        txns = self.library.read_transactions(
+        return self.library.read_transactions(
             self.module, func_id, beats, use_dma=use_dma, use_burst=use_burst and not use_dma
-        )
-        words: List[int] = []
-        for txn in txns:
-            self.processor.execute(txn)
-            words.extend(txn.results)
-        return words[:beats]
-
-    def _wait_for_results(self, func_id: int) -> int:
-        """Implements WAIT_FOR_RESULTS; returns the number of poll reads issued."""
-        if not self.library.requires_polling:
-            return 0
-        polls = 0
-        mask = 1 << (func_id - 1)
-        while polls < self.poll_limit:
-            txn = self.library.poll_transaction(self.module)
-            self.processor.execute(txn)
-            polls += 1
-            if txn.results and (txn.results[0] & mask):
-                return polls
-        raise SpliceGenerationError(
-            f"WAIT_FOR_RESULTS for function id {func_id} did not complete within "
-            f"{self.poll_limit} status polls"
         )
 
 

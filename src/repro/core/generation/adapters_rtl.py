@@ -42,52 +42,53 @@ class PLBToSIS(Module):
         )
 
     def _tick(self) -> bool:
+        # IO_ENABLE / WR_ACK / RD_ACK are kernel-cleared pulses, so the
+        # adapter is a purely reactive FSM: every invocation either reacts to
+        # a declared input and strobes its response, or does nothing — and
+        # reports quiescence (False) either way, staying parked under the
+        # compiled kernel's wait-state elision until an input changes.
         plb, sis = self.plb, self.sis
-        # Single-cycle strobes default low every cycle; Signal.schedule is a
-        # no-op (and reports quiescence) while they are already low.
-        active = sis.io_enable.schedule(0)
-        active |= plb.wr_ack.schedule(0)
-        active |= plb.rd_ack.schedule(0)
 
         if plb.rst._value:
-            active |= sis.rst.schedule(1)
+            active = sis.rst.schedule(1)
             active |= sis.data_in_valid.schedule(0)
             active |= sis.func_id.schedule(0)
             self._state = "idle"
             return active
-        active |= sis.rst.schedule(0)
+        active = False
+        if sis.rst._value or sis.rst._next is not None:
+            active = sis.rst.schedule(0)
 
-        if self._state == "idle":
-            if plb.wr_req.value and plb.wr_ce.value:
+        state = self._state
+        if state == "idle":
+            if plb.wr_req._value and plb.wr_ce._value:
                 slot = plb.selected_slot(write=True)
-                sis.func_id.next = slot
-                sis.data_in.next = plb.data_to_slave.value
-                sis.data_in_valid.next = 1
-                sis.io_enable.next = 1
+                sis.func_id.schedule(slot)
+                sis.data_in.schedule(plb.data_to_slave._value)
+                sis.data_in_valid.schedule(1)
+                sis.io_enable.pulse(1)
                 self._state = "write_wait"
-                return True
-            if plb.rd_req.value and plb.rd_ce.value:
+                return False  # parked until IO_DONE
+            if plb.rd_req._value and plb.rd_ce._value:
                 slot = plb.selected_slot(write=False)
-                sis.func_id.next = slot
-                sis.io_enable.next = 1
+                sis.func_id.schedule(slot)
+                sis.io_enable.pulse(1)
                 self._state = "read_wait"
-                return True
+                return False  # parked until IO_DONE + DATA_OUT_VALID
             return active
 
-        if self._state == "write_wait":
-            if sis.io_done.value:
-                sis.data_in_valid.next = 0
-                plb.wr_ack.next = 1
+        if state == "write_wait":
+            if sis.io_done._value:
+                sis.data_in_valid.schedule(0)
+                plb.wr_ack.pulse(1)
                 self._state = "idle"
-                return True
             return active
 
-        if self._state == "read_wait":
-            if sis.io_done.value and sis.data_out_valid.value:
-                plb.data_from_slave.next = sis.data_out.value
-                plb.rd_ack.next = 1
+        if state == "read_wait":
+            if sis.io_done._value and sis.data_out_valid._value:
+                plb.data_from_slave.schedule(sis.data_out._value)
+                plb.rd_ack.pulse(1)
                 self._state = "idle"
-                return True
             return active
         return active
 
@@ -117,35 +118,39 @@ class FCBToSIS(Module):
         )
 
     def _tick(self) -> bool:
+        # IO_ENABLE / ACK / RESP_VALID are kernel-cleared pulses (see
+        # PLBToSIS._tick): the adapter reports quiescence from every wait
+        # state and runs only when a declared input changes or it is mid
+        # beat-sequence (write_present / write_ack / read_next).
         fcb, sis = self.fcb, self.sis
-        active = sis.io_enable.schedule(0)
-        active |= fcb.ack.schedule(0)
-        active |= fcb.resp_valid.schedule(0)
 
         if fcb.rst._value:
-            active |= sis.rst.schedule(1)
+            active = sis.rst.schedule(1)
             active |= sis.data_in_valid.schedule(0)
             active |= sis.func_id.schedule(0)
             self._state = "idle"
             return active
-        active |= sis.rst.schedule(0)
+        active = False
+        if sis.rst._value or sis.rst._next is not None:
+            active = sis.rst.schedule(0)
 
-        if self._state == "idle":
-            if fcb.req.value:
-                self._func_id = fcb.func_sel.value
-                self._is_write = bool(fcb.is_write.value)
-                self._remaining = max(1, fcb.burst_len.value)
-                sis.func_id.next = self._func_id
+        state = self._state
+        if state == "idle":
+            if fcb.req._value:
+                self._func_id = fcb.func_sel._value
+                self._is_write = bool(fcb.is_write._value)
+                self._remaining = max(1, fcb.burst_len._value)
+                sis.func_id.schedule(self._func_id)
                 if self._is_write:
-                    self._state = "write_beat" if not fcb.data_valid.value else "write_present"
-                else:
-                    sis.io_enable.next = 1
-                    self._state = "read_wait"
-                return True
+                    self._state = "write_beat" if not fcb.data_valid._value else "write_present"
+                    return True
+                sis.io_enable.pulse(1)
+                self._state = "read_wait"
+                return False  # parked until the function answers
             return active
 
-        if self._state == "write_beat":
-            if fcb.data_valid.value:
+        if state == "write_beat":
+            if fcb.data_valid._value:
                 # One resynchronisation cycle before presenting the beat to
                 # the SIS: the generic adapter re-latches FUNC_SEL and the
                 # burst state for every beat (part of the indirect-conversion
@@ -154,55 +159,54 @@ class FCBToSIS(Module):
                 return True
             return active
 
-        if self._state == "write_present":
+        if state == "write_present":
             self._present_write()
-            return True
+            return False  # parked until IO_DONE
 
-        if self._state == "write_wait":
-            if sis.io_done.value:
-                sis.data_in_valid.next = 0
+        if state == "write_wait":
+            if sis.io_done._value:
+                sis.data_in_valid.schedule(0)
                 self._state = "write_ack"
                 return True
             return active
 
-        if self._state == "write_ack":
-            fcb.ack.next = 1
+        if state == "write_ack":
+            fcb.ack.pulse(1)
             self._remaining -= 1
             self._state = "write_gap" if self._remaining else "idle"
-            return True
+            return active
 
-        if self._state == "write_gap":
+        if state == "write_gap":
             # The master drops DATA_VALID for one cycle between beats.
-            if not fcb.data_valid.value:
+            if not fcb.data_valid._value:
                 self._state = "write_beat"
                 return True
             return active
 
-        if self._state == "read_wait":
-            if sis.io_done.value and sis.data_out_valid.value:
-                fcb.data_from_slave.next = sis.data_out.value
-                fcb.resp_valid.next = 1
+        if state == "read_wait":
+            if sis.io_done._value and sis.data_out_valid._value:
+                fcb.data_from_slave.schedule(sis.data_out._value)
+                fcb.resp_valid.pulse(1)
                 self._remaining -= 1
                 if self._remaining:
                     self._state = "read_next"
-                else:
-                    self._state = "idle"
-                return True
+                    return True
+                self._state = "idle"
             return active
 
-        if self._state == "read_next":
-            sis.func_id.next = self._func_id
-            sis.io_enable.next = 1
+        if state == "read_next":
+            sis.func_id.schedule(self._func_id)
+            sis.io_enable.pulse(1)
             self._state = "read_wait"
-            return True
+            return False  # parked until the function answers
         return active
 
     def _present_write(self) -> None:
         sis = self.sis
-        sis.func_id.next = self._func_id
-        sis.data_in.next = self.fcb.data_to_slave.value
-        sis.data_in_valid.next = 1
-        sis.io_enable.next = 1
+        sis.func_id.schedule(self._func_id)
+        sis.data_in.schedule(self.fcb.data_to_slave._value)
+        sis.data_in_valid.schedule(1)
+        sis.io_enable.pulse(1)
         self._state = "write_wait"
 
 
@@ -245,24 +249,27 @@ class APBToSIS(Module):
         return (address - self.base_address) // (self.apb.data_width // 8)
 
     def _tick(self) -> bool:
+        # IO_ENABLE / DATA_IN_VALID strobe for the single access cycle and
+        # are kernel-cleared pulses, so the adapter is purely reactive: it
+        # runs only when its APB inputs change (see PLBToSIS._tick).
         apb, sis = self.apb, self.sis
-        active = sis.io_enable.schedule(0)
-        active |= sis.data_in_valid.schedule(0)
 
         if apb.rst._value:
-            active |= sis.rst.schedule(1)
+            active = sis.rst.schedule(1)
             active |= sis.func_id.schedule(0)
             return active
-        active |= sis.rst.schedule(0)
+        active = False
+        if sis.rst._value or sis.rst._next is not None:
+            active = sis.rst.schedule(0)
 
-        if apb.psel.value and apb.penable.value:
-            slot = self._slot(apb.paddr.value)
-            sis.func_id.next = slot
-            sis.io_enable.next = 1
-            if apb.pwrite.value:
-                sis.data_in.next = apb.pwdata.value
-                sis.data_in_valid.next = 1
-            return True
+        if apb.psel._value and apb.penable._value:
+            slot = self._slot(apb.paddr._value)
+            sis.func_id.schedule(slot)
+            sis.io_enable.pulse(1)
+            if apb.pwrite._value:
+                sis.data_in.schedule(apb.pwdata._value)
+                sis.data_in_valid.pulse(1)
+            return False  # the access is committed; nothing more to do
         return active
 
     def _read_mux(self) -> None:

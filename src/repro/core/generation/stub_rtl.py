@@ -57,12 +57,20 @@ class FunctionStub(Module):
 
         self._states = self._build_states()
         self._state = self._states[0]
+        # Per-state caches (current input descriptor, its expected beat
+        # count, and the state's position): recomputing these on every bus
+        # beat was measurable per-transaction overhead on every kernel.
+        self._state_io: Optional[IOParams] = None
+        self._state_beats = 0
+        self._state_pos = 0
         self._beat_buffer: List[int] = []
         self._captured: Dict[str, Union[int, List[int]]] = {}
         self._output_words: List[int] = []
         self._out_index = 0
-        self._calc_counter = 0
+        self._calc_until = 0
         self._pending_read = False
+
+        self._enter_state(self._states[0])
 
         #: Number of completed activations (useful for tests and examples).
         self.activations = 0
@@ -103,6 +111,19 @@ class FunctionStub(Module):
         if self._state.startswith("IN_"):
             return self.func.input(self._state[3:])
         return None
+
+    def _enter_state(self, state: str) -> None:
+        """Transition to ``state``, refreshing the per-state caches."""
+        self._state = state
+        self._state_pos = self._states.index(state)
+        if state.startswith("IN_"):
+            io = self.func.input(state[3:])
+            self._state_io = io
+            # The beat count is fixed for the whole state: any implicit
+            # bound it depends on was captured in an earlier input state.
+            self._state_beats = self._expected_beats(io)
+        else:
+            self._state_io = None
 
     def _expected_beats(self, io: IOParams) -> int:
         bus_width = self.module_params.data_width
@@ -194,15 +215,12 @@ class FunctionStub(Module):
         state = self._state
         active = False
 
-        # Default strobes — the one idiom kept inline instead of using
-        # ``Signal.schedule(0)``: this is the idle path of every stub on
-        # every cycle of the scan kernels, where the slot checks save a
-        # method call each.
-        io_done = port.io_done
-        if io_done._value or io_done._next is not None:
-            io_done.next = 0
-            active = True
-        if not (self.strictly_synchronous and state in ("OUT_RESULT", "OUT_STATUS")):
+        # IO_DONE (and pseudo-asynchronous DATA_OUT_VALID) strobes are
+        # kernel-cleared pulses, so no deassert pass is needed here.  The one
+        # remaining case is the strictly synchronous *held* DATA_OUT_VALID,
+        # which must drop when the ICOB leaves its output state abnormally
+        # (reset mid-read) — the output state itself clears it on completion.
+        if self.strictly_synchronous and state not in ("OUT_RESULT", "OUT_STATUS"):
             data_out_valid = port.data_out_valid
             if data_out_valid._value or data_out_valid._next is not None:
                 data_out_valid.next = 0
@@ -223,15 +241,15 @@ class FunctionStub(Module):
             new_request = False
             write_beat = False
 
-        if state.startswith("IN_"):
+        if self._state_io is not None:
             if self._handle_input_state(write_beat):
                 active = True
         elif state == "TRIGGER":
             if self._handle_trigger_state(new_request, write_beat):
                 active = True
         elif state == "CALC":
-            self._handle_calc_state()
-            active = True
+            if self._handle_calc_state():
+                active = True
         elif state in ("OUT_RESULT", "OUT_STATUS"):
             if self._handle_output_state():
                 active = True
@@ -242,53 +260,59 @@ class FunctionStub(Module):
     def _handle_input_state(self, write_beat: bool) -> bool:
         if not write_beat:
             return False
-        io = self._current_input()
-        assert io is not None
-        self._beat_buffer.append(self.sis.data_in.value)
-        self.port.io_done.next = 1
-        expected = self._expected_beats(io)
-        if len(self._beat_buffer) >= expected:
+        io = self._state_io
+        self._beat_buffer.append(self.sis.data_in._value)
+        self.port.io_done.pulse(1)
+        if len(self._beat_buffer) >= self._state_beats:
             self._captured[io.io_name] = self._assemble_input(io, self._beat_buffer)
             self._beat_buffer = []
             self._advance_after_input(io)
         return True
 
     def _advance_after_input(self, io: IOParams) -> None:
-        index = self._states.index(f"IN_{io.io_name}")
-        next_state = self._states[index + 1]
+        next_state = self._states[self._state_pos + 1]
         if next_state == "CALC":
             self._enter_calc()
-        else:
-            self._state = next_state
-            # A following implicit-bound input with a zero count is skipped
-            # entirely (nothing will ever be transferred for it).
-            following = self._current_input()
-            while following is not None and self._expected_beats(following) == 0:
-                self._captured[following.io_name] = [] if following.is_pointer else 0
-                idx = self._states.index(self._state)
-                nxt = self._states[idx + 1]
-                if nxt == "CALC":
-                    self._enter_calc()
-                    return
-                self._state = nxt
-                following = self._current_input()
+            return
+        self._enter_state(next_state)
+        # A following implicit-bound input with a zero count is skipped
+        # entirely (nothing will ever be transferred for it).
+        following = self._state_io
+        while following is not None and self._state_beats == 0:
+            self._captured[following.io_name] = [] if following.is_pointer else 0
+            nxt = self._states[self._state_pos + 1]
+            if nxt == "CALC":
+                self._enter_calc()
+                return
+            self._enter_state(nxt)
+            following = self._state_io
 
     def _handle_trigger_state(self, new_request: bool, write_beat: bool) -> bool:
         if not new_request:
             return False
         if write_beat:
-            self.port.io_done.next = 1
+            self.port.io_done.pulse(1)
         self._enter_calc()
         return True
 
     def _enter_calc(self) -> None:
         self._state = "CALC"
-        self._calc_counter = 0
+        self._state_io = None
+        # The calculation is a pure countdown: express it against the
+        # simulator cycle so the stub can sleep through it on kernels with
+        # timed wakes (being run more often is harmless — it just re-checks).
+        sim = self._simulator
+        self._calc_until = (sim.cycle if sim is not None else 0) + self.calc_latency
 
-    def _handle_calc_state(self) -> None:
-        self._calc_counter += 1
-        if self._calc_counter < self.calc_latency:
-            return
+    def _handle_calc_state(self) -> bool:
+        sim = self._simulator
+        now = sim.cycle if sim is not None else self._calc_until
+        if now < self._calc_until:
+            remaining = self._calc_until - now
+            if remaining > 1 and sim is not None and sim.timed_wakes:
+                sim.wake_after(self._icob, remaining)
+                return False
+            return True
         result = self.behavior(**{name: value for name, value in self._captured.items()})
         self.call_log.append(dict(self._captured))
         self.activations += 1
@@ -305,6 +329,7 @@ class FunctionStub(Module):
             # return to their first input state.
             self.port.calc_done.next = 1
             self._reset_activation(full=False)
+        return True
 
     def _handle_output_state(self) -> bool:
         # The steady wait-for-read state re-asserts its outputs through
@@ -319,8 +344,13 @@ class FunctionStub(Module):
         self._pending_read = False
         word = self._output_words[self._out_index]
         port.data_out.next = word
-        port.data_out_valid.next = 1
-        port.io_done.next = 1
+        if self.strictly_synchronous:
+            port.data_out_valid.next = 1
+        else:
+            # Pseudo-asynchronous read: DATA_OUT_VALID rises with IO_DONE for
+            # exactly one cycle (Figure 4.3) — both kernel-cleared pulses.
+            port.data_out_valid.pulse(1)
+        port.io_done.pulse(1)
         self._out_index += 1
         if self._out_index >= len(self._output_words):
             port.calc_done.next = 0
@@ -332,13 +362,16 @@ class FunctionStub(Module):
     # -- lifecycle -----------------------------------------------------------------
 
     def _reset_activation(self, *, full: bool) -> None:
-        self._state = self._states[0]
+        if full:
+            # A reset may arrive with stale captures; clear them before the
+            # first input state recomputes its expected beat count from them.
+            self._captured = {}
+        self._enter_state(self._states[0])
         self._beat_buffer = []
         self._output_words = []
         self._out_index = 0
-        self._calc_counter = 0
+        self._calc_until = 0
         self._pending_read = False
         if full:
-            self._captured = {}
             self.call_log = []
             self.activations = 0

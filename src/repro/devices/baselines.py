@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence
 
-from repro.buses.base import BusTransaction, TransactionKind
+from repro.buses.base import BusTransaction, TransactionKind, TransactionOp
 from repro.buses.fcb import FCBMaster, FCBSlaveBundle
 from repro.buses.plb import PLBMaster, PLBSlaveBundle
 from repro.core.generation.ir import EntityIR, EntityKind, PortDirection
@@ -78,8 +78,8 @@ class NaivePLBInterpolator(Module):
 
     def _tick(self) -> bool:
         plb = self.plb
-        active = plb.wr_ack.schedule(0)
-        active |= plb.rd_ack.schedule(0)
+        # ACK strobes are kernel-cleared pulses; no deassert pass needed.
+        active = False
 
         if plb.rst.value:
             self._reset_state()
@@ -117,7 +117,7 @@ class NaivePLBInterpolator(Module):
                 self._delay -= 1
                 return True
             self._store_word(self._pending_slot, self._pending_data)
-            plb.wr_ack.next = 1
+            plb.wr_ack.pulse(1)
             self._state = "idle"
             return True
 
@@ -127,19 +127,19 @@ class NaivePLBInterpolator(Module):
                 return True
             if self._pending_slot == SLOT_STATUS:
                 plb.data_from_slave.next = 1 if self.calc_done else 0
-                plb.rd_ack.next = 1
+                plb.rd_ack.pulse(1)
                 self._state = "idle"
             elif self._pending_slot == SLOT_RESULT:
                 if self.calc_done:
                     plb.data_from_slave.next = self.result & 0xFFFFFFFF
-                    plb.rd_ack.next = 1
+                    plb.rd_ack.pulse(1)
                     self.calc_done = False
                     self._clear_inputs()
                     self._state = "idle"
                 # otherwise: hold the bus (pseudo-asynchronous wait).
             else:
                 plb.data_from_slave.next = 0
-                plb.rd_ack.next = 1
+                plb.rd_ack.pulse(1)
                 self._state = "idle"
             return True
         return active
@@ -210,8 +210,8 @@ class OptimizedFCBInterpolator(Module):
 
     def _tick(self) -> bool:
         fcb = self.fcb
-        active = fcb.ack.schedule(0)
-        active |= fcb.resp_valid.schedule(0)
+        # ACK / RESP_VALID strobes are kernel-cleared pulses.
+        active = False
 
         if fcb.rst.value:
             self._reset_state()
@@ -244,7 +244,7 @@ class OptimizedFCBInterpolator(Module):
                     return True
                 self._decode_wait = 0
                 self._store_word(self._target_slot, fcb.data_to_slave.value)
-                fcb.ack.next = 1
+                fcb.ack.pulse(1)
                 self._beat_seen = True
                 return True
             if not fcb.data_valid.value:
@@ -261,7 +261,7 @@ class OptimizedFCBInterpolator(Module):
                     self._clear_inputs()
                 else:
                     fcb.data_from_slave.next = 1 if self.calc_done else 0
-                fcb.resp_valid.next = 1
+                fcb.resp_valid.pulse(1)
                 self._beat_seen = True
                 return True
         return active
@@ -327,35 +327,35 @@ class NaivePLBSystem(BaselineSystem):
     base_address: int = _BASE_ADDRESS
 
     def run_scenario(self, sets: Sequence[Sequence[int]]) -> Dict[str, int]:
-        """The naïve driver: header + singles per set, poll status, read result."""
+        """The naïve driver: header + singles per set, poll status, read result.
+
+        The whole sequence is scripted onto the master in one submission
+        (cycle-exact with per-transaction blocking execution, gaps included).
+        """
         start = self.simulator.cycle
-        transactions = 0
+        ops = []
         word = self.base_address
         step = 4
         for slot, data in zip((SLOT_SET1, SLOT_SET2, SLOT_SET3), sets):
             address = word + slot * step
-            self.processor.execute(
-                BusTransaction(TransactionKind.WRITE, address, data=[len(data)])
-            )
-            transactions += 1
+            ops.append(TransactionOp(BusTransaction(TransactionKind.WRITE, address, data=[len(data)])))
             for value in data:
-                self.processor.execute(
-                    BusTransaction(TransactionKind.WRITE, address, data=[int(value) & 0xFFFFFFFF])
+                ops.append(
+                    TransactionOp(
+                        BusTransaction(TransactionKind.WRITE, address, data=[int(value) & 0xFFFFFFFF])
+                    )
                 )
-                transactions += 1
         # Defensive status polling before collecting the result.
         status_address = word + SLOT_STATUS * step
         for _ in range(3):
-            self.processor.execute(BusTransaction(TransactionKind.READ, status_address))
-            transactions += 1
-        result_txn = self.processor.execute(
-            BusTransaction(TransactionKind.READ, word + SLOT_RESULT * step)
-        )
-        transactions += 1
+            ops.append(TransactionOp(BusTransaction(TransactionKind.READ, status_address)))
+        result_txn = BusTransaction(TransactionKind.READ, word + SLOT_RESULT * step)
+        ops.append(TransactionOp(result_txn))
+        self.processor.execute_script(ops)
         return {
             "result": result_txn.result,
             "cycles": self.simulator.cycle - start,
-            "transactions": transactions,
+            "transactions": len(ops),
         }
 
 
@@ -364,58 +364,67 @@ class OptimizedFCBSystem(BaselineSystem):
     def run_scenario(self, sets: Sequence[Sequence[int]]) -> Dict[str, int]:
         """The hand-tuned driver: header + quad-word bursts, no polling."""
         start = self.simulator.cycle
-        transactions = 0
+        ops = []
         for slot, data in zip((SLOT_SET1, SLOT_SET2, SLOT_SET3), sets):
-            self.processor.execute(
-                BusTransaction(TransactionKind.WRITE, slot, data=[len(data)])
-            )
-            transactions += 1
+            ops.append(TransactionOp(BusTransaction(TransactionKind.WRITE, slot, data=[len(data)])))
             values = [int(v) & 0xFFFFFFFF for v in data]
             for index in range(0, len(values), 4):
                 chunk = values[index:index + 4]
                 kind = TransactionKind.BURST_WRITE if len(chunk) > 1 else TransactionKind.WRITE
-                self.processor.execute(BusTransaction(kind, slot, data=chunk))
-                transactions += 1
-        result_txn = self.processor.execute(BusTransaction(TransactionKind.READ, SLOT_RESULT))
-        transactions += 1
+                ops.append(TransactionOp(BusTransaction(kind, slot, data=chunk)))
+        result_txn = BusTransaction(TransactionKind.READ, SLOT_RESULT)
+        ops.append(TransactionOp(result_txn))
+        self.processor.execute_script(ops)
         return {
             "result": result_txn.result,
             "cycles": self.simulator.cycle - start,
-            "transactions": transactions,
+            "transactions": len(ops),
         }
 
 
 def build_naive_plb_system(
-    *, inter_op_gap: int = 1, simulator_factory: Callable[[], Simulator] = Simulator
+    *,
+    inter_op_gap: int = 1,
+    simulator_factory: Callable[[], Simulator] = Simulator,
+    record_transactions: bool = True,
 ) -> NaivePLBSystem:
     """Assemble the naïve hand-coded PLB interpolator system."""
     simulator = simulator_factory()
     plb = PLBSlaveBundle("naive.plb", data_width=32, num_slots=_NUM_SLOTS)
     master = PLBMaster("naive.plb_master", plb, base_address=_BASE_ADDRESS)
+    master.record_transactions = record_transactions
     device = NaivePLBInterpolator("naive_plb_interp", plb)
     simulator.register_module(master)
     simulator.register_module(device)
     simulator.add_signals(plb.signals())
     simulator.reset()
-    processor = ProcessorModel(simulator, master, inter_op_gap=inter_op_gap)
+    processor = ProcessorModel(
+        simulator, master, inter_op_gap=inter_op_gap, record_transactions=record_transactions
+    )
     return NaivePLBSystem(
         simulator=simulator, processor=processor, device=device, label="simple_plb_handcoded"
     )
 
 
 def build_optimized_fcb_system(
-    *, inter_op_gap: int = 1, simulator_factory: Callable[[], Simulator] = Simulator
+    *,
+    inter_op_gap: int = 1,
+    simulator_factory: Callable[[], Simulator] = Simulator,
+    record_transactions: bool = True,
 ) -> OptimizedFCBSystem:
     """Assemble the hand-tuned FCB interpolator system."""
     simulator = simulator_factory()
     fcb = FCBSlaveBundle("optfcb.fcb", data_width=32, func_id_width=4)
     master = FCBMaster("optfcb.fcb_master", fcb)
+    master.record_transactions = record_transactions
     device = OptimizedFCBInterpolator("optimized_fcb_interp", fcb)
     simulator.register_module(master)
     simulator.register_module(device)
     simulator.add_signals(fcb.signals())
     simulator.reset()
-    processor = ProcessorModel(simulator, master, inter_op_gap=inter_op_gap)
+    processor = ProcessorModel(
+        simulator, master, inter_op_gap=inter_op_gap, record_transactions=record_transactions
+    )
     return OptimizedFCBSystem(
         simulator=simulator, processor=processor, device=device, label="optimized_fcb_handcoded"
     )

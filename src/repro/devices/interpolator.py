@@ -156,13 +156,15 @@ def build_splice_interpolator(
     *,
     inter_op_gap: int = 1,
     simulator_factory: Callable[[], Simulator] = Simulator,
+    record_transactions: bool = True,
 ) -> SpliceInterpolator:
     """Build one of the Splice-generated interpolator systems.
 
     ``kind`` is one of ``"splice_plb"``, ``"splice_plb_dma"``,
     ``"splice_fcb"``, ``"splice_opb"`` or ``"splice_apb"``.
     ``simulator_factory`` selects the simulation kernel (see
-    :func:`repro.soc.system.build_system`).
+    :func:`repro.soc.system.build_system`); ``record_transactions=False``
+    keeps memory flat on campaign-scale runs.
     """
     try:
         spec = _SPECS[kind]
@@ -174,5 +176,6 @@ def build_splice_interpolator(
         calc_latencies={"interpolate": CALCULATION_LATENCY},
         inter_op_gap=inter_op_gap,
         simulator_factory=simulator_factory,
+        record_transactions=record_transactions,
     )
     return SpliceInterpolator(system=system, label=kind)

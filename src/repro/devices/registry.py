@@ -45,15 +45,14 @@ def known_labels() -> List[str]:
     return sorted(_BUILDERS)
 
 
-def _accepts_simulator_factory(builder: Callable[..., object]) -> bool:
-    """Whether ``builder`` can be called with ``simulator_factory=...``."""
+def _accepts_keyword(builder: Callable[..., object], name: str) -> bool:
+    """Whether ``builder`` can be called with ``name=...``."""
     try:
         parameters = inspect.signature(builder).parameters.values()
     except (TypeError, ValueError):  # builtins / exotic callables
         return False
     return any(
-        p.name == "simulator_factory" or p.kind is inspect.Parameter.VAR_KEYWORD
-        for p in parameters
+        p.name == name or p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters
     )
 
 
@@ -63,6 +62,10 @@ def build_runner(label: str, kernel: str = DEFAULT_KERNEL):
     The returned object exposes ``run_scenario(sets)``; building is the
     expensive step (parsing the spec, elaborating RTL), so callers should
     build once per (label, kernel) and reuse the runner across scenarios.
+    Campaign cells only consume the (result, cycles, transactions) outcome,
+    so builders that understand ``record_transactions`` are asked not to
+    retain per-transaction objects — a runner reused across thousands of
+    cells must not grow memory per call.
     """
     try:
         builder = _BUILDERS[label]
@@ -70,14 +73,17 @@ def build_runner(label: str, kernel: str = DEFAULT_KERNEL):
         raise KeyError(
             f"unknown implementation label {label!r} (known: {known_labels()})"
         ) from None
-    if _accepts_simulator_factory(builder):
-        return builder(simulator_factory=kernel_factory(kernel))
+    kwargs = {}
+    if _accepts_keyword(builder, "record_transactions"):
+        kwargs["record_transactions"] = False
+    if _accepts_keyword(builder, "simulator_factory"):
+        return builder(simulator_factory=kernel_factory(kernel), **kwargs)
     if kernel != DEFAULT_KERNEL:
         raise TypeError(
             f"builder for {label!r} does not accept simulator_factory; "
             f"it cannot honour kernel={kernel!r}"
         )
-    return builder()
+    return builder(**kwargs)
 
 
 register_runner("simple_plb", build_naive_plb_system)

@@ -21,8 +21,14 @@ from repro.rtl.simulator import (
     SimulationError,
     Simulator,
     SimulatorStats,
+    WaitCondition,
 )
-from repro.rtl.compile import CompiledDesign, CompiledSimulator
+from repro.rtl.compile import (
+    PROGRAM_CACHE_ENV,
+    CompiledDesign,
+    CompiledProgramCache,
+    CompiledSimulator,
+)
 from repro.rtl.module import Module
 from repro.rtl.fsm import FSM
 from repro.rtl.trace import Trace, TraceRecorder
@@ -51,6 +57,9 @@ def kernel_factory(name: str):
 __all__ = [
     "Signal",
     "Simulator",
+    "WaitCondition",
+    "CompiledProgramCache",
+    "PROGRAM_CACHE_ENV",
     "ReferenceSimulator",
     "CompiledSimulator",
     "CompiledDesign",

@@ -56,18 +56,121 @@ unchanged inputs would not be a no-op (it scheduled a signal, changed
 internal state it will act on, or is mid-countdown).  Processes registered
 without ``sensitive_to`` run every cycle, exactly as on the other kernels.
 
+Harness fusion
+--------------
+
+The testbench side of a simulation lives inside the same generated loop:
+
+* **Lowered waits** — :meth:`CompiledSimulator.wait_until` dispatches a
+  declarative :class:`~repro.rtl.simulator.WaitCondition` to generated
+  ``wait_eq``/``wait_ge`` loops sharing the per-cycle body with ``step``,
+  so a whole driver-call wait is one call with a slot compare per cycle.
+* **Fused monitors** — a monitor object implementing
+  ``emit_compiled_monitor(prefix)`` (see
+  :meth:`repro.sis.protocol.SISProtocolMonitor.emit_compiled_monitor`) has
+  its per-cycle checks inlined, state hoisted into function locals, and
+  event-gated on its declared signals — no per-cycle Python dispatch.
+* **Timed wakes** — gated clocked processes in pure countdowns call
+  :meth:`wake_after` and sleep; the loop pays one integer compare per cycle
+  against the earliest pending wake.
+* **Persistent programs** — levelization + generated source are cached on
+  disk (:class:`CompiledProgramCache`, ``SPLICE_COMPILE_CACHE``), keyed by
+  a digest of the design topology and this compiler's own fingerprint, so
+  identical designs skip recompilation across processes.
+
 ``tests/test_kernel_equivalence.py`` proves the whole construction
-cycle-exact (full signal traces, every cycle) against both the event-driven
-kernel and the snapshot-based reference kernel on all four buses.
+cycle-exact (full signal traces, every cycle, plus identical monitor
+violation lists) against both the event-driven kernel and the
+snapshot-based reference kernel on all four buses.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.rtl.signal import Signal
-from repro.rtl.simulator import Process, SimulationError, Simulator
+from repro.rtl.simulator import Process, SimulationError, Simulator, WaitCondition
+
+#: Environment variable naming the persistent compiled-program cache
+#: directory.  When set (or when a cache is passed to the constructor),
+#: levelization + codegen results are reused across processes for identical
+#: design topologies — campaign workers and repeated ``build_system`` calls
+#: skip recompilation entirely.
+PROGRAM_CACHE_ENV = "SPLICE_COMPILE_CACHE"
+
+#: Fingerprint of this compiler's own source: baked into every design digest
+#: so a change to the code generator invalidates all cached programs.
+_COMPILER_FINGERPRINT = hashlib.sha256(Path(__file__).read_bytes()).hexdigest()
+
+
+class CompiledProgramCache:
+    """A directory of codegen results keyed by design digest.
+
+    Entries are single JSON files (``<digest>.json``) holding the generated
+    source plus the levelization (``order``/``ranks``) needed to rebuild the
+    :class:`CompiledDesign` introspection record without re-running Kahn's
+    algorithm.  The digest covers the complete design topology *and* the
+    compiler's own source fingerprint, so a hit is only possible for a design
+    this exact compiler version would compile identically; corrupt entries
+    are treated as misses.  Like the campaign result cache, the directory is
+    trusted — entries are executed, so do not point it at untrusted data.
+    """
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, digest: str) -> Path:
+        return self.directory / f"{digest}.json"
+
+    def get(self, digest: str) -> Optional[dict]:
+        path = self._path(digest)
+        try:
+            payload = json.loads(path.read_text())
+            if not isinstance(payload.get("source"), str):
+                raise ValueError("missing source")
+            order = [int(x) for x in payload["order"]]
+            ranks = {int(k): int(v) for k, v in payload["ranks"].items()}
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return {"source": payload["source"], "order": order, "ranks": ranks}
+
+    def put(self, digest: str, source: str, order: List[int], ranks: Dict[int, int]) -> Path:
+        path = self._path(digest)
+        payload = {
+            "digest": digest,
+            "source": source,
+            "order": list(order),
+            "ranks": {str(k): v for k, v in ranks.items()},
+        }
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True) + "\n")
+        tmp.replace(path)  # atomic: parallel campaign workers race benignly
+        return path
+
+
+#: Sentinel for "no timed wake pending" (compares greater than any cycle).
+_NEVER = 1 << 62
+
+
+def _default_program_cache() -> Optional[CompiledProgramCache]:
+    directory = os.environ.get(PROGRAM_CACHE_ENV)
+    if not directory:
+        return None
+    try:
+        return CompiledProgramCache(directory)
+    except OSError:
+        return None
 
 
 @dataclass
@@ -93,6 +196,12 @@ class CompiledDesign:
     always_clocked: int = 0
     #: The generated fused step-loop source (debugging aid).
     source: str = ""
+    #: Number of monitors inlined into the generated loop (vs. called).
+    fused_monitors: int = 0
+    #: Content digest of the frozen design (compiler fingerprint included).
+    digest: str = ""
+    #: Whether this freeze reused a persistent program-cache entry.
+    program_cache_hit: bool = False
 
 
 def _find_cycle_path(
@@ -144,15 +253,38 @@ class CompiledSimulator(Simulator):
     being detected by an iteration limit at runtime.
     """
 
-    def __init__(self, max_settle_iterations: int = 64) -> None:
+    timed_wakes = True
+
+    def __init__(
+        self,
+        max_settle_iterations: int = 64,
+        program_cache: Optional[object] = None,
+    ) -> None:
         super().__init__(max_settle_iterations=max_settle_iterations)
         self._sched: List[Signal] = []
+        # Observer fast path: scheduling reports are a plain list append (no
+        # Python frame); the list object is never replaced, only cleared.
+        self._signal_scheduled = self._sched.append
         self._events = 0
         self._active = 0
+        # Timed wakes: (target sim-cycle, seq, process) heap + cached minimum,
+        # so the generated loop pays one integer compare per cycle.
+        self._timed: List[tuple] = []
+        self._timed_seq = 0
+        self._next_timed = _NEVER
+        self._gated_bits: Dict[Process, int] = {}
         self._comb_all = 0
         self._gated_all = 0
         self._step_fn: Optional[Callable[[int], None]] = None
         self._settle_fn: Optional[Callable[[], int]] = None
+        self._wait_eq_fn: Optional[Callable[[Signal, int, int], int]] = None
+        self._wait_ge_fn: Optional[Callable[[Signal, int, int], int]] = None
+        if program_cache is None:
+            program_cache = _default_program_cache()
+        elif isinstance(program_cache, (str, Path)):
+            program_cache = CompiledProgramCache(program_cache)
+        #: Optional :class:`CompiledProgramCache` reused across freezes.
+        self.program_cache = program_cache
         self.design: Optional[CompiledDesign] = None
 
     # -- registration (every mutation invalidates the compiled program) -----
@@ -186,11 +318,34 @@ class CompiledSimulator(Simulator):
 
     # -- signal event hooks --------------------------------------------------
 
-    def _signal_scheduled(self, signal: Signal) -> None:
-        self._sched.append(signal)
+    # (_signal_scheduled is bound to self._sched.append in __init__.)
 
     def _signal_changed(self, signal: Signal) -> None:
         self._events |= signal._ev_mask
+
+    # -- timed wakes ---------------------------------------------------------
+
+    def wake_after(self, process: Process, cycles: int) -> None:
+        """Wake the gated ``process`` in ``cycles`` cycles (or sooner on
+        a declared-input change).  See ``Simulator.wake_after`` for the
+        contract; here the request is honoured, letting countdown states
+        (bus arbitration, bridge latency, calculation latency) sleep through
+        the wait instead of decrementing a counter every cycle."""
+        target = self.cycle + int(cycles)
+        heappush(self._timed, (target, self._timed_seq, process))
+        self._timed_seq += 1
+        if target < self._next_timed:
+            self._next_timed = target
+
+    def _pop_timed(self, cycle: int) -> int:
+        """Collect the wake bits of every timed request due at ``cycle``."""
+        mask = 0
+        heap = self._timed
+        bits = self._gated_bits
+        while heap and heap[0][0] <= cycle:
+            mask |= bits.get(heappop(heap)[2], 0)
+        self._next_timed = heap[0][0] if heap else _NEVER
+        return mask
 
     # -- compilation ---------------------------------------------------------
 
@@ -275,15 +430,96 @@ class CompiledSimulator(Simulator):
             )
         return order, ranks
 
+    def _monitor_blocks(
+        self, n_comb: int, n_gated: int
+    ) -> Tuple[List[str], List[str], List[str], Dict[str, object], int]:
+        """Collect the per-cycle monitor code for the generated loop.
+
+        A monitor whose process is a bound method of an object implementing
+        ``emit_compiled_monitor(prefix)`` (e.g.
+        :class:`repro.sis.protocol.SISProtocolMonitor`) is *fused*: its
+        checks run inline in the generated loop with inputs and rolling state
+        hoisted to function locals — no per-cycle Python dispatch.  A fused
+        monitor that declares ``gate_signals`` additionally gets a bit in the
+        event word (above the gated-clocked wake bits): its per-cycle block
+        is skipped entirely on cycles where none of those signals changed and
+        its ``hot`` state expression is false — a skip the hook guarantees is
+        a no-op.  Every other monitor keeps the plain ``m<id>()`` call.
+        Order of registration is preserved either way.
+
+        Returns (entry_lines, per_cycle_lines, exit_lines, namespace,
+        fused_count); monitor event-mask bits are assigned as a side effect.
+        """
+        entry: List[str] = []
+        body: List[str] = []
+        exit_: List[str] = []
+        namespace: Dict[str, object] = {}
+        fused = 0
+        next_bit = n_comb + n_gated
+        for mid, proc in enumerate(self._monitors):
+            owner = getattr(proc, "__self__", None)
+            hook = getattr(owner, "emit_compiled_monitor", None)
+            if hook is None:
+                body.append(f"m{mid}()")
+                continue
+            spec = hook(f"mon{mid}")
+            entry.extend(spec["entry"])
+            exit_.extend(spec["exit"])
+            namespace.update(spec["namespace"])
+            gate_signals = spec.get("gate_signals") or ()
+            if gate_signals:
+                bit = 1 << next_bit
+                next_bit += 1
+                for sig in gate_signals:
+                    sig._ev_mask |= bit
+                hot = spec.get("hot") or "False"
+                body.append(f"if s._events & {bit} or {hot}:")
+                body.extend("    " + line for line in spec["body"])
+            else:
+                body.extend(spec["body"])
+            fused += 1
+        return entry, body, exit_, namespace, fused
+
+    def _design_digest(self, monitor_text: str) -> str:
+        """Content address of the frozen design's codegen-relevant topology.
+
+        Two designs with the same digest produce byte-identical generated
+        source and identical levelization, so a persistent cache entry can be
+        reused across processes.  The digest covers: the compiler source
+        fingerprint, the signal count, every comb declaration's
+        sensitivity/drives structure (as registration indices), every clocked
+        declaration's gating, and the monitor sequence (fused monitors by
+        their emitted source, others by position).
+        """
+        index = {id(sig): i for i, sig in enumerate(self._signals)}
+
+        def key(sig: Signal) -> str:
+            pos = index.get(id(sig))
+            return str(pos) if pos is not None else f"x:{sig.name}:{sig.width}"
+
+        parts = [
+            _COMPILER_FINGERPRINT,
+            f"signals={len(self._signals)}",
+        ]
+        for pid, (_, sense, driven) in enumerate(self._comb_decls):
+            s = ",".join(key(sig) for sig in sense) if sense is not None else "?"
+            d = ",".join(key(sig) for sig in driven) if driven is not None else "?"
+            parts.append(f"c{pid}:{s}|{d}")
+        for cid, (_, sense) in enumerate(self._clocked_decls):
+            s = ",".join(key(sig) for sig in sense) if sense is not None else "?"
+            parts.append(f"k{cid}:{s}")
+        parts.append(f"monitors:{monitor_text}")
+        return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
     def _build(self) -> None:
         comb_procs = [proc for proc, _, _ in self._comb_decls]
-        order, ranks = self._levelize()
         n_comb = len(comb_procs)
 
         gated: List[int] = []
         always: List[int] = []
         for cid, (_, sense) in enumerate(self._clocked_decls):
             (gated if sense is not None else always).append(cid)
+        self._gated_bits = {self._clocked[cid]: 1 << pos for pos, cid in enumerate(gated)}
 
         # Dense ids + per-signal event masks.
         signal_ids: Dict[str, int] = {}
@@ -291,6 +527,8 @@ class CompiledSimulator(Simulator):
             signal_ids.setdefault(sig.name, index)
             sig._ev_mask = 0
         for pid, (_, sense, _) in enumerate(self._comb_decls):
+            if sense is None:
+                continue  # rejected below by _levelize with guidance
             bit = 1 << pid
             for sig in sense:
                 sig._ev_mask |= bit
@@ -302,13 +540,40 @@ class CompiledSimulator(Simulator):
         self._comb_all = (1 << n_comb) - 1
         self._gated_all = (1 << len(gated)) - 1
 
+        mon_entry, mon_body, mon_exit, mon_namespace, fused_monitors = self._monitor_blocks(
+            n_comb, len(gated)
+        )
+
+        # Persistent program cache: identical topology -> reuse levelization
+        # and generated source, skipping Kahn's algorithm and codegen.
+        digest = ""
+        cached = None
+        cache = self.program_cache
+        if cache is not None:
+            monitor_text = hashlib.sha256(
+                "\n".join(mon_entry + mon_body + mon_exit).encode()
+            ).hexdigest()
+            digest = self._design_digest(monitor_text)
+            cached = cache.get(digest)
+
+        if cached is not None:
+            order = cached["order"]
+            ranks = cached["ranks"]
+            source = cached["source"]
+        else:
+            order, ranks = self._levelize()
+            source = self._codegen(
+                order, gated, always, n_comb, mon_entry, mon_body, mon_exit
+            )
+            if cache is not None:
+                cache.put(digest, source, order, ranks)
+
         levels: List[List[int]] = []
         for pid in order:
             while len(levels) <= ranks[pid]:
                 levels.append([])
             levels[ranks[pid]].append(pid)
 
-        source = self._codegen(order, gated, always, n_comb)
         namespace: Dict[str, object] = {"SIM": self}
         for cid, proc in enumerate(self._clocked):
             namespace[f"c{cid}"] = proc
@@ -316,9 +581,12 @@ class CompiledSimulator(Simulator):
             namespace[f"p{pid}"] = proc
         for mid, proc in enumerate(self._monitors):
             namespace[f"m{mid}"] = proc
+        namespace.update(mon_namespace)
         exec(compile(source, "<compiled-kernel>", "exec"), namespace)
         self._step_fn = namespace["step"]  # type: ignore[assignment]
         self._settle_fn = namespace["settle_once"]  # type: ignore[assignment]
+        self._wait_eq_fn = namespace["wait_eq"]  # type: ignore[assignment]
+        self._wait_ge_fn = namespace["wait_ge"]  # type: ignore[assignment]
 
         self.design = CompiledDesign(
             signal_ids=signal_ids,
@@ -328,6 +596,9 @@ class CompiledSimulator(Simulator):
             gated_clocked=tuple(gated),
             always_clocked=len(always),
             source=source,
+            fused_monitors=fused_monitors,
+            digest=digest,
+            program_cache_hit=cached is not None,
         )
 
         # A fresh freeze behaves like fresh registration on the event kernel:
@@ -336,8 +607,26 @@ class CompiledSimulator(Simulator):
         self._events = self._comb_all | (self._gated_all << n_comb)
         self._active = 0
 
-    def _codegen(self, order, gated, always, n_comb) -> str:
-        """Emit the fused step loop for the frozen design."""
+    def _codegen(
+        self,
+        order,
+        gated,
+        always,
+        n_comb,
+        mon_entry: Sequence[str] = (),
+        mon_body: Sequence[str] = (),
+        mon_exit: Sequence[str] = (),
+    ) -> str:
+        """Emit the fused step loop (and wait loops) for the frozen design.
+
+        The per-cycle body — clocked phase, inline commit, rank-ordered
+        settle sweep, fused/called monitors — is shared verbatim between
+        three entry points: ``step(n)`` (a fixed cycle count), and
+        ``wait_eq``/``wait_ge`` (run until a signal reaches a target value,
+        the lowered form of :class:`~repro.rtl.simulator.WaitCondition`).
+        The wait loops check the signal's committed slot between cycles, so a
+        whole driver-call wait executes inside one generated-function call.
+        """
         comb_all = self._comb_all
         gated_bit = {cid: 1 << pos for pos, cid in enumerate(gated)}
         always_set = set(always)
@@ -346,16 +635,20 @@ class CompiledSimulator(Simulator):
         for cid in range(len(self._clocked)):
             if cid in always_set:
                 clocked_lines.append(f"            c{cid}()")
+                if gated:
+                    # Refresh the wake word after any process actually ran:
+                    # a clocked process that drive()s a declared input of a
+                    # later-registered gated process wakes it within this
+                    # very clocked phase — the same-cycle visibility the
+                    # scan kernels have.  (Reading the live event word only
+                    # after a run, instead of at every check, keeps the
+                    # all-parked cycle at two ops per process.)
+                    clocked_lines.append(f"            run |= s._events >> {n_comb}")
             else:
-                # Re-reading the live event word per gated process gives the
-                # same-cycle visibility the scan kernels have: a clocked
-                # process that drive()s a declared input of a later-registered
-                # gated process wakes it within this very clocked phase.
-                clocked_lines.append(
-                    f"            if (run | (s._events >> {n_comb})) & {gated_bit[cid]}:"
-                )
+                clocked_lines.append(f"            if run & {gated_bit[cid]}:")
                 clocked_lines.append(f"                _clk += 1")
                 clocked_lines.append(f"                if c{cid}(): nact |= {gated_bit[cid]}")
+                clocked_lines.append(f"                run |= s._events >> {n_comb}")
         clocked_block = "\n".join(clocked_lines) or "            pass"
 
         def sweep_block(indent: str) -> str:
@@ -374,8 +667,14 @@ class CompiledSimulator(Simulator):
             lines.append(f"{indent}    s._declaration_violation(_late)")
             return "\n".join(lines) or f"{indent}pass"
 
-        monitor_calls = "; ".join(f"m{mid}()" for mid in range(len(self._monitors)))
-        monitor_line = f"            {monitor_calls}" if monitor_calls else "            pass"
+        monitor_lines = ["            " + line for line in mon_body]
+        monitor_block = "\n".join(monitor_lines) or "            pass"
+        entry_block = "\n".join("    " + line for line in mon_entry)
+        if entry_block:
+            entry_block += "\n"
+        exit_block = "\n".join("        " + line for line in mon_exit)
+        if exit_block:
+            exit_block += "\n"
 
         settle_branch = f"""\
             if s._events & {comb_all}:
@@ -387,18 +686,83 @@ class CompiledSimulator(Simulator):
         if n_comb == 0:
             settle_branch = "            _fast += 1"
 
+        has_mon_gates = any(line.startswith("if s._events & ") for line in mon_body)
         if gated:
             phase_prologue = f"""\
             ev = s._events
             run = (ev >> {n_comb}) | s._active
+            if cyc >= s._next_timed:
+                run |= s._pop_timed(cyc)
             s._events = ev & {comb_all}
             nact = 0"""
             phase_epilogue = f"""\
             s._active = nact
             _clk += {len(always)}"""
         else:
-            phase_prologue = "            pass"
+            # No gated processes: the phase needs no wake word, but gated
+            # monitor bits must still be consumed at the start of each cycle.
+            phase_prologue = (
+                f"            s._events &= {comb_all}" if has_mon_gates else "            pass"
+            )
             phase_epilogue = f"            _clk += {len(always)}"
+
+        cycle_body = f"""\
+{phase_prologue}
+{clocked_block}
+{phase_epilogue}
+            if sched:
+                d = s._events
+                _ac = None
+                for _sg in sched:
+                    nxt = _sg._next
+                    if _sg._auto:
+                        # Pulsed strobe: commit now, auto-clear next cycle.
+                        _sg._auto = False
+                        _sg._next = 0
+                        if _ac is None:
+                            _ac = [_sg]
+                        else:
+                            _ac.append(_sg)
+                    else:
+                        _sg._next = None
+                    if nxt != _sg._value:
+                        _sg._value = nxt
+                        d |= _sg._ev_mask
+                del sched[:]
+                if _ac is not None:
+                    sched.extend(_ac)
+                s._events = d
+{settle_branch}
+            cyc += 1
+            s.cycle = cyc
+{monitor_block}
+            _done += 1"""
+
+        stats_flush = f"""\
+{exit_block}        stats.cycles += _done
+        stats.clocked_activations += _clk
+        stats.settle_calls += _stl
+        stats.settle_iterations += _stl
+        stats.comb_activations += _comb
+        stats.fast_path_cycles += _fast"""
+
+        def wait_fn(name: str, keep_waiting: str) -> str:
+            return f"""\
+def {name}(sig, target, limit):
+    s = SIM
+    sched = s._sched
+    stats = s.stats
+    cyc = s.cycle
+{entry_block}    _clk = _stl = _comb = _fast = _done = 0
+    try:
+        while {keep_waiting}:
+            if _done >= limit:
+                return -1
+{cycle_body}
+    finally:
+{stats_flush}
+    return _done
+"""
 
         return f"""\
 def step(n):
@@ -406,35 +770,17 @@ def step(n):
     sched = s._sched
     stats = s.stats
     cyc = s.cycle
-    _clk = _stl = _comb = _fast = _done = 0
+{entry_block}    _clk = _stl = _comb = _fast = _done = 0
     try:
         for _ in range(n):
-{phase_prologue}
-{clocked_block}
-{phase_epilogue}
-            if sched:
-                d = s._events
-                for sig in sched:
-                    nxt = sig._next
-                    sig._next = None
-                    if nxt != sig._value:
-                        sig._value = nxt
-                        d |= sig._ev_mask
-                del sched[:]
-                s._events = d
-{settle_branch}
-            cyc += 1
-            s.cycle = cyc
-{monitor_line}
-            _done += 1
+{cycle_body}
     finally:
-        stats.cycles += _done
-        stats.clocked_activations += _clk
-        stats.settle_calls += _stl
-        stats.settle_iterations += _stl
-        stats.comb_activations += _comb
-        stats.fast_path_cycles += _fast
+{stats_flush}
 
+
+{wait_fn("wait_eq", "sig._value != target")}
+
+{wait_fn("wait_ge", "sig._value < target")}
 
 def settle_once():
     s = SIM
@@ -480,6 +826,24 @@ def settle_once():
             self._build()
         self._step_fn(cycles)
 
+    def wait_until(self, condition: WaitCondition, timeout: int = 100_000) -> int:
+        """Run the lowered wait: the whole wait is one generated-loop call.
+
+        Cycle-exact with the base kernel's ``wait_until`` (condition checked
+        before each cycle; ``timeout`` elapsed cycles raise), but the
+        per-cycle condition check is a slot comparison inside the fused loop
+        instead of a Python-level ``step()`` round trip.
+        """
+        self._ensure_compiled()
+        fn = self._wait_eq_fn if condition.op == "==" else self._wait_ge_fn
+        elapsed = fn(condition.signal, condition.value, timeout)
+        if elapsed < 0:
+            raise SimulationError(
+                f"run_until timed out after {timeout} cycles "
+                f"(started at {self.cycle - timeout})"
+            )
+        return elapsed
+
     def reset(self) -> None:
         """Reset signals, re-settle, zero the clock and stats.
 
@@ -493,6 +857,8 @@ def settle_once():
         for sig in self._signals:
             sig.reset()
         del self._sched[:]
+        del self._timed[:]
+        self._next_timed = _NEVER
         self._events = self._comb_all | (self._gated_all << len(self._comb_decls))
         self._active = 0
         self.settle()

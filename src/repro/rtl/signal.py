@@ -27,6 +27,27 @@ from __future__ import annotations
 from typing import Optional
 
 
+def schedule_zero(signals) -> None:
+    """Schedule 0 on every signal in ``signals`` (bulk ``schedule(0)``).
+
+    Semantically identical to calling ``sig.schedule(0)`` on each, with the
+    per-signal method dispatch flattened into one loop — bus masters clear
+    their whole request group once per beat, which made the six individual
+    calls measurable on every kernel.  Lives here so knowledge of the
+    pending-slot/observer/pulse protocol stays in the signal layer.
+    """
+    for sig in signals:
+        if sig._next is None:
+            if sig._value:
+                sig._next = 0
+                observer = sig._observer
+                if observer is not None:
+                    observer._signal_scheduled(sig)
+        else:
+            sig._next = 0
+            sig._auto = False
+
+
 def mask_for_width(width: int) -> int:
     """Return the bit mask covering ``width`` bits (``width >= 1``)."""
     if width < 1:
@@ -53,7 +74,17 @@ class Signal:
         Value the signal takes on reset and at construction.
     """
 
-    __slots__ = ("name", "width", "reset_value", "_value", "_next", "_mask", "_observer", "_ev_mask")
+    __slots__ = (
+        "name",
+        "width",
+        "reset_value",
+        "_value",
+        "_next",
+        "_mask",
+        "_observer",
+        "_ev_mask",
+        "_auto",
+    )
 
     def __init__(self, name: str, width: int = 1, reset: int = 0) -> None:
         self.name = name
@@ -66,6 +97,10 @@ class Signal:
         # Event bitmask assigned by the compiled kernel at elaboration freeze:
         # which compiled processes a change to this signal must trigger/wake.
         self._ev_mask = 0
+        # Pulse flag: when set, the next commit automatically schedules the
+        # signal back to 0 (see :meth:`pulse`), so one-cycle strobes need no
+        # process invocation on the following cycle just to deassert.
+        self._auto = False
 
     # -- event reporting ---------------------------------------------------
 
@@ -107,7 +142,10 @@ class Signal:
         the two-phase semantics and feeds the activity flag the elision
         contract requires.  The ``next`` setter is sugar for this method.
         """
-        value = int(value) & self._mask
+        if type(value) is not int:
+            value = int(value)
+        value &= self._mask
+        self._auto = False  # a plain schedule overrides a pending pulse clear
         if self._next is None:
             if value == self._value:
                 return False
@@ -118,13 +156,52 @@ class Signal:
         self._next = value
         return True
 
+    def pulse(self, value: int = 1) -> bool:
+        """Assert ``value`` for exactly one cycle, auto-clearing to 0.
+
+        The committed waveform is identical to ``sig.next = value`` this
+        cycle followed by ``sig.next = 0`` from a process on the next cycle —
+        but the deassert is performed by the *kernel* during the commit
+        phase, so a strobing FSM does not need to run (or be woken) on the
+        following cycle purely to drop its strobe.  That is what lets
+        request/acknowledge state machines report quiescence immediately
+        after strobing and stay parked under the compiled kernel's
+        wait-state elision.  Returns whether anything was scheduled.
+
+        A subsequent :meth:`schedule` (or another :meth:`pulse`) in the same
+        or next cycle overrides the pending auto-clear, so back-to-back
+        strobes compose naturally.
+        """
+        if type(value) is not int:
+            value = int(value)
+        value &= self._mask
+        had_pending = self._next is not None
+        if not had_pending and value == self._value:
+            if value == 0:
+                return False  # pulsing 0 onto a low strobe: nothing to do
+            # Value already high with nothing pending: schedule a no-change
+            # commit so the kernel still visits the signal and arms the
+            # auto-clear for the following cycle.
+            self._next = value
+            self._auto = True
+            if self._observer is not None:
+                self._observer._signal_scheduled(self)
+            return True
+        self._next = value
+        self._auto = True
+        if not had_pending and self._observer is not None:
+            self._observer._signal_scheduled(self)
+        return True
+
     def drive(self, value: int) -> bool:
         """Immediately drive ``value`` (combinational assignment).
 
         Returns ``True`` when the driven value differs from the previous
         value, which the simulator uses to detect combinational settling.
         """
-        value = int(value) & self._mask
+        if type(value) is not int:
+            value = int(value)
+        value &= self._mask
         changed = value != self._value
         self._value = value
         if changed and self._observer is not None:
@@ -134,12 +211,24 @@ class Signal:
     # -- lifecycle ---------------------------------------------------------
 
     def commit(self) -> bool:
-        """Apply the pending next value; return whether the value changed."""
+        """Apply the pending next value; return whether the value changed.
+
+        A pending :meth:`pulse` re-schedules 0 for the following cycle
+        (reporting the new pending value to the observer), which is how the
+        auto-clear propagates on the scan kernels; the compiled kernel's
+        generated commit loop performs the equivalent inline.
+        """
         if self._next is None:
             return False
         changed = self._next != self._value
         self._value = self._next
-        self._next = None
+        if self._auto:
+            self._auto = False
+            self._next = 0
+            if self._observer is not None:
+                self._observer._signal_scheduled(self)
+        else:
+            self._next = None
         if changed and self._observer is not None:
             self._observer._signal_changed(self)
         return changed
@@ -149,6 +238,7 @@ class Signal:
         changed = self._value != self.reset_value
         self._value = self.reset_value
         self._next = None
+        self._auto = False
         if changed and self._observer is not None:
             self._observer._signal_changed(self)
 

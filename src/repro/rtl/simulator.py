@@ -74,6 +74,40 @@ class SimulationError(RuntimeError):
 Process = Callable[[], None]
 
 
+@dataclass(frozen=True)
+class WaitCondition:
+    """A declarative wait target: ``signal <op> value``.
+
+    Testbench code that previously polled a Python lambda every cycle
+    (``run_until(lambda: txn.done)``) can instead wait on a *signal* — for
+    example a bus master's completion-count signal — which every kernel can
+    evaluate without calling back into Python.  The event and reference
+    kernels check the condition in a tight per-cycle loop (cycle-exact with
+    ``run_until``: the condition is evaluated before each step); the compiled
+    kernel lowers the check into its generated fused step loop, so a whole
+    wait executes as one native-speed call.
+
+    ``op`` is ``"=="`` (the default, wrap-safe for counters that increment by
+    one per event) or ``">="`` (monotonic thresholds).  ``value`` is compared
+    against the signal's committed value, masked to the signal's width.
+    """
+
+    signal: Signal
+    value: int
+    op: str = "=="
+
+    def __post_init__(self) -> None:
+        if self.op not in ("==", ">="):
+            raise ValueError(f"unsupported wait op {self.op!r} (use '==' or '>=')")
+        object.__setattr__(self, "value", int(self.value) & self.signal._mask)
+
+    def satisfied(self) -> bool:
+        """Whether the condition currently holds."""
+        if self.op == "==":
+            return self.signal._value == self.value
+        return self.signal._value >= self.value
+
+
 @dataclass
 class SimulatorStats:
     """Counters describing how much work the kernel performed.
@@ -126,6 +160,12 @@ class Simulator:
         Upper bound on combinational settle passes per cycle before a
         combinational loop is reported.
     """
+
+    #: Whether this kernel honours :meth:`wake_after` (timed wakes).  Scan
+    #: kernels run every clocked process on every cycle, so a countdown
+    #: process gains nothing from announcing its wake time; processes check
+    #: this flag to skip the bookkeeping entirely.
+    timed_wakes = False
 
     def __init__(self, max_settle_iterations: int = 64) -> None:
         self._signals: List[Signal] = []
@@ -232,6 +272,20 @@ class Simulator:
         self._monitors.append(process)
         return process
 
+    def wake_after(self, process: Process, cycles: int) -> None:
+        """Request a timed wake for an elidable clocked process (no-op here).
+
+        A gated process sitting in a *pure countdown* — a state whose next
+        ``cycles - 1`` re-runs would provably do nothing but decrement a
+        counter, regardless of input changes — may call this and then report
+        quiescence.  Kernels with ``timed_wakes`` (the compiled kernel) skip
+        the process until the target cycle or an earlier declared-input
+        change; this kernel runs every clocked process every cycle anyway, so
+        the request is discarded.  Processes must derive their countdown from
+        the simulator cycle (not from run counts), so being run *more* often
+        than requested is always safe.
+        """
+
     @property
     def signals(self) -> List[Signal]:
         """The registered signals, in registration order."""
@@ -336,9 +390,12 @@ class Simulator:
                 proc()
             stats.clocked_activations += len(clocked)
             if scheduled:
-                for sig in scheduled:
-                    sig.commit()
+                # Snapshot before committing: a pulsed signal's commit
+                # re-schedules its auto-clear into the live set.
+                pending = list(scheduled)
                 scheduled.clear()
+                for sig in pending:
+                    sig.commit()
             if dirty:
                 self.settle()
             else:
@@ -364,6 +421,37 @@ class Simulator:
                     f"run_until timed out after {timeout} cycles (started at {start})"
                 )
             self.step()
+        return self.cycle - start
+
+    def wait_until(self, condition: WaitCondition, timeout: int = 100_000) -> int:
+        """Step until the declarative ``condition`` holds; return cycles taken.
+
+        Semantically identical to ``run_until`` with an equivalent lambda —
+        the condition is evaluated before each step, an already-true condition
+        returns 0, and ``timeout`` elapsed cycles raise
+        :class:`SimulationError` — but expressed on a signal so kernels can
+        evaluate it without a per-cycle Python callback.  This kernel checks
+        the signal slot directly in a tight loop; the compiled kernel
+        overrides this with a wait lowered into its generated step loop.
+        """
+        sig = condition.signal
+        target = condition.value
+        start = self.cycle
+        step = self.step
+        if condition.op == "==":
+            while sig._value != target:
+                if self.cycle - start >= timeout:
+                    raise SimulationError(
+                        f"run_until timed out after {timeout} cycles (started at {start})"
+                    )
+                step()
+        else:
+            while sig._value < target:
+                if self.cycle - start >= timeout:
+                    raise SimulationError(
+                        f"run_until timed out after {timeout} cycles (started at {start})"
+                    )
+                step()
         return self.cycle - start
 
 

@@ -79,6 +79,7 @@ class SISProtocolMonitor:
     _prev_data_in: int = 0
     _prev_func_id: int = 0
     _simulator: Optional[Simulator] = None
+    _fused_state_list: Optional[list] = field(default=None, repr=False)
 
     def attach(self, simulator: Simulator) -> "SISProtocolMonitor":
         """Register the monitor with ``simulator`` (runs after every cycle)."""
@@ -143,6 +144,124 @@ class SISProtocolMonitor:
 
     def _record(self, cycle: int, rule: str, detail: str) -> None:
         self.violations.append(ProtocolViolation(cycle=cycle, rule=rule, detail=detail))
+
+    # -- compiled-kernel fusion --------------------------------------------
+
+    def _fused_state(self) -> list:
+        """Mutable check state shared by every compiled freeze of this monitor.
+
+        Layout: [prev_io_enable, io_enable_run, prev_valid, prev_data_in,
+        prev_func_id, prev_data_out_valid] — the rolling state
+        :meth:`sample` keeps in scalar attributes (plus the last observed
+        ``DATA_OUT_VALID``, which the event gate needs).  Seeded from those
+        attributes on first use and reused across recompiles, so a design
+        that re-freezes mid-run resumes with consistent history.
+        """
+        if self._fused_state_list is None:
+            self._fused_state_list = [
+                self._prev_io_enable,
+                self._io_enable_run,
+                self._prev_valid,
+                self._prev_data_in,
+                self._prev_func_id,
+                0,
+            ]
+        return self._fused_state_list
+
+    def emit_compiled_monitor(self, prefix: str) -> dict:
+        """Fusion hook for :class:`repro.rtl.compile.CompiledSimulator`.
+
+        Returns a dict describing source the generated step loop inlines in
+        place of calling :meth:`sample` every cycle:
+
+        * ``entry`` / ``exit`` — lines run once per generated-function call,
+          loading the rolling check state into locals and writing it back,
+        * ``body`` — the per-cycle checks: same five rules, same order, same
+          rule names and detail strings, reading the same signal slots and
+          recording through :meth:`_record`, so the ``violations`` list is
+          element-for-element identical to the scan kernels',
+        * ``gate_signals`` / ``hot`` — the *event gate*: the body may be
+          skipped on any cycle where none of ``gate_signals`` changed and
+          the ``hot`` expression (over the state locals) is false.  With all
+          strobes low, previous strobes low, and inputs unchanged, every
+          check is vacuous and every state update idempotent, so the skip is
+          a provable no-op — this is what removes the per-cycle monitor cost
+          from quiet cycles entirely.
+
+        ``cyc`` in the generated loop is the post-increment cycle number, the
+        same value :meth:`sample` reads from the attached simulator.
+        """
+        bundle = self.bundle
+        p = prefix
+        namespace = {
+            f"{p}_ST": self._fused_state(),
+            f"{p}_IOEN": bundle.io_enable,
+            f"{p}_DIV": bundle.data_in_valid,
+            f"{p}_DIN": bundle.data_in,
+            f"{p}_FID": bundle.func_id,
+            f"{p}_IOD": bundle.io_done,
+            f"{p}_DOV": bundle.data_out_valid,
+            f"{p}_REC": self._record,
+        }
+        entry = [
+            f"{p}_ioen = {p}_IOEN; {p}_div = {p}_DIV; {p}_din = {p}_DIN",
+            f"{p}_fid = {p}_FID; {p}_iod = {p}_IOD; {p}_dov = {p}_DOV; {p}_rec = {p}_REC",
+            f"{p}_s0, {p}_s1, {p}_s2, {p}_s3, {p}_s4, {p}_s5 = {p}_ST",
+        ]
+        exit_ = [
+            f"{p}_ST[0] = {p}_s0; {p}_ST[1] = {p}_s1; {p}_ST[2] = {p}_s2",
+            f"{p}_ST[3] = {p}_s3; {p}_ST[4] = {p}_s4; {p}_ST[5] = {p}_s5",
+        ]
+        pseudo = self.variant is ProtocolVariant.PSEUDO_ASYNCHRONOUS
+        body = [
+            f"{p}_e = {p}_ioen._value",
+            f"{p}_v = {p}_div._value",
+            f"if {p}_e and {p}_s0:",
+            f"    {p}_s1 += 1",
+            f"    if {p}_s1 >= 2:",
+            f'        {p}_rec(cyc, "io_enable_strobe", "IO_ENABLE held high for more than one request cycle without a new request")',
+            f"else:",
+            f"    {p}_s1 = 0",
+            f"if {p}_e and {p}_v and {p}_fid._value == 0:",
+            f'    {p}_rec(cyc, "status_register_write", "write presented to function id 0, which is reserved for the CALC_DONE status register")',
+        ]
+        if pseudo:
+            body += [
+                f"if {p}_s2 and {p}_v and not {p}_iod._value:",
+                f"    if {p}_din._value != {p}_s3:",
+                f'        {p}_rec(cyc, "data_in_stability", "DATA_IN changed while DATA_IN_VALID was held waiting for IO_DONE")',
+                f"    if {p}_fid._value != {p}_s4:",
+                f'        {p}_rec(cyc, "func_id_stability", "FUNC_ID changed while DATA_IN_VALID was held waiting for IO_DONE")',
+                f"{p}_d = {p}_dov._value",
+                f"if {p}_d and not {p}_iod._value:",
+                f'    {p}_rec(cyc, "read_handshake", "DATA_OUT_VALID asserted without IO_DONE on a pseudo-asynchronous interface")',
+                f"{p}_s5 = {p}_d",
+            ]
+        body += [
+            f"{p}_s0 = {p}_e",
+            f"{p}_s2 = {p}_v",
+            f"{p}_s3 = {p}_din._value",
+            f"{p}_s4 = {p}_fid._value",
+        ]
+        # Gate: the checks must observe every change of the signals they
+        # compare (strobes, payload, function id), plus every cycle in the
+        # two *held-strobe* states where a record can repeat without any
+        # change (IO_ENABLE held -> s0; DATA_OUT_VALID held -> s5).  IO_DONE
+        # needs no bit: it only ever suppresses records, and the held-DOV
+        # case that reads it across cycles keeps the monitor hot via s5.
+        gate_signals = [bundle.io_enable, bundle.data_in_valid]
+        hot = f"{p}_s0"
+        if pseudo:
+            gate_signals += [bundle.data_out_valid, bundle.data_in, bundle.func_id]
+            hot += f" or {p}_s5"
+        return {
+            "entry": entry,
+            "body": body,
+            "exit": exit_,
+            "namespace": namespace,
+            "gate_signals": gate_signals,
+            "hot": hot,
+        }
 
     # -- reporting ---------------------------------------------------------
 

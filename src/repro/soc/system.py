@@ -77,6 +77,7 @@ def build_system(
     attach_monitor: bool = True,
     kernel: Optional[str] = None,
     simulator_factory: Optional[Callable[[], Simulator]] = None,
+    record_transactions: bool = True,
 ) -> SpliceSystem:
     """Build a runnable system from a Splice specification string.
 
@@ -85,6 +86,12 @@ def build_system(
     :data:`repro.rtl.KERNELS`) or by an explicit ``simulator_factory``
     callable; passing both is an error.  The default is the event-driven
     :class:`~repro.rtl.simulator.Simulator`.
+
+    ``record_transactions`` controls whether the processor and master retain
+    completed :class:`~repro.buses.base.BusTransaction` objects.  Keep it on
+    for interactive inspection; switch it off for long campaign runs, where
+    per-transaction retention would grow memory without bound (the
+    transaction *counters* keep counting either way).
     """
     if simulator_factory is None:
         simulator_factory = kernel_factory(kernel or DEFAULT_KERNEL)
@@ -114,7 +121,13 @@ def build_system(
             peripheral.sis, variant=variant_for_bus(bus.pseudo_asynchronous)
         ).attach(simulator)
 
-    processor = ProcessorModel(simulator, master, inter_op_gap=inter_op_gap)
+    master.record_transactions = record_transactions
+    processor = ProcessorModel(
+        simulator,
+        master,
+        inter_op_gap=inter_op_gap,
+        record_transactions=record_transactions,
+    )
     library: SoftwareMacroLibrary = result.macro_library or macro_library_for(bus.name)
     drivers = DriverSet.build(module, library, processor)
 

@@ -420,3 +420,41 @@ class TestIncrementalCachePersistence:
             assert len(cache) == 2
         finally:
             _BUILDERS.pop("zz_exploding", None)
+
+
+class TestProfileCLI:
+    def test_profile_registry_label(self, capsys):
+        from repro.cli import main
+
+        rc = main(["profile", "splice_plb", "--kernel", "compiled",
+                   "--repeat", "2", "--top", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Profile of splice_plb scenario 2" in out
+        assert "cumulative" in out
+        assert "bus cycles" in out
+
+    def test_profile_spec_file(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.devices.interpolator import INTERPOLATOR_SPEC_PLB
+
+        spec_file = tmp_path / "interp.sp"
+        spec_file.write_text(INTERPOLATOR_SPEC_PLB)
+        rc = main(["profile", str(spec_file), "--cycles", "500", "--top", "5",
+                   "--sort", "tottime"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "500 bus cycles" in out
+        assert "tottime" in out
+
+    def test_profile_unknown_target(self, capsys):
+        from repro.cli import main
+
+        assert main(["profile", "not-a-label-or-file"]) == 2
+        assert "neither a registered implementation label" in capsys.readouterr().err
+
+    def test_profile_unknown_scenario(self, capsys):
+        from repro.cli import main
+
+        assert main(["profile", "splice_plb", "--scenario", "99"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err

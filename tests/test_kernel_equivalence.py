@@ -66,17 +66,32 @@ def _assert_traces_equal(ref_trace, other_trace, label):
     )
 
 
+def _monitor_violations(built):
+    """The (cycle, rule, detail) list of the built object's SIS monitor."""
+    monitor = getattr(built, "monitor", None)
+    if monitor is None:
+        system = getattr(built, "system", None)
+        monitor = getattr(system, "monitor", None) if system is not None else None
+    if monitor is None:
+        return None
+    return [(v.cycle, v.rule, v.detail) for v in monitor.violations]
+
+
 def _run_differential(build, stimulus):
     """Build + drive one design per kernel; return both (outcome, stats).
 
     ``build(simulator_factory)`` must return an object exposing ``simulator``;
     ``stimulus(built)`` drives it and returns a comparable outcome.  Every
     registered signal is recorded every cycle and every kernel's recording is
-    compared exactly against the reference kernel's.
+    compared exactly against the reference kernel's; when the built object
+    carries an SIS protocol monitor, the violation lists (fused inline on the
+    compiled kernel, per-cycle ``sample`` on the scan kernels) must also be
+    element-for-element identical.
     """
     traces = {}
     outcomes = {}
     stats = {}
+    violations = {}
     for label, factory in KERNELS:
         built = build(factory)
         simulator = built.simulator
@@ -84,9 +99,14 @@ def _run_differential(build, stimulus):
         outcomes[label] = stimulus(built)
         traces[label] = recorder.trace
         stats[label] = simulator.stats
+        violations[label] = _monitor_violations(built)
     for label, _ in KERNELS[1:]:
         _assert_traces_equal(traces["reference"], traces[label], label)
         assert outcomes["reference"] == outcomes[label], label
+        assert violations["reference"] == violations[label], (
+            f"{label} kernel monitor violations diverge: "
+            f"{violations['reference']} != {violations[label]}"
+        )
     return outcomes["event"], stats
 
 
