@@ -9,6 +9,8 @@ Splice features on the simulated substrate:
   versus the raw hand-coded slave for the same traffic.
 """
 
+from conftest import record_history
+
 from repro.soc.system import build_system
 
 BASE_PLB = "%device_name dev\n%bus_type plb\n%bus_width 32\n%base_address 0x80000000\n"
@@ -76,4 +78,8 @@ def test_ablation_sis_indirection_overhead(benchmark, once):
     outcome = once(benchmark, run)
     print(f"\nSIS indirection overhead: {outcome['overhead_percent']:.1f}% "
           f"({outcome['splice_cycles']} vs {outcome['handcoded_cycles']} cycles)")
+    record_history(
+        "ablations",
+        {"sis_indirection_overhead_percent": round(outcome["overhead_percent"], 2)},
+    )
     assert 0.0 <= outcome["overhead_percent"] <= 35.0

@@ -3,6 +3,8 @@
 Regenerates the scenario table and prints the same rows the paper reports.
 """
 
+from conftest import record_history
+
 from repro.evaluation.report import scenario_report
 from repro.evaluation.scenarios import SCENARIOS, scenario_table
 
@@ -11,6 +13,7 @@ def test_figure_9_1_scenario_table(benchmark, once):
     rows = once(benchmark, scenario_table)
     print("\nFigure 9.1 — Input Parameters Required for Each Scenario")
     print(scenario_report(rows))
+    record_history("fig_9_1", {"scenarios": len(rows)})
     assert [ (r["set1"], r["set2"], r["set3"]) for r in rows ] == [
         (2, 1, 2), (4, 2, 4), (8, 3, 6), (16, 4, 8),
     ]

@@ -11,6 +11,8 @@ faster still yet slightly slower than the hand-optimized FCB, and DMA only
 pays off for the larger transfers.
 """
 
+from conftest import record_history
+
 from repro.evaluation.experiments import (
     IMPLEMENTATION_NAMES,
     cycle_ratio_summary,
@@ -26,6 +28,13 @@ def test_figure_9_2_cycles_per_run(benchmark, once):
     ratios = cycle_ratio_summary(results)
     print()
     print(ratio_report(ratios, "Section 9.3.1 — transmission-time comparison"))
+    record_history(
+        "fig_9_2",
+        {
+            "scenario2_cycles": {label: runs[2] for label, runs in results.items()},
+            "ratios": {key: round(value, 4) for key, value in ratios.items()},
+        },
+    )
 
     # Shape assertions (who wins, by roughly what factor).
     for scenario in (1, 2, 3, 4):

@@ -5,6 +5,8 @@ structural descriptions and prints the Figure 9.3 table plus the
 Section 9.3.2 headline ratios.
 """
 
+from conftest import record_history
+
 from repro.evaluation.experiments import (
     IMPLEMENTATION_NAMES,
     resource_ratio_summary,
@@ -20,6 +22,13 @@ def test_figure_9_3_resource_usage(benchmark, once):
     ratios = resource_ratio_summary(reports)
     print()
     print(ratio_report(ratios, "Section 9.3.2 — resource-usage comparison"))
+    record_history(
+        "fig_9_3",
+        {
+            "slices": {label: report.slices for label, report in reports.items()},
+            "ratios": {key: round(value, 4) for key, value in ratios.items()},
+        },
+    )
 
     slices = {label: report.slices for label, report in reports.items()}
     assert slices["splice_plb"] < slices["simple_plb"]

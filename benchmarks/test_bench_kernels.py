@@ -31,6 +31,8 @@ import platform
 import time
 from pathlib import Path
 
+from conftest import record_history
+
 from repro.devices.interpolator import build_splice_interpolator
 from repro.devices.timer import build_timer_system
 from repro.evaluation.scenarios import SCENARIOS
@@ -66,7 +68,7 @@ def _fig91_rate(kernel: str, bus: str, sets) -> float:
     device.run_scenario(sets)  # warm-up: first-call elaboration/compile
     repeats = _FIG91_REPEATS[kernel]
     best = 0.0
-    for _ in range(3):  # best-of-3 damps scheduler noise on shared runners
+    for _ in range(5):  # best-of-5 damps scheduler noise on shared runners
         cycles = 0
         start = time.perf_counter()
         for _ in range(repeats):
@@ -110,6 +112,15 @@ def test_kernel_throughput_matrix(benchmark, once):
     }
     _BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
     print(f"\nBENCH_kernels.json: {json.dumps(record, indent=2)}")
+    record_history(
+        "kernels",
+        {
+            "timer_cycles_per_s": timer,
+            "fig91_scenario2_cycles_per_s": fig91,
+            "compiled_over_event_fig91": record["ratios"]["compiled_over_event_fig91"],
+            "compiled_over_event_timer": record["ratios"]["compiled_over_event_timer"],
+        },
+    )
 
     ratio = record["ratios"]["compiled_over_event_timer"]
     if getattr(benchmark, "disabled", False):
@@ -119,12 +130,13 @@ def test_kernel_throughput_matrix(benchmark, once):
     else:
         assert ratio >= 3.0, f"compiled kernel only {ratio:.2f}x over event kernel"
 
-    # The fused harness path (scripted transactions + lowered waits + gated
-    # monitor fusion) must also win on the paper's bus workloads: outright on
-    # every bus, and by >= 1.5x on at least one (the named CI perf gate).
+    # The fused harness + lowered-FSM path must win decisively on the paper's
+    # bus workloads: >= 1.8x the event kernel on *every* Figure 9.1 bus (the
+    # named CI perf gate, raised from PR 4's best-bus >= 1.5x now that the
+    # per-cycle machines execute inside the generated loop).
     bus_ratios = record["ratios"]["compiled_over_event_fig91"]
     for bus, rates in fig91.items():
-        assert rates["compiled"] > rates["event"], (bus, rates)
         assert rates["compiled"] > rates["reference"], (bus, rates)
-    best = max(bus_ratios.values())
-    assert best >= 1.5, f"compiled kernel best bus ratio only {best:.2f}x: {bus_ratios}"
+        assert bus_ratios[bus] >= 1.8, (
+            f"compiled kernel only {bus_ratios[bus]:.2f}x over event on {bus}: {bus_ratios}"
+        )

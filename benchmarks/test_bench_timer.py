@@ -11,6 +11,8 @@ reference kernel on the running timer.
 
 import time
 
+from conftest import record_history
+
 from repro.core.engine import Splice
 from repro.devices.timer import TIMER_SPEC, build_timer_system
 from repro.rtl import ReferenceSimulator, Simulator
@@ -67,6 +69,14 @@ def test_event_kernel_speedup(benchmark, once):
 
     rates = once(benchmark, measure)
     speedup = rates["event"] / rates["reference"]
+    record_history(
+        "timer",
+        {
+            "event_cycles_per_s": round(rates["event"], 1),
+            "reference_cycles_per_s": round(rates["reference"], 1),
+            "event_over_reference": round(speedup, 2),
+        },
+    )
     print(
         f"\nTimer kernel throughput: event {rates['event']:,.0f} cycles/s, "
         f"reference {rates['reference']:,.0f} cycles/s ({speedup:.1f}x)"

@@ -13,9 +13,10 @@ to every transaction.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional
 
 from repro.buses.base import BusMaster, BusTransaction, SlaveBundle
+from repro.rtl.fsm import Active, Call, Exec, Goto, If, Redispatch, Schedule
 from repro.rtl.signal import Signal
 
 
@@ -52,8 +53,14 @@ class APBMaster(BusMaster):
     ARBITRATION_CYCLES = 3
     RECOVERY_CYCLES = 1
 
-    def __init__(self, name: str, slave: APBSlaveBundle, base_address: int = 0) -> None:
-        super().__init__(name, slave)
+    def __init__(
+        self,
+        name: str,
+        slave: APBSlaveBundle,
+        base_address: int = 0,
+        fsm_backend: Optional[str] = None,
+    ) -> None:
+        super().__init__(name, slave, fsm_backend=fsm_backend)
         self.base_address = base_address
         self._phase = "idle"
         self._delay = 0
@@ -63,6 +70,77 @@ class APBMaster(BusMaster):
         # PLBMaster for rationale).
         self._active_write = False
         self._active_total = 0
+        self._register_tick()
+
+    # -- FSM IR ----------------------------------------------------------------
+
+    def _fsm_signals(self) -> Dict[str, object]:
+        slave = self.slave
+        return {
+            "psel": slave.psel, "penable": slave.penable,
+            "pwrite": slave.pwrite, "paddr": slave.paddr,
+            "pwdata": slave.pwdata, "prdata": slave.prdata,
+        }
+
+    def _fsm_consts(self) -> Dict[str, int]:
+        return {**super()._fsm_consts(), "WORDB": self.slave.data_width // 8}
+
+    def _fsm_external_states(self) -> tuple:
+        return ("bridge",)  # entered by _begin()
+
+    def _fsm_protocol_states(self) -> Dict[str, tuple]:
+        """The strictly synchronous APB transfer as FSM IR.
+
+        Outside the bridge/recovery countdowns (which sleep under timed
+        wakes), every phase makes progress each cycle — the machine is
+        active on every access cycle and declares no wake signals.
+        """
+        return {
+            "setup": (
+                Schedule("psel", "1"),
+                Schedule("penable", "0"),
+                Schedule("pwrite", "1 if m._active_write else 0"),
+                Schedule("paddr", "m.active.address + m._word_index * WORDB"),
+                If(
+                    "m._active_write",
+                    (Schedule("pwdata", "m.active.data[m._word_index]"),),
+                ),
+                Goto("access"),
+                Active("True"),
+            ),
+            "access": (
+                Schedule("penable", "1"),
+                Goto("complete"),
+                Active("True"),
+            ),
+            "complete": (
+                # The access cycle has committed: the slave saw PENABLE this
+                # cycle and read data (if any) is now on PRDATA.
+                If(
+                    "not m._active_write",
+                    (Exec("m.active.results.append(prdata._value)"),),
+                ),
+                Schedule("psel", "0"),
+                Schedule("penable", "0"),
+                Schedule("pwrite", "0"),
+                Schedule("pwdata", "0"),
+                Exec("m._word_index += 1"),
+                If(
+                    "m._word_index < m._active_total",
+                    (Goto("setup"),),
+                    orelse=(Exec("m._delay = RECOV"), Goto("recover")),
+                ),
+                Active("True"),
+            ),
+            "bridge": self._fsm_countdown((Goto("setup"), Redispatch())),
+            "recover": self._fsm_countdown(
+                (
+                    Call("h_complete", args="m.active"),
+                    Goto("idle"),
+                    Active("True"),
+                )
+            ),
+        }
 
     def _begin(self, transaction: BusTransaction) -> None:
         if transaction.kind.is_dma:

@@ -29,8 +29,19 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional, Sequence, Union
+from typing import Deque, Dict, List, Optional, Sequence, Union
 
+from repro.rtl.fsm import (
+    Active,
+    BoundFsm,
+    Call,
+    Exec,
+    FsmSpec,
+    If,
+    Sleep,
+    StateDispatch,
+    resolve_backend,
+)
 from repro.rtl.module import Module
 
 
@@ -46,11 +57,20 @@ class TransactionKind(enum.Enum):
 
     @property
     def is_write(self) -> bool:
-        return self in (TransactionKind.WRITE, TransactionKind.BURST_WRITE, TransactionKind.DMA_WRITE)
+        return self in WRITE_KINDS
 
     @property
     def is_dma(self) -> bool:
-        return self in (TransactionKind.DMA_READ, TransactionKind.DMA_WRITE)
+        return self in DMA_KINDS
+
+
+#: Membership tuples for the hot per-transaction checks: the enum properties
+#: above stay as API, but per-call tuple construction was measurable in the
+#: transaction-construction path on every kernel.  Tuples beat frozensets
+#: here — ``in`` short-circuits on identity for enum members, skipping the
+#: (surprisingly slow) Enum.__hash__.
+WRITE_KINDS = (TransactionKind.WRITE, TransactionKind.BURST_WRITE, TransactionKind.DMA_WRITE)
+DMA_KINDS = (TransactionKind.DMA_READ, TransactionKind.DMA_WRITE)
 
 
 @dataclass(slots=True)
@@ -73,9 +93,9 @@ class BusTransaction:
     complete_cycle: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if self.kind.is_write and not self.data:
-            raise ValueError("write transactions require data")
-        if self.kind.is_write:
+        if self.kind in WRITE_KINDS:
+            if not self.data:
+                raise ValueError("write transactions require data")
             self.word_count = len(self.data)
         if self.word_count < 1:
             raise ValueError("transactions must move at least one word")
@@ -201,7 +221,9 @@ class BusMaster(Module):
     #: use equality against a masked target (wrap-safe for a blocking CPU).
     COUNT_WIDTH = 32
 
-    def __init__(self, name: str, slave: SlaveBundle) -> None:
+    def __init__(
+        self, name: str, slave: SlaveBundle, fsm_backend: Optional[str] = None
+    ) -> None:
         super().__init__(name)
         self.slave = slave
         self._queue: Deque[BusTransaction] = deque()
@@ -229,7 +251,198 @@ class BusMaster(Module):
         #: wakes on the very next cycle — the same cycle it would have popped
         #: the queue had it been running.
         self._wake = self.signal("WAKE", width=1)
-        self.clocked(self._base_tick, sensitive_to=[self._wake] + list(self._wake_signals()))
+        self._fsm_backend = resolve_backend(fsm_backend)
+        self.fsm: Optional[BoundFsm] = None
+        # Subclasses finish their own construction (protocol registers,
+        # request-signal groups) and then call _register_tick(), which
+        # builds the FSM-IR machine (or registers the retained Python tick).
+
+    def _register_tick(self) -> None:
+        """Register the clocked process — IR machine or retained Python tick.
+
+        Called at the end of every subclass ``__init__`` (the IR machine's
+        bindings reference protocol registers the subclass creates after
+        ``super().__init__``).
+        """
+        sensitivity = [self._wake] + list(self._wake_signals())
+        if self._fsm_backend == "ir":
+            self.fsm = BoundFsm(
+                self._fsm_spec(),
+                self,
+                signals=self._fsm_signals(),
+                groups=self._fsm_groups(),
+                helpers={
+                    "h_finish_script": self._finish_script,
+                    "h_start_script_op": self._start_script_op,
+                    "h_pop_queue": self._pop_queue,
+                    **self._fsm_helpers(),
+                },
+                consts=self._fsm_consts(),
+            )
+            self.clocked(self.fsm.tick, sensitive_to=sensitivity)
+        else:
+            self.clocked(self._base_tick, sensitive_to=sensitivity)
+
+    # -- FSM IR assembly ------------------------------------------------------
+
+    #: Scratch names shared by the base frame and every protocol spec.
+    _FSM_BASE_TEMPS = ("go", "c1", "sk", "tx", "txn", "tot", "slot")
+
+    def _fsm_spec(self) -> FsmSpec:
+        """Assemble the master's machine: shared base frame + protocol states.
+
+        The spec depends only on the concrete master class (instance facts —
+        base address, widths — are const *bindings*, not spec structure), so
+        it is built once per class and shared: spec validation and the
+        standalone-tick codegen are amortised across every instance.
+
+        The entry tree is the exact transliteration of :meth:`_base_tick` —
+        elision-proof cycle resynchronisation, skipped-busy crediting, the
+        inter-operation gap countdown, script-op start and queue pop — and
+        dispatches into the subclass's protocol states only when a
+        transaction is (or just became) active.  Transaction-boundary work
+        (``_begin`` via the pop/start helpers, ``_complete``, script
+        bookkeeping) stays in the retained Python helpers; everything that
+        runs on ordinary bus cycles is IR.
+        """
+        cached = type(self).__dict__.get("_fsm_spec_cache")
+        if cached is not None:
+            return cached
+        entry = (
+            Exec("go = 0"),
+            Exec("c1 = CYCLE + 1"),
+            If(
+                "m.active is not None",
+                (
+                    Exec("sk = c1 - m._cycle - 1"),
+                    If("sk > 0", (Exec("m.total_busy_cycles += sk"),)),
+                ),
+            ),
+            Exec("m._cycle = c1"),
+            If(
+                "m.active is None",
+                (
+                    If(
+                        "m._gap_left",
+                        (
+                            Exec("m._gap_left -= 1"),
+                            If(
+                                "not m._gap_left and m._script is not None "
+                                "and m._script_pc >= len(m._script.ops)",
+                                (Call("h_finish_script"),),
+                            ),
+                            Active("True"),
+                        ),
+                        orelse=(
+                            If(
+                                "m._script is not None",
+                                (
+                                    Call("h_start_script_op", store="tx"),
+                                    If(
+                                        "tx is None",
+                                        (Active("True"),),
+                                        orelse=(
+                                            Exec("m.total_busy_cycles += 1; go = 1"),
+                                        ),
+                                    ),
+                                ),
+                                orelse=(
+                                    If(
+                                        "m._queue",
+                                        (
+                                            Call("h_pop_queue"),
+                                            Exec("m.total_busy_cycles += 1; go = 1"),
+                                        ),
+                                        orelse=(Active("False"),),
+                                    ),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+                orelse=(Exec("m.total_busy_cycles += 1; go = 1"),),
+            ),
+            If("go", (StateDispatch(),)),
+        )
+        states = dict(self._fsm_protocol_states())
+        states["idle"] = ()
+        spec = FsmSpec(
+            name=f"{type(self).__name__.lower()}",
+            entry=entry,
+            states=states,
+            initial="idle",
+            state_attr="_phase",
+            external_states=self._fsm_external_states(),
+            signals=tuple(self._fsm_signals()),
+            groups=tuple(self._fsm_groups()),
+            helpers=(
+                "h_finish_script",
+                "h_start_script_op",
+                "h_pop_queue",
+                *self._fsm_helpers(),
+            ),
+            consts=tuple(self._fsm_consts()),
+            temps=self._FSM_BASE_TEMPS,
+        )
+        type(self)._fsm_spec_cache = spec
+        return spec
+
+    @staticmethod
+    def _fsm_countdown(next_ops) -> tuple:
+        """The shared delay-countdown pattern (arbitration, bridge, recovery).
+
+        Expressed against the elision-proof cycle counter so the machine can
+        sleep through the wait on kernels with timed wakes — the lowered
+        form of :meth:`_sleep_until`.
+        """
+        return (
+            If(
+                "m._delay_until is None",
+                (Exec("m._delay_until = m._cycle + m._delay"),),
+            ),
+            If(
+                "m._cycle < m._delay_until",
+                (Sleep("m._delay_until - m._cycle"),),
+                orelse=(Exec("m._delay_until = None"), *next_ops),
+            ),
+        )
+
+    def _fsm_protocol_states(self) -> Dict[str, tuple]:  # pragma: no cover - abstract
+        raise NotImplementedError(
+            f"{type(self).__name__} does not describe its protocol as FSM IR; "
+            f"construct it with fsm_backend='python'"
+        )
+
+    def _fsm_external_states(self) -> tuple:
+        """Protocol states entered by Python helpers (``_begin``) rather
+        than by an IR transition."""
+        return ()
+
+    def _fsm_signals(self) -> Dict[str, object]:
+        return {}
+
+    def _fsm_groups(self) -> Dict[str, tuple]:
+        return {}
+
+    def _fsm_helpers(self) -> Dict[str, object]:
+        return {"h_complete": self._complete}
+
+    def _fsm_consts(self) -> Dict[str, int]:
+        return {
+            "ARB": type(self).ARBITRATION_CYCLES,
+            "RECOV": type(self).RECOVERY_CYCLES,
+        }
+
+    def attach(self, simulator) -> None:
+        # Safety net for third-party masters predating the FSM-IR port: a
+        # subclass that never called _register_tick() still gets the retained
+        # Python tick registered, exactly as before.
+        if not self._clocked:
+            self.clocked(
+                self._base_tick,
+                sensitive_to=[self._wake] + list(self._wake_signals()),
+            )
+        super().attach(simulator)
 
     def _wake_signals(self) -> List:
         """Slave-side signals whose changes must wake a parked master.
@@ -343,15 +556,20 @@ class BusMaster(Module):
                 if active is None:
                     return True
             elif self._queue:
-                active = self.active = self._queue.popleft()
-                if active.issue_cycle is None:
-                    active.issue_cycle = self._cycle
-                self._begin(active)
+                active = self._pop_queue()
             else:
                 # Idle and empty: sleep until a submit toggles WAKE.
                 return False
         self.total_busy_cycles += 1
         return self._tick(active) is not False
+
+    def _pop_queue(self) -> BusTransaction:
+        """Pop the next queued transaction and begin it (IR helper)."""
+        active = self.active = self._queue.popleft()
+        if active.issue_cycle is None:
+            active.issue_cycle = self._cycle
+        self._begin(active)
+        return active
 
     def _start_script_op(self) -> Optional[BusTransaction]:
         script = self._script
@@ -408,7 +626,7 @@ class BusMaster(Module):
         transaction.done = True
         transaction.complete_cycle = self._cycle
         self._completed_total += 1
-        self.completion_count.next = self._completed_total
+        self.completion_count.schedule(self._completed_total)
         if self.record_transactions:
             self.completed.append(transaction)
         self.active = None

@@ -14,9 +14,10 @@ request; the generated adapter forwards it as the SIS ``FUNC_ID``.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional
 
 from repro.buses.base import BusMaster, BusTransaction, SlaveBundle, TransactionKind
+from repro.rtl.fsm import Active, Call, Exec, Goto, If, Pulse, Schedule
 from repro.rtl.signal import Signal
 
 
@@ -69,8 +70,14 @@ class FCBMaster(BusMaster):
     #: Largest natively supported burst (quad-word, Section 2.3.2).
     MAX_BURST_WORDS = 4
 
-    def __init__(self, name: str, slave: FCBSlaveBundle, base_address: int = 0) -> None:
-        super().__init__(name, slave)
+    def __init__(
+        self,
+        name: str,
+        slave: FCBSlaveBundle,
+        base_address: int = 0,
+        fsm_backend: Optional[str] = None,
+    ) -> None:
+        super().__init__(name, slave, fsm_backend=fsm_backend)
         self.base_address = base_address  # unused; kept for interface parity
         self._phase = "idle"
         self._word_index = 0
@@ -78,10 +85,102 @@ class FCBMaster(BusMaster):
         # PLBMaster for rationale): direction, total beats, strobe pending.
         self._active_write = False
         self._active_total = 0
+        self._register_tick()
 
     def _wake_signals(self):
         # A parked FCB master resumes on the beat acknowledge or read response.
         return [self.slave.ack, self.slave.resp_valid]
+
+    # -- FSM IR ----------------------------------------------------------------
+
+    def _fsm_signals(self) -> Dict[str, object]:
+        slave = self.slave
+        return {
+            "req": slave.req, "is_write": slave.is_write,
+            "func_sel": slave.func_sel, "burst_len": slave.burst_len,
+            "d2s": slave.data_to_slave, "data_valid": slave.data_valid,
+            "dfs": slave.data_from_slave, "ack": slave.ack,
+            "resp_valid": slave.resp_valid,
+        }
+
+    def _fsm_helpers(self) -> Dict[str, object]:
+        return {"h_complete": self._complete, "h_finish": self._finish}
+
+    def _fsm_consts(self) -> Dict[str, int]:
+        return {**super()._fsm_consts(), "MAXB": self.MAX_BURST_WORDS}
+
+    def _fsm_external_states(self) -> tuple:
+        return ("request",)  # entered by _begin()
+
+    def _fsm_protocol_states(self) -> Dict[str, tuple]:
+        """The FCB opcode protocol as FSM IR (request / wait_ack / next_beat).
+
+        The machine is parked (``Active(False)``) from each request or beat
+        presentation until ACK / RESP_VALID wakes it; burst beats drop
+        DATA_VALID for one delimiting cycle between acknowledges, exactly as
+        the hand-written machine does.
+        """
+        return {
+            "wait_ack": (
+                If(
+                    "m._active_write",
+                    (
+                        If(
+                            "ack._value",
+                            (
+                                Exec("m._word_index += 1"),
+                                If(
+                                    "m._word_index < m._active_total",
+                                    (
+                                        # Delimit consecutive burst beats.
+                                        Schedule("data_valid", "0"),
+                                        Goto("next_beat"),
+                                    ),
+                                    orelse=(Call("h_finish", args="m.active"),),
+                                ),
+                                Active("True"),
+                            ),
+                        ),
+                    ),
+                    orelse=(
+                        If(
+                            "resp_valid._value",
+                            (
+                                Exec("m.active.results.append(dfs._value)"),
+                                Exec("m._word_index += 1"),
+                                If(
+                                    "m._word_index >= m._active_total",
+                                    (Call("h_finish", args="m.active"),),
+                                ),
+                                Active("True"),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+            "request": (
+                # REQ strobes for one cycle (kernel-cleared pulse).
+                Pulse("req"),
+                Schedule("is_write", "1 if m._active_write else 0"),
+                Schedule("func_sel", "m.active.address"),
+                Schedule("burst_len", "min(m._active_total, MAXB)"),
+                If(
+                    "m._active_write",
+                    (
+                        Schedule("d2s", "m.active.data[0]"),
+                        Schedule("data_valid", "1"),
+                    ),
+                ),
+                Goto("wait_ack"),
+                Active("False"),
+            ),
+            "next_beat": (
+                Schedule("d2s", "m.active.data[m._word_index]"),
+                Schedule("data_valid", "1"),
+                Goto("wait_ack"),
+                Active("False"),
+            ),
+        }
 
     def _begin(self, transaction: BusTransaction) -> None:
         if transaction.kind.is_dma:

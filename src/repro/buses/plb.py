@@ -18,10 +18,30 @@ shared, arbitrated processor bus) and supports three transfer styles:
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional
 
 from repro.buses.base import BusMaster, BusTransaction, SlaveBundle, TransactionKind
+from repro.rtl.fsm import (
+    Active,
+    Call,
+    Exec,
+    Goto,
+    If,
+    Pulse,
+    Redispatch,
+    Schedule,
+    ScheduleZero,
+)
+from repro.buses.base import DMA_KINDS as _DMA_KINDS, WRITE_KINDS as _WRITE_KINDS
 from repro.rtl.signal import Signal, schedule_zero
+
+#: Transfer styles that stream beats back-to-back without re-arbitration.
+_STREAMING_KINDS = (
+    TransactionKind.BURST_READ,
+    TransactionKind.BURST_WRITE,
+    TransactionKind.DMA_READ,
+    TransactionKind.DMA_WRITE,
+)
 
 
 class PLBSlaveBundle(SlaveBundle):
@@ -73,8 +93,14 @@ class PLBMaster(BusMaster):
     #: Number of control transactions needed to set up / tear down DMA.
     DMA_SETUP_TRANSACTIONS = 4
 
-    def __init__(self, name: str, slave: PLBSlaveBundle, base_address: int = 0) -> None:
-        super().__init__(name, slave)
+    def __init__(
+        self,
+        name: str,
+        slave: PLBSlaveBundle,
+        base_address: int = 0,
+        fsm_backend: Optional[str] = None,
+    ) -> None:
+        super().__init__(name, slave, fsm_backend=fsm_backend)
         self.base_address = base_address
         self._phase = "idle"
         self._delay = 0
@@ -90,10 +116,150 @@ class PLBMaster(BusMaster):
             slave.rd_req, slave.wr_req, slave.rd_ce, slave.wr_ce,
             slave.be, slave.data_to_slave,
         )
+        self._register_tick()
 
     def _wake_signals(self):
         # A parked PLB master resumes only when the peripheral acknowledges.
         return [self.slave.wr_ack, self.slave.rd_ack]
+
+    # -- FSM IR ----------------------------------------------------------------
+
+    def _fsm_signals(self) -> Dict[str, object]:
+        slave = self.slave
+        return {
+            "wr_req": slave.wr_req, "rd_req": slave.rd_req,
+            "wr_ce": slave.wr_ce, "rd_ce": slave.rd_ce, "be": slave.be,
+            "d2s": slave.data_to_slave, "dfs": slave.data_from_slave,
+            "wr_ack": slave.wr_ack, "rd_ack": slave.rd_ack,
+        }
+
+    def _fsm_groups(self) -> Dict[str, tuple]:
+        return {"req_group": self._request_signals}
+
+    def _fsm_helpers(self) -> Dict[str, object]:
+        return {"h_complete": self._complete, "h_slot_for": self._slot_for}
+
+    def _fsm_consts(self) -> Dict[str, int]:
+        slave = self.slave
+        return {
+            **super()._fsm_consts(),
+            "BASEADDR": self.base_address,
+            "WORDB": slave.data_width // 8,
+            "NSLOTS": slave.num_slots,
+            "BEMASK": (1 << (slave.data_width // 8)) - 1,
+        }
+
+    def _fsm_external_states(self) -> tuple:
+        # _begin() enters arbitration (or the DMA control-transaction
+        # countdown) from Python when a transaction starts.
+        return ("arbitrate", "dma_setup")
+
+    def _fsm_protocol_states(self) -> Dict[str, tuple]:
+        """The PLB request/acknowledge protocol as FSM IR.
+
+        States are declared hottest-first (a transaction spends most cycles
+        waiting for an acknowledge).  The per-beat advance (``_after_beat``)
+        is fully inline: streaming beats keep the enables and present the
+        next word; single-word semantics re-arbitrate per beat.
+        """
+        after_beat = (
+            Exec("tot = len(m.active.data) if m._active_write else m.active.word_count"),
+            If(
+                "m._word_index < tot",
+                (
+                    If(
+                        "m._active_streaming",
+                        (
+                            # Back-to-back beat: keep the enables, present
+                            # the next word; parked until the acknowledge.
+                            If(
+                                "m._active_write",
+                                (
+                                    Schedule("d2s", "m.active.data[m._word_index]"),
+                                    Pulse("wr_req"),
+                                ),
+                                orelse=(Pulse("rd_req"),),
+                            ),
+                            Goto("wait_ack"),
+                            Active("False"),
+                        ),
+                        orelse=(
+                            # Single-word semantics: re-arbitrate per beat.
+                            ScheduleZero("req_group"),
+                            Exec("m._delay = ARB"),
+                            Goto("arbitrate"),
+                            Active("True"),
+                        ),
+                    ),
+                ),
+                orelse=(
+                    ScheduleZero("req_group"),
+                    Exec("m._delay = RECOV"),
+                    Goto("recover"),
+                    Active("True"),
+                ),
+            ),
+        )
+        request = (
+            Exec("txn = m.active"),
+            Exec("slot = (txn.address - BASEADDR) // WORDB"),
+            If(
+                "not (0 <= slot < NSLOTS)",
+                # Out-of-range decode: the retained helper raises with the
+                # full diagnostic.
+                (Call("h_slot_for", args="txn.address"),),
+            ),
+            Schedule("be", "BEMASK"),
+            If(
+                "m._active_write",
+                (
+                    # REQ strobes for a single cycle (pulse); CE/BE/DATA hold.
+                    Pulse("wr_req"),
+                    Schedule("wr_ce", "1 << slot"),
+                    Schedule("d2s", "txn.data[m._word_index]"),
+                ),
+                orelse=(
+                    Pulse("rd_req"),
+                    Schedule("rd_ce", "1 << slot"),
+                ),
+            ),
+            Goto("wait_ack"),
+            Active("False"),
+        )
+        return {
+            "wait_ack": (
+                If(
+                    "m._active_write",
+                    (
+                        If(
+                            "wr_ack._value",
+                            (Exec("m._word_index += 1"), *after_beat),
+                        ),
+                    ),
+                    orelse=(
+                        If(
+                            "rd_ack._value",
+                            (
+                                Exec("m.active.results.append(dfs._value)"),
+                                Exec("m._word_index += 1"),
+                                *after_beat,
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+            "arbitrate": self._fsm_countdown((Goto("request"), Redispatch())),
+            "dma_setup": self._fsm_countdown((Goto("request"), Redispatch())),
+            "request": request,
+            "recover": self._fsm_countdown(
+                (
+                    ScheduleZero("req_group"),
+                    Call("h_complete", args="m.active"),
+                    Goto("idle"),
+                    Active("True"),
+                )
+            ),
+        }
 
     # -- helpers ---------------------------------------------------------------
 
@@ -115,14 +281,9 @@ class PLBMaster(BusMaster):
     def _begin(self, transaction: BusTransaction) -> None:
         self._word_index = 0
         kind = transaction.kind
-        self._active_write = kind.is_write
-        self._active_streaming = kind in (
-            TransactionKind.BURST_READ,
-            TransactionKind.BURST_WRITE,
-            TransactionKind.DMA_READ,
-            TransactionKind.DMA_WRITE,
-        )
-        if kind.is_dma:
+        self._active_write = kind in _WRITE_KINDS
+        self._active_streaming = kind in _STREAMING_KINDS
+        if kind in _DMA_KINDS:
             self._phase = "dma_setup"
             self._delay = self.DMA_SETUP_TRANSACTIONS * self.DMA_SETUP_TRANSACTION_CYCLES
         else:

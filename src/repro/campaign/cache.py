@@ -26,6 +26,7 @@ from typing import Dict, Optional, Tuple
 
 import repro
 from repro.campaign.spec import CampaignCell
+from repro.rtl.fsm import fsm_ir_fingerprint
 
 
 @lru_cache(maxsize=1)
@@ -60,6 +61,11 @@ def cell_digest(cell: CampaignCell) -> str:
         "cell": cell.describe(),
         "inputs": [list(s) for s in cell.generate_inputs()],
         "kernel": kernel_fingerprint(),
+        # The FSM IR fingerprint is folded in explicitly (not just via the
+        # source hash above): measurements depend on the IR's execution
+        # semantics and its lowering, so an IR schema bump invalidates every
+        # cached cell even if a source-tree hash scheme were to change.
+        "fsm_ir": fsm_ir_fingerprint(),
     }
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode()).hexdigest()

@@ -211,6 +211,32 @@ def _generate(args) -> int:
     return 0
 
 
+def _print_fsm_attribution(simulator) -> None:
+    """Per-machine cycle attribution (compiled kernel only).
+
+    Names where the per-cycle budget goes instead of leaving it to guesses:
+    one row per clocked machine with the cycles it actually ran (``active``)
+    versus the cycles the wait-state gate elided it, plus whether the
+    machine executes inline in the generated loop (``lowered``) or as a
+    Python call.
+    """
+    process_profile = getattr(simulator, "process_profile", None)
+    if process_profile is None:
+        return
+    records = sorted(process_profile(), key=lambda r: -r["active"])
+    cycles = simulator.stats.cycles or 1
+    print(f"\nPer-FSM attribution over {simulator.stats.cycles} cycles "
+          f"(active = cycles the machine ran, elided = skipped while parked):")
+    width = max([len(r["label"]) for r in records] + [7])
+    print(f"  {'machine':<{width}}  {'kind':<7}  {'active':>8}  {'elided':>8}  active%")
+    for record in records:
+        share = 100.0 * record["active"] / cycles
+        print(
+            f"  {record['label']:<{width}}  {record['kind']:<7}  "
+            f"{record['active']:>8}  {record['elided']:>8}  {share:6.1f}%"
+        )
+
+
 def _profile(args) -> int:
     """``splice profile``: cProfile a scenario run, print top-N hotspots."""
     import cProfile
@@ -220,6 +246,7 @@ def _profile(args) -> int:
     from repro.evaluation.scenarios import SCENARIOS
 
     profiler = cProfile.Profile()
+    simulator = None
     if args.spec in known_labels():
         scenario = next((s for s in SCENARIOS if s.number == args.scenario), None)
         if scenario is None:
@@ -227,6 +254,9 @@ def _profile(args) -> int:
             print(f"splice: unknown scenario {args.scenario} (known: {numbers})", file=sys.stderr)
             return 2
         runner = build_runner(args.spec, kernel=args.kernel)
+        simulator = getattr(runner, "simulator", None)
+        if simulator is None:
+            simulator = runner.system.simulator
         sets = scenario.generate_inputs()
         runner.run_scenario(sets)  # warm up: elaboration/compile stays out of the profile
         cycles = 0
@@ -257,6 +287,7 @@ def _profile(args) -> int:
             return 1
         cycles = max(1, args.cycles)
         system.run(1)  # warm up (first step compiles on the compiled kernel)
+        simulator = system.simulator
         profiler.enable()
         system.run(cycles)
         profiler.disable()
@@ -265,6 +296,7 @@ def _profile(args) -> int:
     print(f"Profile of {subject} on the {args.kernel} kernel, by {args.sort} time:")
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.sort_stats(args.sort).print_stats(max(1, args.top))
+    _print_fsm_attribution(simulator)
     return 0
 
 

@@ -10,9 +10,23 @@ requests and drives ``CALC_DONE``.
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.core.params import FuncParams, IOParams, ModuleParams
+from repro.rtl.fsm import (
+    Active,
+    BoundFsm,
+    Call,
+    Exec,
+    FsmSpec,
+    If,
+    Pulse,
+    Schedule,
+    Sleep,
+    StateDispatch,
+    resolve_backend,
+)
 from repro.rtl.module import Module
 from repro.rtl.signal import mask_for_width
 from repro.sis.signals import SISBundle, SISFunctionPort
@@ -42,6 +56,7 @@ class FunctionStub(Module):
         calc_latency: int = 1,
         strictly_synchronous: bool = False,
         instance_index: int = 0,
+        fsm_backend: Optional[str] = None,
     ) -> None:
         suffix = f"_{instance_index}" if func.nmbr_instances > 1 else ""
         super().__init__(f"func_{func.func_name}{suffix}")
@@ -80,11 +95,184 @@ class FunctionStub(Module):
         # Declaring the ICOB's complete SIS-side input set opts it into the
         # compiled kernel's wait-state elision: an idle stub (sitting in an
         # input/trigger/output wait state with stable inputs) is skipped
-        # entirely, and ``_icob``'s return value reports when it must keep
+        # entirely, and the machine's return value reports when it must keep
         # running regardless (mid-calculation, strobes to deassert, ...).
-        self.clocked(
-            self._icob,
-            sensitive_to=[sis.rst, sis.io_enable, sis.func_id, sis.data_in, sis.data_in_valid],
+        sensitivity = [sis.rst, sis.io_enable, sis.func_id, sis.data_in, sis.data_in_valid]
+        if resolve_backend(fsm_backend) == "ir":
+            self.fsm = BoundFsm(
+                self._fsm_spec(),
+                self,
+                signals={
+                    "s_rst": sis.rst, "s_ioe": sis.io_enable,
+                    "s_fid": sis.func_id, "s_din": sis.data_in,
+                    "s_div": sis.data_in_valid,
+                    "p_cd": port.calc_done, "p_do": port.data_out,
+                    "p_dov": port.data_out_valid, "p_iod": port.io_done,
+                },
+                helpers={
+                    "h_reset_full": self._reset_full,
+                    "h_reset_soft": self._reset_soft,
+                    "h_finish_input": self._finish_input,
+                    "h_enter_calc": self._enter_calc,
+                    "h_run_calc": self._run_calc,
+                },
+                consts={"MYID": self.my_func_id},
+            )
+            self.clocked(self.fsm.tick, sensitive_to=sensitivity)
+        else:
+            self.clocked(self._icob, sensitive_to=sensitivity)
+
+    # -- the ICOB as FSM IR ---------------------------------------------------
+
+    def _fsm_spec(self) -> FsmSpec:
+        """The ICOB as FSM IR: this stub's declared states, transliterated."""
+        return self._fsm_spec_for(tuple(self._states), self.strictly_synchronous)
+
+    @staticmethod
+    @functools.lru_cache(maxsize=None)
+    def _fsm_spec_for(state_names: tuple, strict: bool) -> FsmSpec:
+        """Build (and cache, per state-list shape) the ICOB machine.
+
+        Every ``IN_<io>`` state shares one body (the per-state beat count is
+        cached in ``_state_beats`` by ``_enter_state``); the calculation
+        countdown is a :class:`Sleep` park expressed against the simulator
+        cycle; the boundary work — beat reassembly, the user behaviour call,
+        activation resets — stays in the retained helpers.  States are
+        entered both by IR transitions and by the helpers
+        (``_enter_state``/``_enter_calc``), so all are declared external.
+        """
+        entry: List[object] = []
+        if strict:
+            # The strictly synchronous *held* DATA_OUT_VALID must drop when
+            # the ICOB leaves its output state abnormally (reset mid-read).
+            entry.append(
+                If(
+                    "m._state != 'OUT_RESULT' and m._state != 'OUT_STATUS'",
+                    (
+                        If(
+                            "p_dov._value or p_dov._next is not None",
+                            (Schedule("p_dov", "0"), Active("True")),
+                        ),
+                    ),
+                )
+            )
+        entry.append(
+            If(
+                "s_rst._value",
+                (
+                    Call("h_reset_full"),
+                    Schedule("p_cd", "0", capture=True),
+                ),
+                orelse=(
+                    If(
+                        "s_ioe._value and s_fid._value == MYID",
+                        (
+                            Exec("nreq = 1; wbeat = s_div._value"),
+                            If("not wbeat", (Exec("m._pending_read = True"),)),
+                            Active("True"),
+                        ),
+                        orelse=(Exec("nreq = 0; wbeat = 0"),),
+                    ),
+                    StateDispatch(),
+                ),
+            )
+        )
+
+        input_body = (
+            If(
+                "wbeat",
+                (
+                    Exec("m._beat_buffer.append(s_din._value)"),
+                    Pulse("p_iod"),
+                    If(
+                        "len(m._beat_buffer) >= m._state_beats",
+                        (Call("h_finish_input"),),
+                    ),
+                    Active("True"),
+                ),
+            ),
+        )
+        serve_tail: tuple = (
+            (Schedule("p_cd", "0"), Schedule("p_dov", "0"), Call("h_reset_soft"))
+            if strict
+            else (Schedule("p_cd", "0"), Call("h_reset_soft"))
+        )
+        output_body = (
+            # Steady wait-for-read state: re-asserting through schedule()
+            # keeps quiescent cycles quiescent (nothing pending, no report).
+            Schedule("p_cd", "1", capture=True),
+            *(
+                (
+                    Schedule("p_do", "m._output_words[m._out_index]", capture=True),
+                    Schedule("p_dov", "1", capture=True),
+                )
+                if strict
+                else ()
+            ),
+            If(
+                "m._pending_read",
+                (
+                    Exec("m._pending_read = False"),
+                    Schedule("p_do", "m._output_words[m._out_index]"),
+                    *(
+                        (Schedule("p_dov", "1"),)
+                        if strict
+                        # Pseudo-asynchronous read: DATA_OUT_VALID rises with
+                        # IO_DONE for exactly one cycle (Figure 4.3).
+                        else (Pulse("p_dov"),)
+                    ),
+                    Pulse("p_iod"),
+                    Exec("m._out_index += 1"),
+                    If(
+                        "m._out_index >= len(m._output_words)",
+                        serve_tail,
+                    ),
+                    Active("True"),
+                ),
+            ),
+        )
+        states: Dict[str, tuple] = {}
+        for state in state_names:
+            if state.startswith("IN_"):
+                states[state] = input_body
+            elif state == "TRIGGER":
+                states[state] = (
+                    If(
+                        "nreq",
+                        (
+                            If("wbeat", (Pulse("p_iod"),)),
+                            Call("h_enter_calc"),
+                            Active("True"),
+                        ),
+                    ),
+                )
+            elif state == "CALC":
+                states[state] = (
+                    If(
+                        "CYCLE < m._calc_until",
+                        (Sleep("m._calc_until - CYCLE"),),
+                        orelse=(Call("h_run_calc"), Active("True")),
+                    ),
+                )
+            else:  # OUT_RESULT / OUT_STATUS
+                states[state] = output_body
+        return FsmSpec(
+            name="icob",
+            entry=tuple(entry),
+            states=states,
+            initial=state_names[0],
+            state_attr="_state",
+            external_states=state_names,
+            signals=(
+                "s_rst", "s_ioe", "s_fid", "s_din", "s_div",
+                "p_cd", "p_do", "p_dov", "p_iod",
+            ),
+            helpers=(
+                "h_reset_full", "h_reset_soft", "h_finish_input",
+                "h_enter_calc", "h_run_calc",
+            ),
+            consts=("MYID",),
+            temps=("nreq", "wbeat"),
         )
 
     # -- state construction ----------------------------------------------------
@@ -260,14 +448,18 @@ class FunctionStub(Module):
     def _handle_input_state(self, write_beat: bool) -> bool:
         if not write_beat:
             return False
-        io = self._state_io
         self._beat_buffer.append(self.sis.data_in._value)
         self.port.io_done.pulse(1)
         if len(self._beat_buffer) >= self._state_beats:
-            self._captured[io.io_name] = self._assemble_input(io, self._beat_buffer)
-            self._beat_buffer = []
-            self._advance_after_input(io)
+            self._finish_input()
         return True
+
+    def _finish_input(self) -> None:
+        """Reassemble the completed input and advance (shared IR helper)."""
+        io = self._state_io
+        self._captured[io.io_name] = self._assemble_input(io, self._beat_buffer)
+        self._beat_buffer = []
+        self._advance_after_input(io)
 
     def _advance_after_input(self, io: IOParams) -> None:
         next_state = self._states[self._state_pos + 1]
@@ -313,6 +505,13 @@ class FunctionStub(Module):
                 sim.wake_after(self._icob, remaining)
                 return False
             return True
+        self._run_calc()
+        return True
+
+    def _run_calc(self) -> None:
+        """Invoke the user behaviour and enter the output stage (shared
+        between the retained Python path and the FSM IR, whose CALC state
+        expresses only the countdown)."""
         result = self.behavior(**{name: value for name, value in self._captured.items()})
         self.call_log.append(dict(self._captured))
         self.activations += 1
@@ -329,7 +528,6 @@ class FunctionStub(Module):
             # return to their first input state.
             self.port.calc_done.next = 1
             self._reset_activation(full=False)
-        return True
 
     def _handle_output_state(self) -> bool:
         # The steady wait-for-read state re-asserts its outputs through
@@ -360,6 +558,14 @@ class FunctionStub(Module):
         return True
 
     # -- lifecycle -----------------------------------------------------------------
+
+    def _reset_full(self) -> None:
+        """IR helper: full reset (SIS reset asserted)."""
+        self._reset_activation(full=True)
+
+    def _reset_soft(self) -> None:
+        """IR helper: return to the first input state after an activation."""
+        self._reset_activation(full=False)
 
     def _reset_activation(self, *, full: bool) -> None:
         if full:

@@ -22,14 +22,28 @@ come purely from the interface logic — exactly the paper's methodology.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.buses.base import BusTransaction, TransactionKind, TransactionOp
 from repro.buses.fcb import FCBMaster, FCBSlaveBundle
 from repro.buses.plb import PLBMaster, PLBSlaveBundle
 from repro.core.generation.ir import EntityIR, EntityKind, PortDirection
 from repro.devices.interpolator import CALCULATION_LATENCY, interpolate_fixed_point
+from repro.rtl.fsm import (
+    Active,
+    BoundFsm,
+    Call,
+    Exec,
+    FsmSpec,
+    Goto,
+    If,
+    Pulse,
+    Schedule,
+    StateDispatch,
+    resolve_backend,
+)
 from repro.rtl.module import Module
 from repro.rtl.simulator import Simulator
 from repro.soc.cpu import ProcessorModel
@@ -45,6 +59,17 @@ _BASE_ADDRESS = 0x80030000
 _NUM_SLOTS = 8
 
 
+def _complete_interpolation(device) -> None:
+    """Finish a baseline's calculation: both hand-coded devices share the
+    identical completion bookkeeping (shared by both FSM backends too)."""
+    device.result = interpolate_fixed_point(
+        device.sets[SLOT_SET1], device.sets[SLOT_SET2], device.sets[SLOT_SET3]
+    )
+    device.calc_done = True
+    device._calculating = False
+    device.activations += 1
+
+
 class NaivePLBInterpolator(Module):
     """The naïve hand-coded PLB interpolator slave."""
 
@@ -54,7 +79,13 @@ class NaivePLBInterpolator(Module):
     WRITE_WAIT_STATES = 4
     READ_WAIT_STATES = 3
 
-    def __init__(self, name: str, plb: PLBSlaveBundle, calc_latency: int = CALCULATION_LATENCY) -> None:
+    def __init__(
+        self,
+        name: str,
+        plb: PLBSlaveBundle,
+        calc_latency: int = CALCULATION_LATENCY,
+        fsm_backend: Optional[str] = None,
+    ) -> None:
         super().__init__(name)
         self.plb = plb
         self.calc_latency = calc_latency
@@ -69,12 +100,161 @@ class NaivePLBInterpolator(Module):
         self._pending_slot = 0
         self._pending_data = 0
         self.activations = 0
-        self.clocked(
-            self._tick,
-            sensitive_to=[
-                plb.rst, plb.wr_req, plb.wr_ce, plb.rd_req, plb.rd_ce, plb.data_to_slave,
-            ],
+        sensitivity = [
+            plb.rst, plb.wr_req, plb.wr_ce, plb.rd_req, plb.rd_ce, plb.data_to_slave,
+        ]
+        if resolve_backend(fsm_backend) == "ir":
+            self.fsm = BoundFsm(
+                self._fsm_spec(),
+                self,
+                signals={
+                    "prst": plb.rst, "wr_req": plb.wr_req, "wr_ce": plb.wr_ce,
+                    "rd_req": plb.rd_req, "rd_ce": plb.rd_ce,
+                    "d2s": plb.data_to_slave, "dfs": plb.data_from_slave,
+                    "wr_ack": plb.wr_ack, "rd_ack": plb.rd_ack,
+                },
+                helpers={
+                    "h_reset_state": self._reset_state,
+                    "h_finish_calc": self._finish_calc,
+                    "h_store_word": self._store_word,
+                    "h_clear_inputs": self._clear_inputs,
+                },
+                consts={
+                    "WWAIT": self.WRITE_WAIT_STATES,
+                    "RWAIT": self.READ_WAIT_STATES,
+                    "STATUS": SLOT_STATUS,
+                    "RESULT": SLOT_RESULT,
+                },
+            )
+            self.clocked(self.fsm.tick, sensitive_to=sensitivity)
+        else:
+            self.clocked(self._tick, sensitive_to=sensitivity)
+
+    @staticmethod
+    @functools.lru_cache(maxsize=None)
+    def _fsm_spec() -> FsmSpec:
+        """The first-attempt hand-coded slave as FSM IR.
+
+        The calculation countdown is an entry overlay (it runs regardless of
+        the bus state, as in the hand-written tick); the decode wait states
+        count down a cycle at a time — deliberately *not* a timed-wake park,
+        because modelling the naïve design's always-busy decode FSM is the
+        point of this baseline.
+        """
+        return FsmSpec(
+            name="naive_plb_interp",
+            entry=(
+                If(
+                    "prst._value",
+                    (Call("h_reset_state"),),
+                    orelse=(
+                        If(
+                            "m._calculating",
+                            (
+                                Exec("m._calc_counter += 1"),
+                                If(
+                                    "m._calc_counter >= m.calc_latency",
+                                    (Call("h_finish_calc"),),
+                                ),
+                                Active("True"),
+                            ),
+                        ),
+                        StateDispatch(),
+                    ),
+                ),
+            ),
+            states={
+                "idle": (
+                    If(
+                        "wr_req._value and wr_ce._value",
+                        (
+                            Exec("m._pending_slot = wr_ce._value.bit_length() - 1"),
+                            Exec("m._pending_data = d2s._value"),
+                            Exec("m._delay = WWAIT"),
+                            Goto("write_decode"),
+                            Active("True"),
+                        ),
+                        orelse=(
+                            If(
+                                "rd_req._value and rd_ce._value",
+                                (
+                                    Exec("m._pending_slot = rd_ce._value.bit_length() - 1"),
+                                    Exec("m._delay = RWAIT"),
+                                    Goto("read_decode"),
+                                    Active("True"),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+                # Decode/wait states count down or respond every cycle
+                # regardless of input changes, so they always report activity.
+                "write_decode": (
+                    If(
+                        "m._delay > 0",
+                        (Exec("m._delay -= 1"),),
+                        orelse=(
+                            Call("h_store_word", args="m._pending_slot, m._pending_data"),
+                            Pulse("wr_ack"),
+                            Goto("idle"),
+                        ),
+                    ),
+                    Active("True"),
+                ),
+                "read_decode": (
+                    If(
+                        "m._delay > 0",
+                        (Exec("m._delay -= 1"),),
+                        orelse=(
+                            If(
+                                "m._pending_slot == STATUS",
+                                (
+                                    Schedule("dfs", "1 if m.calc_done else 0"),
+                                    Pulse("rd_ack"),
+                                    Goto("idle"),
+                                ),
+                                orelse=(
+                                    If(
+                                        "m._pending_slot == RESULT",
+                                        (
+                                            If(
+                                                "m.calc_done",
+                                                (
+                                                    Schedule("dfs", "m.result & 0xFFFFFFFF"),
+                                                    Pulse("rd_ack"),
+                                                    Exec("m.calc_done = False"),
+                                                    Call("h_clear_inputs"),
+                                                    Goto("idle"),
+                                                ),
+                                                # otherwise: hold the bus
+                                                # (pseudo-asynchronous wait).
+                                            ),
+                                        ),
+                                        orelse=(
+                                            Schedule("dfs", "0"),
+                                            Pulse("rd_ack"),
+                                            Goto("idle"),
+                                        ),
+                                    ),
+                                ),
+                            ),
+                        ),
+                    ),
+                    Active("True"),
+                ),
+            },
+            initial="idle",
+            state_attr="_state",
+            signals=(
+                "prst", "wr_req", "wr_ce", "rd_req", "rd_ce", "d2s", "dfs",
+                "wr_ack", "rd_ack",
+            ),
+            helpers=("h_reset_state", "h_finish_calc", "h_store_word", "h_clear_inputs"),
+            consts=("WWAIT", "RWAIT", "STATUS", "RESULT"),
         )
+
+    def _finish_calc(self) -> None:
+        _complete_interpolation(self)
 
     def _tick(self) -> bool:
         plb = self.plb
@@ -88,12 +268,7 @@ class NaivePLBInterpolator(Module):
         if self._calculating:
             self._calc_counter += 1
             if self._calc_counter >= self.calc_latency:
-                self.result = interpolate_fixed_point(
-                    self.sets[SLOT_SET1], self.sets[SLOT_SET2], self.sets[SLOT_SET3]
-                )
-                self.calc_done = True
-                self._calculating = False
-                self.activations += 1
+                self._finish_calc()
             active = True
 
         if self._state == "idle":
@@ -185,7 +360,13 @@ class NaivePLBInterpolator(Module):
 class OptimizedFCBInterpolator(Module):
     """The hand-tuned FCB interpolator slave (acknowledges beats back-to-back)."""
 
-    def __init__(self, name: str, fcb: FCBSlaveBundle, calc_latency: int = CALCULATION_LATENCY) -> None:
+    def __init__(
+        self,
+        name: str,
+        fcb: FCBSlaveBundle,
+        calc_latency: int = CALCULATION_LATENCY,
+        fsm_backend: Optional[str] = None,
+    ) -> None:
         super().__init__(name)
         self.fcb = fcb
         self.calc_latency = calc_latency
@@ -200,13 +381,150 @@ class OptimizedFCBInterpolator(Module):
         self._beat_seen = True
         self._decode_wait = 0
         self.activations = 0
-        self.clocked(
-            self._tick,
-            sensitive_to=[
-                fcb.rst, fcb.req, fcb.func_sel, fcb.is_write,
-                fcb.data_valid, fcb.data_to_slave,
-            ],
+        sensitivity = [
+            fcb.rst, fcb.req, fcb.func_sel, fcb.is_write,
+            fcb.data_valid, fcb.data_to_slave,
+        ]
+        if resolve_backend(fsm_backend) == "ir":
+            self.fsm = BoundFsm(
+                self._fsm_spec(),
+                self,
+                signals={
+                    "prst": fcb.rst, "req": fcb.req, "func_sel": fcb.func_sel,
+                    "is_write": fcb.is_write, "data_valid": fcb.data_valid,
+                    "d2s": fcb.data_to_slave, "dfs": fcb.data_from_slave,
+                    "ack": fcb.ack, "resp_valid": fcb.resp_valid,
+                },
+                helpers={
+                    "h_reset_state": self._reset_state,
+                    "h_finish_calc": self._finish_calc,
+                    "h_store_word": self._store_word,
+                    "h_clear_inputs": self._clear_inputs,
+                },
+                consts={"RESULT": SLOT_RESULT},
+            )
+            self.clocked(self.fsm.tick, sensitive_to=sensitivity)
+        else:
+            self.clocked(self._tick, sensitive_to=sensitivity)
+
+    @staticmethod
+    @functools.lru_cache(maxsize=None)
+    def _fsm_spec() -> FsmSpec:
+        """The hand-tuned co-processor slave as FSM IR.
+
+        This design is flag-driven rather than phase-driven (the hallmark of
+        hand-tuned RTL), so the IR is a single dispatch state whose body
+        mirrors the write/read flag logic, with the calculation countdown
+        and request capture as entry overlays.
+        """
+        return FsmSpec(
+            name="optimized_fcb_interp",
+            entry=(
+                If(
+                    "prst._value",
+                    (Call("h_reset_state"),),
+                    orelse=(
+                        If(
+                            "m._calculating",
+                            (
+                                Exec("m._calc_counter += 1"),
+                                If(
+                                    "m._calc_counter >= m.calc_latency",
+                                    (Call("h_finish_calc"),),
+                                ),
+                                Active("True"),
+                            ),
+                        ),
+                        If(
+                            "req._value",
+                            (
+                                Exec("m._target_slot = func_sel._value"),
+                                Exec("m._is_write = bool(is_write._value)"),
+                                Exec("m._beat_seen = False"),
+                                Active("True"),
+                            ),
+                        ),
+                        StateDispatch(),
+                    ),
+                ),
+            ),
+            states={
+                "main": (
+                    If(
+                        "m._is_write",
+                        (
+                            # Register the beat, decode the target set, ack
+                            # two cycles later — fast, but not free.
+                            If(
+                                "data_valid._value and not m._beat_seen",
+                                (
+                                    If(
+                                        "m._decode_wait < 3",
+                                        (Exec("m._decode_wait += 1"), Active("True")),
+                                        orelse=(
+                                            Exec("m._decode_wait = 0"),
+                                            Call(
+                                                "h_store_word",
+                                                args="m._target_slot, d2s._value",
+                                            ),
+                                            Pulse("ack"),
+                                            Exec("m._beat_seen = True"),
+                                            Active("True"),
+                                        ),
+                                    ),
+                                ),
+                                orelse=(
+                                    If(
+                                        "not data_valid._value",
+                                        # Idempotent while the bus is quiet.
+                                        (Exec("m._beat_seen = False"),),
+                                    ),
+                                ),
+                            ),
+                        ),
+                        orelse=(
+                            If(
+                                "m._target_slot and not m._beat_seen",
+                                (
+                                    If(
+                                        "m._target_slot == RESULT and not m.calc_done",
+                                        # Hold the port until the result is
+                                        # ready; the countdown keeps us active.
+                                        (Active("True"),),
+                                        orelse=(
+                                            If(
+                                                "m._target_slot == RESULT",
+                                                (
+                                                    Schedule("dfs", "m.result & 0xFFFFFFFF"),
+                                                    Exec("m.calc_done = False"),
+                                                    Call("h_clear_inputs"),
+                                                ),
+                                                orelse=(
+                                                    Schedule("dfs", "1 if m.calc_done else 0"),
+                                                ),
+                                            ),
+                                            Pulse("resp_valid"),
+                                            Exec("m._beat_seen = True"),
+                                            Active("True"),
+                                        ),
+                                    ),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            },
+            state_attr="_fsm_state",
+            signals=(
+                "prst", "req", "func_sel", "is_write", "data_valid",
+                "d2s", "dfs", "ack", "resp_valid",
+            ),
+            helpers=("h_reset_state", "h_finish_calc", "h_store_word", "h_clear_inputs"),
+            consts=("RESULT",),
         )
+
+    def _finish_calc(self) -> None:
+        _complete_interpolation(self)
 
     def _tick(self) -> bool:
         fcb = self.fcb
@@ -220,12 +538,7 @@ class OptimizedFCBInterpolator(Module):
         if self._calculating:
             self._calc_counter += 1
             if self._calc_counter >= self.calc_latency:
-                self.result = interpolate_fixed_point(
-                    self.sets[SLOT_SET1], self.sets[SLOT_SET2], self.sets[SLOT_SET3]
-                )
-                self.calc_done = True
-                self._calculating = False
-                self.activations += 1
+                self._finish_calc()
             active = True
 
         if fcb.req.value:

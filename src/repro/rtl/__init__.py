@@ -30,7 +30,16 @@ from repro.rtl.compile import (
     CompiledSimulator,
 )
 from repro.rtl.module import Module
-from repro.rtl.fsm import FSM
+from repro.rtl.fsm import (
+    FSM,
+    BoundFsm,
+    FsmError,
+    FsmSpec,
+    current_backend,
+    detect_drive_conflicts,
+    fsm_ir_fingerprint,
+    use_backend,
+)
 from repro.rtl.trace import Trace, TraceRecorder
 
 #: Kernel name -> simulator factory, as exposed by ``--kernel`` everywhere.
@@ -67,6 +76,13 @@ __all__ = [
     "SimulationError",
     "Module",
     "FSM",
+    "BoundFsm",
+    "FsmError",
+    "FsmSpec",
+    "current_backend",
+    "detect_drive_conflicts",
+    "fsm_ir_fingerprint",
+    "use_backend",
     "Trace",
     "TraceRecorder",
     "KERNELS",

@@ -198,6 +198,12 @@ class CompiledDesign:
     source: str = ""
     #: Number of monitors inlined into the generated loop (vs. called).
     fused_monitors: int = 0
+    #: Number of clocked FSM machines lowered inline (vs. called).
+    fused_clocked: int = 0
+    #: Number of combinational FSM machines lowered into the settle sweep.
+    fused_comb: int = 0
+    #: FSM IR fingerprints of every lowered machine, in registration order.
+    fsm_fingerprints: Tuple[str, ...] = ()
     #: Content digest of the frozen design (compiler fingerprint included).
     digest: str = ""
     #: Whether this freeze reused a persistent program-cache entry.
@@ -286,6 +292,12 @@ class CompiledSimulator(Simulator):
         #: Optional :class:`CompiledProgramCache` reused across freezes.
         self.program_cache = program_cache
         self.design: Optional[CompiledDesign] = None
+        # Per-clocked-process run counters (gated processes only; always-run
+        # processes execute every cycle by construction).  Flushed from
+        # generated-loop locals in the finally block; basis of the per-FSM
+        # attribution in ``splice profile``.
+        self._proc_runs: List[int] = []
+        self._fused_labels: Dict[int, str] = {}
 
     # -- registration (every mutation invalidates the compiled program) -----
 
@@ -480,6 +492,44 @@ class CompiledSimulator(Simulator):
             fused += 1
         return entry, body, exit_, namespace, fused
 
+    def _fsm_blocks(
+        self, gated: Sequence[int]
+    ) -> Tuple[Dict[int, dict], Dict[int, dict]]:
+        """Collect the lowered form of every FSM-IR machine in the design.
+
+        A clocked process that is a bound method of an object implementing
+        ``emit_compiled_clocked(prefix)`` (a :class:`repro.rtl.fsm.BoundFsm`)
+        and that declared its sensitivity (``add_clocked(...,
+        sensitive_to=[...])``) is *lowered*: the machine's dispatch chain,
+        guarded transitions and signal ops are inlined into the generated
+        loop under its wake gate, with the state register held in a function
+        local across cycles.  Combinational processes whose owner implements
+        ``emit_compiled_comb(prefix)`` are likewise inlined into the
+        rank-ordered settle sweep.  Everything else keeps its plain call.
+        """
+        gated_set = set(gated)
+        fused_clocked: Dict[int, dict] = {}
+        for cid, (proc, _) in enumerate(self._clocked_decls):
+            if cid not in gated_set:
+                continue
+            owner = getattr(proc, "__self__", None)
+            hook = getattr(owner, "emit_compiled_clocked", None)
+            # Lower only the machine's canonical tick: a different registered
+            # callable of the same machine (e.g. the interpreter oracle) must
+            # keep running as a plain call, or its timed wakes would be keyed
+            # to a process the kernel never registered.
+            if hook is not None and proc is getattr(owner, "tick", None):
+                fused_clocked[cid] = hook(f"f{cid}")
+        fused_comb: Dict[int, dict] = {}
+        for pid, (proc, sense, driven) in enumerate(self._comb_decls):
+            if sense is None or driven is None:
+                continue
+            owner = getattr(proc, "__self__", None)
+            hook = getattr(owner, "emit_compiled_comb", None)
+            if hook is not None and proc is getattr(owner, "tick", None):
+                fused_comb[pid] = hook(f"g{pid}")
+        return fused_clocked, fused_comb
+
     def _design_digest(self, monitor_text: str) -> str:
         """Content address of the frozen design's codegen-relevant topology.
 
@@ -543,16 +593,28 @@ class CompiledSimulator(Simulator):
         mon_entry, mon_body, mon_exit, mon_namespace, fused_monitors = self._monitor_blocks(
             n_comb, len(gated)
         )
+        fused_clocked, fused_comb = self._fsm_blocks(gated)
+        self._fused_labels = {
+            cid: spec["label"] for cid, spec in fused_clocked.items()
+        }
+        self._proc_runs = [0] * len(self._clocked)
 
         # Persistent program cache: identical topology -> reuse levelization
-        # and generated source, skipping Kahn's algorithm and codegen.
+        # and generated source, skipping Kahn's algorithm and codegen.  The
+        # hook text covers the monitors *and* every lowered FSM machine, so
+        # a change to any machine's IR changes the digest.
         digest = ""
         cached = None
         cache = self.program_cache
         if cache is not None:
-            monitor_text = hashlib.sha256(
-                "\n".join(mon_entry + mon_body + mon_exit).encode()
-            ).hexdigest()
+            hook_lines = list(mon_entry) + list(mon_body) + list(mon_exit)
+            for spec in fused_clocked.values():
+                hook_lines += spec["entry"] + spec["body"] + spec["exit"]
+                hook_lines.append(spec["fingerprint"])
+            for spec in fused_comb.values():
+                hook_lines += spec["body"]
+                hook_lines.append(spec["fingerprint"])
+            monitor_text = hashlib.sha256("\n".join(hook_lines).encode()).hexdigest()
             digest = self._design_digest(monitor_text)
             cached = cache.get(digest)
 
@@ -563,7 +625,8 @@ class CompiledSimulator(Simulator):
         else:
             order, ranks = self._levelize()
             source = self._codegen(
-                order, gated, always, n_comb, mon_entry, mon_body, mon_exit
+                order, gated, always, n_comb, mon_entry, mon_body, mon_exit,
+                fused_clocked, fused_comb,
             )
             if cache is not None:
                 cache.put(digest, source, order, ranks)
@@ -582,6 +645,10 @@ class CompiledSimulator(Simulator):
         for mid, proc in enumerate(self._monitors):
             namespace[f"m{mid}"] = proc
         namespace.update(mon_namespace)
+        for spec in fused_clocked.values():
+            namespace.update(spec["namespace"])
+        for spec in fused_comb.values():
+            namespace.update(spec["namespace"])
         exec(compile(source, "<compiled-kernel>", "exec"), namespace)
         self._step_fn = namespace["step"]  # type: ignore[assignment]
         self._settle_fn = namespace["settle_once"]  # type: ignore[assignment]
@@ -597,6 +664,12 @@ class CompiledSimulator(Simulator):
             always_clocked=len(always),
             source=source,
             fused_monitors=fused_monitors,
+            fused_clocked=len(fused_clocked),
+            fused_comb=len(fused_comb),
+            fsm_fingerprints=tuple(
+                spec["fingerprint"]
+                for spec in list(fused_clocked.values()) + list(fused_comb.values())
+            ),
             digest=digest,
             program_cache_hit=cached is not None,
         )
@@ -616,6 +689,8 @@ class CompiledSimulator(Simulator):
         mon_entry: Sequence[str] = (),
         mon_body: Sequence[str] = (),
         mon_exit: Sequence[str] = (),
+        fused_clocked: Optional[Dict[int, dict]] = None,
+        fused_comb: Optional[Dict[int, dict]] = None,
     ) -> str:
         """Emit the fused step loop (and wait loops) for the frozen design.
 
@@ -626,10 +701,17 @@ class CompiledSimulator(Simulator):
         the lowered form of :class:`~repro.rtl.simulator.WaitCondition`).
         The wait loops check the signal's committed slot between cycles, so a
         whole driver-call wait executes inside one generated-function call.
+
+        ``fused_clocked`` / ``fused_comb`` carry the lowered FSM-IR machines
+        (see :meth:`_fsm_blocks`): their bodies replace the ``c<cid>()`` /
+        ``p<pid>()`` calls outright, with binding hoists in the entry block
+        and state-register writebacks in the exit block.
         """
         comb_all = self._comb_all
         gated_bit = {cid: 1 << pos for pos, cid in enumerate(gated)}
         always_set = set(always)
+        fused_clocked = fused_clocked or {}
+        fused_comb = fused_comb or {}
 
         clocked_lines: List[str] = []
         for cid in range(len(self._clocked)):
@@ -646,8 +728,21 @@ class CompiledSimulator(Simulator):
                     clocked_lines.append(f"            run |= s._events >> {n_comb}")
             else:
                 clocked_lines.append(f"            if run & {gated_bit[cid]}:")
-                clocked_lines.append(f"                _clk += 1")
-                clocked_lines.append(f"                if c{cid}(): nact |= {gated_bit[cid]}")
+                clocked_lines.append(f"                _clk += 1; _pr{cid} += 1")
+                spec = fused_clocked.get(cid)
+                if spec is None:
+                    clocked_lines.append(
+                        f"                if c{cid}(): nact |= {gated_bit[cid]}"
+                    )
+                else:
+                    # Lowered machine: the dispatch chain runs inline; no
+                    # per-cycle Python call remains for this process.
+                    clocked_lines.extend(
+                        "                " + line for line in spec["body"]
+                    )
+                    clocked_lines.append(
+                        f"                if {spec['act']}: nact |= {gated_bit[cid]}"
+                    )
                 clocked_lines.append(f"                run |= s._events >> {n_comb}")
         clocked_block = "\n".join(clocked_lines) or "            pass"
 
@@ -661,7 +756,12 @@ class CompiledSimulator(Simulator):
             lines: List[str] = [f"{indent}_ran = 0"]
             for pid in order:
                 lines.append(f"{indent}if s._events & {1 << pid}:")
-                lines.append(f"{indent}    p{pid}(); _comb += 1; _ran |= {1 << pid}")
+                spec = fused_comb.get(pid)
+                if spec is None:
+                    lines.append(f"{indent}    p{pid}(); _comb += 1; _ran |= {1 << pid}")
+                else:
+                    lines.extend(f"{indent}    " + line for line in spec["body"])
+                    lines.append(f"{indent}    _comb += 1; _ran |= {1 << pid}")
             lines.append(f"{indent}_late = s._events & {comb_all} & ~_ran")
             lines.append(f"{indent}if _late:")
             lines.append(f"{indent}    s._declaration_violation(_late)")
@@ -669,10 +769,22 @@ class CompiledSimulator(Simulator):
 
         monitor_lines = ["            " + line for line in mon_body]
         monitor_block = "\n".join(monitor_lines) or "            pass"
-        entry_block = "\n".join("    " + line for line in mon_entry)
+        entry_lines = list(mon_entry)
+        exit_lines: List[str] = []
+        for cid, spec in sorted(fused_clocked.items()):
+            entry_lines.extend(spec["entry"])
+            exit_lines.extend(spec["exit"])
+        if gated:
+            entry_lines.append(
+                " = ".join(f"_pr{cid}" for cid in gated) + " = 0"
+            )
+            for cid in gated:
+                exit_lines.append(f"s._proc_runs[{cid}] += _pr{cid}")
+        exit_lines.extend(mon_exit)
+        entry_block = "\n".join("    " + line for line in entry_lines)
         if entry_block:
             entry_block += "\n"
-        exit_block = "\n".join("        " + line for line in mon_exit)
+        exit_block = "\n".join("        " + line for line in exit_lines)
         if exit_block:
             exit_block += "\n"
 
@@ -814,6 +926,45 @@ def settle_once():
             f"can run the design in the meantime)."
         )
 
+    # -- per-FSM attribution --------------------------------------------------
+
+    def process_profile(self) -> List[dict]:
+        """Per-machine cycle attribution for the current run.
+
+        Returns one record per clocked process, in registration order:
+        ``label`` (the lowered machine's owner/spec name, or the process
+        qualname), ``kind`` (``"lowered"`` for inlined FSM-IR machines,
+        ``"called"`` otherwise), ``active`` (cycles on which the machine
+        actually ran), and ``elided`` (cycles the wait-state gate skipped
+        it).  Always-run processes execute every cycle by construction.
+        This is what names the next bottleneck instead of guessing at it:
+        a machine with a high active count is where the per-cycle budget
+        goes.
+        """
+        self._ensure_compiled()
+        cycles = self.stats.cycles
+        gated_set = set(self.design.gated_clocked)
+        records = []
+        for cid, proc in enumerate(self._clocked):
+            label = self._fused_labels.get(cid)
+            kind = "lowered" if label is not None else "called"
+            if label is None:
+                owner = getattr(proc, "__self__", None)
+                label = getattr(
+                    owner, "profile_label", None
+                ) or getattr(proc, "__qualname__", repr(proc))
+            active = self._proc_runs[cid] if cid in gated_set else cycles
+            records.append(
+                {
+                    "label": label,
+                    "kind": kind,
+                    "gated": cid in gated_set,
+                    "active": active,
+                    "elided": max(0, cycles - active),
+                }
+            )
+        return records
+
     # -- execution -----------------------------------------------------------
 
     def settle(self) -> int:
@@ -861,6 +1012,7 @@ def settle_once():
         self._next_timed = _NEVER
         self._events = self._comb_all | (self._gated_all << len(self._comb_decls))
         self._active = 0
+        self._proc_runs = [0] * len(self._clocked)
         self.settle()
         self.cycle = 0
         self.stats.reset()
