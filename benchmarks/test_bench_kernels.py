@@ -30,6 +30,7 @@ import os
 import platform
 import time
 from pathlib import Path
+from typing import Dict
 
 from conftest import record_history
 
@@ -61,21 +62,31 @@ def _timer_rate(kernel: str) -> float:
     return cycles / (time.perf_counter() - start)
 
 
-def _fig91_rate(kernel: str, bus: str, sets) -> float:
-    device = build_splice_interpolator(
-        f"splice_{bus}", simulator_factory=KERNELS[kernel], record_transactions=False
-    )
-    device.run_scenario(sets)  # warm-up: first-call elaboration/compile
-    repeats = _FIG91_REPEATS[kernel]
-    best = 0.0
-    for _ in range(5):  # best-of-5 damps scheduler noise on shared runners
-        cycles = 0
-        start = time.perf_counter()
-        for _ in range(repeats):
-            cycles += device.run_scenario(sets)["cycles"]
-        elapsed = time.perf_counter() - start
-        if elapsed > 0:
-            best = max(best, cycles / elapsed)
+def _fig91_rates(bus: str, sets) -> Dict[str, float]:
+    """Best-of-5 cycles/s per kernel on ``bus``, measured interleaved.
+
+    The kernels rotate within each round rather than each being timed in
+    its own contiguous block: host-speed drift (thermal, noisy neighbours
+    on shared runners) then hits every kernel's rounds alike, so the
+    *ratios* the gates check stay stable even when absolute rates swing.
+    """
+    devices = {}
+    for kernel in KERNELS:
+        device = build_splice_interpolator(
+            f"splice_{bus}", simulator_factory=KERNELS[kernel], record_transactions=False
+        )
+        device.run_scenario(sets)  # warm-up: first-call elaboration/compile
+        devices[kernel] = device
+    best = {kernel: 0.0 for kernel in KERNELS}
+    for _ in range(5):
+        for kernel, device in devices.items():
+            cycles = 0
+            start = time.perf_counter()
+            for _ in range(_FIG91_REPEATS[kernel]):
+                cycles += device.run_scenario(sets)["cycles"]
+            elapsed = time.perf_counter() - start
+            if elapsed > 0:
+                best[kernel] = max(best[kernel], cycles / elapsed)
     return best
 
 
@@ -85,7 +96,10 @@ def test_kernel_throughput_matrix(benchmark, once):
         scenario = next(s for s in SCENARIOS if s.number == 2)
         sets = scenario.generate_inputs()
         fig91 = {
-            bus: {kernel: round(_fig91_rate(kernel, bus, sets), 1) for kernel in KERNELS}
+            bus: {
+                kernel: round(rate, 1)
+                for kernel, rate in _fig91_rates(bus, sets).items()
+            }
             for bus in _FIG91_BUSES
         }
         return {"timer_cycles_per_s": timer, "fig91_scenario2_cycles_per_s": fig91}
@@ -110,6 +124,11 @@ def test_kernel_throughput_matrix(benchmark, once):
         ),
         "fig91_repeats": dict(_FIG91_REPEATS),
     }
+    # Preserve the idle-workload row owned by test_bench_idle.py.
+    try:
+        record["idle"] = json.loads(_BENCH_PATH.read_text())["idle"]
+    except (OSError, ValueError, KeyError):
+        pass
     _BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
     print(f"\nBENCH_kernels.json: {json.dumps(record, indent=2)}")
     record_history(

@@ -78,6 +78,13 @@ def _add_generate_arguments(parser: argparse.ArgumentParser) -> None:
         "scheduler (default), the snapshot-based reference oracle, or the "
         "levelized compiled kernel",
     )
+    parser.add_argument(
+        "--no-leap",
+        action="store_true",
+        help="disable the compiled kernel's cycle-leaping fast path "
+        "(debugging aid: idle spans are executed cycle by cycle; "
+        "only meaningful with --kernel compiled)",
+    )
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -157,6 +164,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument("--kernel", choices=_KERNEL_CHOICES, default=DEFAULT_KERNEL,
                          help=f"simulation kernel to profile (default: {DEFAULT_KERNEL})")
+    profile.add_argument("--no-leap", action="store_true",
+                         help="disable the compiled kernel's cycle-leaping fast path "
+                         "(only meaningful with --kernel compiled)")
     profile.add_argument("--scenario", type=int, default=2, metavar="N",
                          help="Figure 9.1 scenario number for registry labels (default: 2)")
     profile.add_argument("--repeat", type=int, default=20, metavar="R",
@@ -175,7 +185,7 @@ def _simulate(args) -> int:
     from repro.soc.system import build_system
 
     source = Path(args.spec).read_text()
-    system = build_system(source, kernel=args.kernel)
+    system = build_system(source, kernel=args.kernel, leap=not args.no_leap)
     system.run(max(0, args.simulate))
     print(f"Simulated {system.cycles} bus cycles with the {args.kernel} kernel:")
     print(system.stats.report())
@@ -216,24 +226,29 @@ def _print_fsm_attribution(simulator) -> None:
 
     Names where the per-cycle budget goes instead of leaving it to guesses:
     one row per clocked machine with the cycles it actually ran (``active``)
-    versus the cycles the wait-state gate elided it, plus whether the
-    machine executes inline in the generated loop (``lowered``) or as a
-    Python call.
+    versus the cycles the wait-state gate elided it and the cycles the
+    kernel leaped over outright (every machine parked — no per-cycle work at
+    all), plus whether the machine executes inline in the generated loop
+    (``lowered``) or as a Python call.
     """
     process_profile = getattr(simulator, "process_profile", None)
     if process_profile is None:
         return
     records = sorted(process_profile(), key=lambda r: -r["active"])
     cycles = simulator.stats.cycles or 1
-    print(f"\nPer-FSM attribution over {simulator.stats.cycles} cycles "
-          f"(active = cycles the machine ran, elided = skipped while parked):")
+    leaped = simulator.stats.leaped_cycles
+    print(f"\nPer-FSM attribution over {simulator.stats.cycles} cycles, "
+          f"{leaped} of them leaped (active = cycles the machine ran, "
+          f"elided = skipped while parked, leaped = whole-kernel skips):")
     width = max([len(r["label"]) for r in records] + [7])
-    print(f"  {'machine':<{width}}  {'kind':<7}  {'active':>8}  {'elided':>8}  active%")
+    print(f"  {'machine':<{width}}  {'kind':<7}  {'active':>8}  {'elided':>8}  "
+          f"{'leaped':>8}  active%")
     for record in records:
         share = 100.0 * record["active"] / cycles
         print(
             f"  {record['label']:<{width}}  {record['kind']:<7}  "
-            f"{record['active']:>8}  {record['elided']:>8}  {share:6.1f}%"
+            f"{record['active']:>8}  {record['elided']:>8}  "
+            f"{record.get('leaped', 0):>8}  {share:6.1f}%"
         )
 
 
@@ -253,7 +268,7 @@ def _profile(args) -> int:
             numbers = sorted(s.number for s in SCENARIOS)
             print(f"splice: unknown scenario {args.scenario} (known: {numbers})", file=sys.stderr)
             return 2
-        runner = build_runner(args.spec, kernel=args.kernel)
+        runner = build_runner(args.spec, kernel=args.kernel, leap=not args.no_leap)
         simulator = getattr(runner, "simulator", None)
         if simulator is None:
             simulator = runner.system.simulator
@@ -281,7 +296,7 @@ def _profile(args) -> int:
             )
             return 2
         try:
-            system = build_system(source, kernel=args.kernel)
+            system = build_system(source, kernel=args.kernel, leap=not args.no_leap)
         except SpliceError as exc:
             print(f"splice: {exc}", file=sys.stderr)
             return 1

@@ -56,7 +56,7 @@ def _accepts_keyword(builder: Callable[..., object], name: str) -> bool:
     )
 
 
-def build_runner(label: str, kernel: str = DEFAULT_KERNEL):
+def build_runner(label: str, kernel: str = DEFAULT_KERNEL, leap: bool = True):
     """Elaborate a fresh system for ``label`` on ``kernel`` and return it.
 
     The returned object exposes ``run_scenario(sets)``; building is the
@@ -65,7 +65,9 @@ def build_runner(label: str, kernel: str = DEFAULT_KERNEL):
     Campaign cells only consume the (result, cycles, transactions) outcome,
     so builders that understand ``record_transactions`` are asked not to
     retain per-transaction objects — a runner reused across thousands of
-    cells must not grow memory per call.
+    cells must not grow memory per call.  ``leap=False`` disables the
+    compiled kernel's cycle-leaping fast path (see
+    :func:`repro.rtl.kernel_factory`).
     """
     try:
         builder = _BUILDERS[label]
@@ -77,7 +79,7 @@ def build_runner(label: str, kernel: str = DEFAULT_KERNEL):
     if _accepts_keyword(builder, "record_transactions"):
         kwargs["record_transactions"] = False
     if _accepts_keyword(builder, "simulator_factory"):
-        return builder(simulator_factory=kernel_factory(kernel), **kwargs)
+        return builder(simulator_factory=kernel_factory(kernel, leap=leap), **kwargs)
     if kernel != DEFAULT_KERNEL:
         raise TypeError(
             f"builder for {label!r} does not accept simulator_factory; "

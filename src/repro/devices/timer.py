@@ -44,7 +44,18 @@ STATUS_FIRED_BIT = 1
 
 
 class HardwareTimerCore(Module):
-    """The counter process of Figure 8.6, ticking once per bus clock cycle."""
+    """The counter process of Figure 8.6, ticking once per bus clock cycle.
+
+    The count is *cycle-derived*: instead of incrementing an attribute once
+    per executed clocked run, the core remembers the last cycle it
+    synchronised at (``_synced``) and derives ``value``/``fire_count`` from
+    the elapsed simulator cycles on demand.  The externally observable
+    behaviour is identical on every kernel (the Figure 8.5 command handlers
+    synchronise before they read or write), but the clocked process itself
+    is a no-op registered with an empty sensitivity list — so the compiled
+    kernel can elide it on every cycle and *cycle-leap* over idle countdown
+    spans instead of executing them one by one.
+    """
 
     def __init__(self, name: str = "timer_core", clock_rate_hz: int = 100_000_000) -> None:
         super().__init__(name)
@@ -54,41 +65,78 @@ class HardwareTimerCore(Module):
         self.value = 0
         self.fired = False
         self.fire_count = 0
-        self.clocked(self._count)
+        # Cycle the counter state is valid for; -1 until first attached run.
+        self._synced = 0
+        # An empty sensitivity list opts into wait-state elision with no
+        # wake inputs: on the compiled kernel the process never runs again
+        # after its first (quiescent) invocation.  Scan kernels run it every
+        # cycle; it must therefore stay cheap and idempotent.
+        self.clocked(self._count, sensitive_to=[])
 
-    def _count(self) -> None:
+    def _now(self) -> int:
+        """The cycle the counter must be synchronised to from inside a run.
+
+        Clocked processes observe the state *before* the current cycle's
+        edge: within cycle N (``sim.cycle == N``) the counter has absorbed
+        edges 1..N, and the edge of cycle N itself lands when cycle N
+        executes — i.e. becomes visible at ``sim.cycle == N+1``.  Command
+        handlers run from generated stubs during cycle N, before this
+        module's ``_count`` (registered last), and must see exactly N edges.
+        """
+        simulator = self._simulator
+        return simulator.cycle if simulator is not None else self._synced
+
+    def _sync(self, now: int) -> None:
+        """Absorb all clock edges up to cycle ``now`` into the counter state."""
+        elapsed = now - self._synced
+        if elapsed <= 0:
+            if elapsed < 0:
+                self._synced = now  # cycle counter rewound (reset)
+            return
+        self._synced = now
         if not self.enabled or self.threshold == 0:
             return
-        if self.value + 1 >= self.threshold:
-            self.value = 0
+        total = self.value + elapsed
+        if total >= self.threshold:
             self.fired = True
-            self.fire_count += 1
+            self.fire_count += total // self.threshold
+            self.value = total % self.threshold
         else:
-            self.value += 1
+            self.value = total
+
+    def _count(self) -> bool:
+        self._sync(self._now())
+        return False  # nothing to do until software looks at the counter
 
     # -- the Figure 8.5 command handlers -------------------------------------------
 
     def op_enable(self) -> None:
+        self._sync(self._now())
         self.enabled = True
 
     def op_disable(self) -> None:
+        self._sync(self._now())
         self.enabled = False
 
     def op_set_threshold(self, threshold: int) -> None:
+        self._sync(self._now())
         self.threshold = int(threshold)
         self.value = 0
         self.fired = False
 
     def op_get_threshold(self) -> int:
+        self._sync(self._now())
         return self.threshold
 
     def op_get_snapshot(self) -> int:
+        self._sync(self._now())
         return self.value
 
     def op_get_clock(self) -> int:
         return self.clock_rate_hz
 
     def op_get_status(self) -> int:
+        self._sync(self._now())
         status = (1 << STATUS_ENABLED_BIT) if self.enabled else 0
         if self.fired:
             status |= 1 << STATUS_FIRED_BIT

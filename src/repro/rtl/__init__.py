@@ -15,6 +15,8 @@ paper describes — all four target buses (PLB, OPB, FCB, APB) are synchronous
 interfaces clocked from a single bus clock.
 """
 
+from functools import partial
+
 from repro.rtl.signal import Signal, mask_for_width, truncate
 from repro.rtl.simulator import (
     ReferenceSimulator,
@@ -53,14 +55,23 @@ KERNELS = {
 DEFAULT_KERNEL = "event"
 
 
-def kernel_factory(name: str):
-    """Resolve a kernel name to its simulator factory."""
+def kernel_factory(name: str, leap: bool = True):
+    """Resolve a kernel name to its simulator factory.
+
+    ``leap=False`` disables the compiled kernel's cycle-leaping fast path
+    (the ``--no-leap`` debugging aid): idle spans are then executed cycle by
+    cycle exactly as before the leap optimisation.  The flag has no effect
+    on the scan kernels, which execute every cycle regardless.
+    """
     try:
-        return KERNELS[name]
+        factory = KERNELS[name]
     except KeyError:
         raise ValueError(
             f"unknown simulation kernel {name!r} (known: {sorted(KERNELS)})"
         ) from None
+    if not leap and name == "compiled":
+        return partial(factory, leap=False)
+    return factory
 
 
 __all__ = [

@@ -73,6 +73,13 @@ The testbench side of a simulation lives inside the same generated loop:
 * **Timed wakes** — gated clocked processes in pure countdowns call
   :meth:`wake_after` and sleep; the loop pays one integer compare per cycle
   against the earliest pending wake.
+* **Cycle leaping** — when every machine is parked (no pending commits,
+  events, wakes or active machines) and every monitor is provably quiet,
+  the generated loop jumps the cycle counter straight to the next timed
+  wake (clamped to the call's horizon) instead of iterating: idle spans
+  cost O(1) regardless of length.  Constructor flag ``leap=False`` (CLI:
+  ``--no-leap``) disables the fast path for debugging; designs with
+  always-run clocked processes or unannotated monitors never leap.
 * **Persistent programs** — levelization + generated source are cached on
   disk (:class:`CompiledProgramCache`, ``SPLICE_COMPILE_CACHE``), keyed by
   a digest of the design topology and this compiler's own fingerprint, so
@@ -208,6 +215,9 @@ class CompiledDesign:
     digest: str = ""
     #: Whether this freeze reused a persistent program-cache entry.
     program_cache_hit: bool = False
+    #: Whether the generated loops include the cycle-leap fast path (the
+    #: kernel's ``leap`` flag AND the design's static eligibility).
+    leap: bool = False
 
 
 def _find_cycle_path(
@@ -265,6 +275,7 @@ class CompiledSimulator(Simulator):
         self,
         max_settle_iterations: int = 64,
         program_cache: Optional[object] = None,
+        leap: bool = True,
     ) -> None:
         super().__init__(max_settle_iterations=max_settle_iterations)
         self._sched: List[Signal] = []
@@ -274,11 +285,26 @@ class CompiledSimulator(Simulator):
         self._events = 0
         self._active = 0
         # Timed wakes: (target sim-cycle, seq, process) heap + cached minimum,
-        # so the generated loop pays one integer compare per cycle.
+        # so the generated loop pays one integer compare per cycle.  The
+        # per-process target map deduplicates re-arms: only the earliest live
+        # target per process counts; superseded heap entries are tombstones
+        # that _pop_timed discards.
         self._timed: List[tuple] = []
         self._timed_seq = 0
         self._next_timed = _NEVER
+        self._timed_target: Dict[Process, int] = {}
         self._gated_bits: Dict[Process, int] = {}
+        #: Whether cycle leaping may be generated (the design must also be
+        #: eligible: no always-run clocked processes and no monitor the
+        #: kernel cannot prove quiet-cycle-safe — see ``_build``).
+        self._leap = bool(leap)
+        # Minimum countdown at which a lowered Sleep op parks the machine via
+        # wake_after (read by the FSM lowering at runtime).  Short waits stay
+        # active on purpose, leap or no leap: a couple of inlined runs are
+        # cheaper than the heap traffic of parking, and a 2-3 cycle span is
+        # not worth leaping anyway.  Only spans longer than this can engage
+        # the cycle-leaping fast path.
+        self._sleep_threshold = 3
         self._comb_all = 0
         self._gated_all = 0
         self._step_fn: Optional[Callable[[int], None]] = None
@@ -342,20 +368,45 @@ class CompiledSimulator(Simulator):
         a declared-input change).  See ``Simulator.wake_after`` for the
         contract; here the request is honoured, letting countdown states
         (bus arbitration, bridge latency, calculation latency) sleep through
-        the wait instead of decrementing a counter every cycle."""
-        target = self.cycle + int(cycles)
+        the wait instead of decrementing a counter every cycle.
+
+        ``cycles`` is clamped to at least 1 ("wake next cycle"): a zero- or
+        negative-cycle request would target the cycle currently executing,
+        whose wake pops have already been drained by the fused loop.
+
+        Requests are deduplicated per process: re-arming with a target no
+        earlier than one already pending is dropped outright (being woken
+        early is always contract-safe, and the pending entry covers it), so
+        a machine that re-arms every run cannot grow the heap without bound.
+        Re-arming *earlier* pushes a new entry and tombstones the old one,
+        which :meth:`_pop_timed` discards when it surfaces.
+        """
+        target = self.cycle + max(1, int(cycles))
+        armed = self._timed_target.get(process)
+        if armed is not None and armed <= target:
+            return
+        self._timed_target[process] = target
         heappush(self._timed, (target, self._timed_seq, process))
         self._timed_seq += 1
         if target < self._next_timed:
             self._next_timed = target
 
     def _pop_timed(self, cycle: int) -> int:
-        """Collect the wake bits of every timed request due at ``cycle``."""
+        """Collect the wake bits of every timed request due at ``cycle``.
+
+        Heap entries whose target no longer matches the process's live
+        target are tombstones (the process re-armed earlier, or its live
+        entry already fired) and are discarded without setting a wake bit.
+        """
         mask = 0
         heap = self._timed
         bits = self._gated_bits
+        targets = self._timed_target
         while heap and heap[0][0] <= cycle:
-            mask |= bits.get(heappop(heap)[2], 0)
+            target, _, proc = heappop(heap)
+            if targets.get(proc) == target:
+                del targets[proc]
+                mask |= bits.get(proc, 0)
         self._next_timed = heap[0][0] if heap else _NEVER
         return mask
 
@@ -444,7 +495,7 @@ class CompiledSimulator(Simulator):
 
     def _monitor_blocks(
         self, n_comb: int, n_gated: int
-    ) -> Tuple[List[str], List[str], List[str], Dict[str, object], int]:
+    ) -> Tuple[List[str], List[str], List[str], Dict[str, object], int, dict]:
         """Collect the per-cycle monitor code for the generated loop.
 
         A monitor whose process is a bound method of an object implementing
@@ -460,19 +511,38 @@ class CompiledSimulator(Simulator):
         Order of registration is preserved either way.
 
         Returns (entry_lines, per_cycle_lines, exit_lines, namespace,
-        fused_count); monitor event-mask bits are assigned as a side effect.
+        fused_count, leap_info); monitor event-mask bits are assigned as a
+        side effect.  ``leap_info`` describes whether cycle leaping can skip
+        monitor dispatch entirely on quiet cycles:
+
+        * a fused, gated monitor is leap-safe while its ``hot`` expression is
+          false (the same condition under which its per-cycle block is
+          already a proven no-op) — the expression joins the leap guard;
+        * a plain monitor whose owner implements ``observe_leap(n)`` is
+          leap-safe: the hook is called with the leap width so the monitor
+          can account for the skipped cycles (e.g. a trace recorder
+          replicates its last sample — signal values cannot change during a
+          leap);
+        * any other monitor disables leaping for the design (``ok`` False).
         """
         entry: List[str] = []
         body: List[str] = []
         exit_: List[str] = []
         namespace: Dict[str, object] = {}
         fused = 0
+        leap_info = {"ok": True, "hot": [], "calls": []}
         next_bit = n_comb + n_gated
         for mid, proc in enumerate(self._monitors):
             owner = getattr(proc, "__self__", None)
             hook = getattr(owner, "emit_compiled_monitor", None)
             if hook is None:
                 body.append(f"m{mid}()")
+                leap_hook = getattr(owner, "observe_leap", None)
+                if leap_hook is not None:
+                    namespace[f"mlp{mid}"] = leap_hook
+                    leap_info["calls"].append(f"mlp{mid}")
+                else:
+                    leap_info["ok"] = False
                 continue
             spec = hook(f"mon{mid}")
             entry.extend(spec["entry"])
@@ -487,10 +557,12 @@ class CompiledSimulator(Simulator):
                 hot = spec.get("hot") or "False"
                 body.append(f"if s._events & {bit} or {hot}:")
                 body.extend("    " + line for line in spec["body"])
+                leap_info["hot"].append(hot)
             else:
                 body.extend(spec["body"])
+                leap_info["ok"] = False
             fused += 1
-        return entry, body, exit_, namespace, fused
+        return entry, body, exit_, namespace, fused, leap_info
 
     def _fsm_blocks(
         self, gated: Sequence[int]
@@ -550,6 +622,9 @@ class CompiledSimulator(Simulator):
         parts = [
             _COMPILER_FINGERPRINT,
             f"signals={len(self._signals)}",
+            # Leap is a runtime constructor flag, not covered by the compiler
+            # fingerprint, yet it changes the generated source.
+            f"leap={self._leap}",
         ]
         for pid, (_, sense, driven) in enumerate(self._comb_decls):
             s = ",".join(key(sig) for sig in sense) if sense is not None else "?"
@@ -590,9 +665,13 @@ class CompiledSimulator(Simulator):
         self._comb_all = (1 << n_comb) - 1
         self._gated_all = (1 << len(gated)) - 1
 
-        mon_entry, mon_body, mon_exit, mon_namespace, fused_monitors = self._monitor_blocks(
-            n_comb, len(gated)
+        mon_entry, mon_body, mon_exit, mon_namespace, fused_monitors, leap_info = (
+            self._monitor_blocks(n_comb, len(gated))
         )
+        # Leap eligibility is static per design: an always-run clocked
+        # process must execute every cycle, and every monitor must be
+        # provably quiet-cycle-safe (see _monitor_blocks).
+        leap_static = self._leap and not always and leap_info["ok"]
         fused_clocked, fused_comb = self._fsm_blocks(gated)
         self._fused_labels = {
             cid: spec["label"] for cid, spec in fused_clocked.items()
@@ -608,6 +687,12 @@ class CompiledSimulator(Simulator):
         cache = self.program_cache
         if cache is not None:
             hook_lines = list(mon_entry) + list(mon_body) + list(mon_exit)
+            # Leap eligibility and guard inputs shape the generated source
+            # but are invisible to the declaration topology — hash them too.
+            hook_lines.append(
+                f"leap:{leap_static}:{','.join(leap_info['calls'])}:"
+                f"{'|'.join(leap_info['hot'])}"
+            )
             for spec in fused_clocked.values():
                 hook_lines += spec["entry"] + spec["body"] + spec["exit"]
                 hook_lines.append(spec["fingerprint"])
@@ -627,6 +712,7 @@ class CompiledSimulator(Simulator):
             source = self._codegen(
                 order, gated, always, n_comb, mon_entry, mon_body, mon_exit,
                 fused_clocked, fused_comb,
+                leap_info=leap_info if leap_static else None,
             )
             if cache is not None:
                 cache.put(digest, source, order, ranks)
@@ -672,6 +758,7 @@ class CompiledSimulator(Simulator):
             ),
             digest=digest,
             program_cache_hit=cached is not None,
+            leap=leap_static,
         )
 
         # A fresh freeze behaves like fresh registration on the event kernel:
@@ -691,6 +778,7 @@ class CompiledSimulator(Simulator):
         mon_exit: Sequence[str] = (),
         fused_clocked: Optional[Dict[int, dict]] = None,
         fused_comb: Optional[Dict[int, dict]] = None,
+        leap_info: Optional[dict] = None,
     ) -> str:
         """Emit the fused step loop (and wait loops) for the frozen design.
 
@@ -706,6 +794,19 @@ class CompiledSimulator(Simulator):
         (see :meth:`_fsm_blocks`): their bodies replace the ``c<cid>()`` /
         ``p<pid>()`` calls outright, with binding hoists in the entry block
         and state-register writebacks in the exit block.
+
+        ``leap_info`` (non-``None`` only for leap-eligible designs) adds the
+        *cycle-leap* fast path ahead of the per-cycle body: on a cycle where
+        nothing is scheduled, no events or wakes are pending, and every
+        fused monitor's ``hot`` expression is false, every cycle up to
+        ``min(next timed wake, cycles remaining in this call) - 1`` is
+        provably identical — no process may run, no signal may change, every
+        monitor block is a no-op — so the loop jumps the cycle counter
+        straight to the first cycle on which something can happen.  Leap-safe
+        plain monitors are informed through their ``observe_leap(n)`` hook
+        (``leap_info["calls"]``).  Skipped cycles are counted in
+        ``stats.leaped_cycles`` (and, since they skip settle by definition,
+        in ``stats.fast_path_cycles``).
         """
         comb_all = self._comb_all
         gated_bit = {cid: 1 << pos for pos, cid in enumerate(gated)}
@@ -798,6 +899,45 @@ class CompiledSimulator(Simulator):
         if n_comb == 0:
             settle_branch = "            _fast += 1"
 
+        if leap_info is not None:
+            hot_terms = "".join(f" and not ({hot})" for hot in leap_info["hot"])
+            leap_calls = "".join(
+                f"                    {name}(_skip)\n" for name in leap_info["calls"]
+            )
+            # The guard sits right after the phase prologue.  In the gated
+            # case the event word (`ev`) and wake word (`run`) are already in
+            # function locals there, so a busy cycle rejects the whole check
+            # with a single local truthiness test — the leap fast path costs
+            # active workloads essentially nothing.  `run` also folds in any
+            # wakes just popped for this cycle, so a due wake target vetoes
+            # the leap without a separate clock comparison.
+            if gated:
+                leap_guard = f"if not run and not ev and not sched{hot_terms}:"
+            else:
+                leap_guard = f"if not sched and not s._events{hot_terms}:"
+
+            def leap_block(remaining: str) -> str:
+                # `_skip` is clamped to the cycles left in this call; the
+                # wake-target cycle itself (and everything after) executes
+                # normally.
+                return f"""\
+            {leap_guard}
+                _skip = s._next_timed - cyc
+                _rem = {remaining} - _done
+                if _skip > _rem:
+                    _skip = _rem
+                if _skip > 0:
+                    cyc += _skip
+                    s.cycle = cyc
+                    _done += _skip
+                    _leap += _skip
+                    _fast += _skip
+{leap_calls}                    continue
+"""
+        else:
+            def leap_block(remaining: str) -> str:
+                return ""
+
         has_mon_gates = any(line.startswith("if s._events & ") for line in mon_body)
         if gated:
             phase_prologue = f"""\
@@ -818,9 +958,10 @@ class CompiledSimulator(Simulator):
             )
             phase_epilogue = f"            _clk += {len(always)}"
 
-        cycle_body = f"""\
+        def cycle_body(remaining: str) -> str:
+            return f"""\
 {phase_prologue}
-{clocked_block}
+{leap_block(remaining)}{clocked_block}
 {phase_epilogue}
             if sched:
                 d = s._events
@@ -856,7 +997,8 @@ class CompiledSimulator(Simulator):
         stats.settle_calls += _stl
         stats.settle_iterations += _stl
         stats.comb_activations += _comb
-        stats.fast_path_cycles += _fast"""
+        stats.fast_path_cycles += _fast
+        stats.leaped_cycles += _leap"""
 
         def wait_fn(name: str, keep_waiting: str) -> str:
             return f"""\
@@ -865,12 +1007,12 @@ def {name}(sig, target, limit):
     sched = s._sched
     stats = s.stats
     cyc = s.cycle
-{entry_block}    _clk = _stl = _comb = _fast = _done = 0
+{entry_block}    _clk = _stl = _comb = _fast = _done = _leap = 0
     try:
         while {keep_waiting}:
             if _done >= limit:
                 return -1
-{cycle_body}
+{cycle_body("limit")}
     finally:
 {stats_flush}
     return _done
@@ -882,10 +1024,10 @@ def step(n):
     sched = s._sched
     stats = s.stats
     cyc = s.cycle
-{entry_block}    _clk = _stl = _comb = _fast = _done = 0
+{entry_block}    _clk = _stl = _comb = _fast = _done = _leap = 0
     try:
-        for _ in range(n):
-{cycle_body}
+        while _done < n:
+{cycle_body("n")}
     finally:
 {stats_flush}
 
@@ -935,14 +1077,19 @@ def settle_once():
         ``label`` (the lowered machine's owner/spec name, or the process
         qualname), ``kind`` (``"lowered"`` for inlined FSM-IR machines,
         ``"called"`` otherwise), ``active`` (cycles on which the machine
-        actually ran), and ``elided`` (cycles the wait-state gate skipped
-        it).  Always-run processes execute every cycle by construction.
-        This is what names the next bottleneck instead of guessing at it:
-        a machine with a high active count is where the per-cycle budget
-        goes.
+        actually ran), ``leaped`` (cycles the whole kernel leaped over while
+        every machine was parked — no per-cycle gate check even happened),
+        and ``elided`` (executed cycles the wait-state gate skipped this
+        machine on); ``active + leaped + elided == cycles`` for every gated
+        machine.  Always-run processes execute every *executed* cycle by
+        construction (their presence disables leaping, so for them
+        ``active == cycles``).  This is what names the next bottleneck
+        instead of guessing at it: a machine with a high active count is
+        where the per-cycle budget goes.
         """
         self._ensure_compiled()
         cycles = self.stats.cycles
+        leaped = self.stats.leaped_cycles
         gated_set = set(self.design.gated_clocked)
         records = []
         for cid, proc in enumerate(self._clocked):
@@ -953,14 +1100,15 @@ def settle_once():
                 label = getattr(
                     owner, "profile_label", None
                 ) or getattr(proc, "__qualname__", repr(proc))
-            active = self._proc_runs[cid] if cid in gated_set else cycles
+            active = self._proc_runs[cid] if cid in gated_set else cycles - leaped
             records.append(
                 {
                     "label": label,
                     "kind": kind,
                     "gated": cid in gated_set,
                     "active": active,
-                    "elided": max(0, cycles - active),
+                    "leaped": leaped,
+                    "elided": max(0, cycles - active - leaped),
                 }
             )
         return records
@@ -1003,12 +1151,19 @@ def settle_once():
         monitors are not invoked, and the stats are cleared last.  All
         elidable clocked processes are marked woken, matching the event
         kernel (which runs every clocked process on every cycle anyway).
+        The timed-wake state (heap, per-process targets, cached minimum,
+        sequence counter) is cleared too: the cycle counter rewinds to 0, so
+        a wake requested before the reset would otherwise fire at a bogus
+        cycle — a parked machine is instead woken by the all-woken mark and
+        re-arms itself from the fresh cycle count.
         """
         self._ensure_compiled()
         for sig in self._signals:
             sig.reset()
         del self._sched[:]
         del self._timed[:]
+        self._timed_target.clear()
+        self._timed_seq = 0
         self._next_timed = _NEVER
         self._events = self._comb_all | (self._gated_all << len(self._comb_decls))
         self._active = 0

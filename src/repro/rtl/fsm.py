@@ -919,11 +919,14 @@ class BoundFsm:
                 else:
                     # The compiled kernel always honours timed wakes — park
                     # when the countdown is long enough to pay for the heap
-                    # traffic.  Short waits (arbitration, bridge crossings)
-                    # stay active instead: a couple of extra inlined runs
-                    # are cheaper than wake bookkeeping, and countdowns
-                    # re-check their target either way.
-                    lines.append(indent + f"if {p}_d > 3:")
+                    # traffic.  The break-even point belongs to the kernel:
+                    # with cycle leaping on, parking pays as soon as one
+                    # whole cycle can be skipped (threshold 1); without it,
+                    # short waits (arbitration, bridge crossings) stay
+                    # active because a couple of extra inlined runs are
+                    # cheaper than wake bookkeeping.  Countdowns re-check
+                    # their target either way.
+                    lines.append(indent + f"if {p}_d > s._sleep_threshold:")
                     lines.append(indent + f"    s.wake_after({p}_TICK, {p}_d)")
                 lines.append(indent + f"    {p}_act = False")
                 lines.append(indent + "else:")

@@ -116,6 +116,12 @@ class SimulatorStats:
     because no signal changed during the commit phase.  The reference kernel
     never takes the fast path, so comparing the two objects for the same
     stimulus shows what the event-driven scheduler saved.
+
+    ``leaped_cycles`` counts cycles the compiled kernel's cycle-leaping mode
+    skipped outright (every machine parked, no events pending, monitors
+    quiet): they are included in ``cycles`` but no per-cycle code ran for
+    them.  Scan kernels execute every cycle, so the counter stays 0 there;
+    ``executed_cycles`` is always ``cycles - leaped_cycles``.
     """
 
     cycles: int = 0
@@ -124,6 +130,12 @@ class SimulatorStats:
     comb_activations: int = 0
     clocked_activations: int = 0
     fast_path_cycles: int = 0
+    leaped_cycles: int = 0
+
+    @property
+    def executed_cycles(self) -> int:
+        """Cycles on which per-cycle code actually ran (total minus leaped)."""
+        return self.cycles - self.leaped_cycles
 
     def reset(self) -> None:
         """Zero every counter (done automatically by ``Simulator.reset``)."""
@@ -133,6 +145,7 @@ class SimulatorStats:
         self.comb_activations = 0
         self.clocked_activations = 0
         self.fast_path_cycles = 0
+        self.leaped_cycles = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -142,6 +155,7 @@ class SimulatorStats:
             "comb_activations": self.comb_activations,
             "clocked_activations": self.clocked_activations,
             "fast_path_cycles": self.fast_path_cycles,
+            "leaped_cycles": self.leaped_cycles,
         }
 
     def report(self) -> str:
@@ -284,6 +298,13 @@ class Simulator:
         the request is discarded.  Processes must derive their countdown from
         the simulator cycle (not from run counts), so being run *more* often
         than requested is always safe.
+
+        ``cycles`` is clamped to at least 1 on every kernel: a zero (or
+        negative) request means "wake on the *next* cycle", never "re-run
+        within the current cycle".  A zero-cycle target would name the cycle
+        currently executing, which the wake queue may already have drained —
+        the request could be missed or double-delivered depending on where
+        the pop runs inside the fused loop, so it is defined away.
         """
 
     @property

@@ -63,7 +63,14 @@ class Trace:
 
 
 class TraceRecorder:
-    """Attach to a simulator and record selected signals every cycle."""
+    """Attach to a simulator and record selected signals every cycle.
+
+    Implements the compiled kernel's monitor leap protocol
+    (:meth:`observe_leap`), so recording a trace does not force the kernel
+    to execute idle cycles one by one: a leap replicates the last sample
+    once per skipped cycle, which is exact because no signal can change
+    during a leap.
+    """
 
     def __init__(self, simulator: Simulator, signals: Iterable[Signal]) -> None:
         self._signals: List[Signal] = list(signals)
@@ -72,3 +79,20 @@ class TraceRecorder:
 
     def _sample(self) -> None:
         self.trace.append({s.name: s.value for s in self._signals})
+
+    def observe_leap(self, cycles: int) -> None:
+        """Account for ``cycles`` leaped cycles (compiled kernel only).
+
+        Signal values are frozen for the whole leaped span, so the recording
+        stays bit-identical to sampling each cycle individually.
+        """
+        samples = self.trace.samples
+        if samples:
+            sample = samples[-1]
+        else:
+            # A leap can only follow at least one executed cycle after this
+            # recorder attached (attaching recompiles, and a fresh freeze
+            # marks everything pending), but sample defensively: values are
+            # unchanged during a leap, so reading them now is still exact.
+            sample = {s.name: s.value for s in self._signals}
+        samples.extend([sample] * cycles)

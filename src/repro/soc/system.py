@@ -78,6 +78,7 @@ def build_system(
     kernel: Optional[str] = None,
     simulator_factory: Optional[Callable[[], Simulator]] = None,
     record_transactions: bool = True,
+    leap: bool = True,
 ) -> SpliceSystem:
     """Build a runnable system from a Splice specification string.
 
@@ -85,7 +86,9 @@ def build_system(
     ``"event"``, ``"reference"`` or ``"compiled"`` — see
     :data:`repro.rtl.KERNELS`) or by an explicit ``simulator_factory``
     callable; passing both is an error.  The default is the event-driven
-    :class:`~repro.rtl.simulator.Simulator`.
+    :class:`~repro.rtl.simulator.Simulator`.  ``leap=False`` disables the
+    compiled kernel's cycle-leaping fast path for name-based selection
+    (callers passing ``simulator_factory`` configure the kernel themselves).
 
     ``record_transactions`` controls whether the processor and master retain
     completed :class:`~repro.buses.base.BusTransaction` objects.  Keep it on
@@ -94,7 +97,7 @@ def build_system(
     transaction *counters* keep counting either way).
     """
     if simulator_factory is None:
-        simulator_factory = kernel_factory(kernel or DEFAULT_KERNEL)
+        simulator_factory = kernel_factory(kernel or DEFAULT_KERNEL, leap=leap)
     elif kernel is not None:
         raise ValueError("pass either kernel= or simulator_factory=, not both")
     engine = engine or Splice()

@@ -1,0 +1,291 @@
+"""Cycle-leaping scheduler: O(activity) execution, proven cycle-exact.
+
+The compiled kernel's fourth execution mode jumps the cycle counter over
+spans where nothing can happen — every machine parked or elided, no pending
+commits or events, monitors provably quiet — instead of iterating them.
+These tests prove:
+
+* idle-heavy workloads (timer countdowns, CALC_DONE poll loops, degenerate
+  zero-transaction sweeps) stay bit-identical to the event and reference
+  kernels — full signal traces, transaction outcomes, violation lists, and
+  final cycle counts — while most cycles are leaped;
+* the timed-wake heap underneath the leap decision is sound: per-process
+  deduplication keeps re-arming countdowns from growing the heap, stale
+  (tombstoned) entries never deliver wakes, ``wake_after(proc, 0)`` means
+  "wake next cycle", and ``reset()`` clears the whole timed state.
+"""
+
+import pytest
+
+from test_kernel_equivalence import BASES, _run_differential
+
+from repro.devices.timer import build_timer_system
+from repro.rtl import CompiledSimulator, Simulator, TraceRecorder
+from repro.rtl.compile import _NEVER
+from repro.soc.system import build_system
+
+
+def _assert_leap_accounting(stats):
+    """Leap engaged, and every cycle is either executed or leaped."""
+    compiled = stats["compiled"]
+    assert compiled.leaped_cycles > 0
+    assert compiled.leaped_cycles + compiled.executed_cycles == compiled.cycles
+    # Scan kernels execute every cycle; the counter must stay zero there.
+    assert stats["event"].leaped_cycles == 0
+    assert stats["reference"].leaped_cycles == 0
+    assert stats["event"].executed_cycles == stats["event"].cycles
+
+
+class TestIdleHeavyDifferential:
+    """Leap-mode runs are bit-identical to the non-leaping kernels."""
+
+    def test_timer_countdown_with_sparse_interrupts(self):
+        """Long idle countdown spans, interrupted by occasional status reads."""
+
+        def build(factory):
+            timer = build_timer_system(simulator_factory=factory)
+            timer.simulator = timer.system.simulator
+            return timer
+
+        def stimulus(timer):
+            drivers = timer.drivers
+            drivers["set_threshold"](300)
+            drivers["enable"]()
+            observed = []
+            for _ in range(3):
+                timer.system.run(1_000)  # idle span: nothing but the countdown
+                observed.append(drivers["get_status"]())
+                observed.append(drivers["get_snapshot"]())
+            drivers["disable"]()
+            return (tuple(observed), timer.cycles)
+
+        outcome, stats = _run_differential(build, stimulus)
+        _assert_leap_accounting(stats)
+        # The idle spans dominate: the vast majority of cycles are leaped.
+        compiled = stats["compiled"]
+        assert compiled.leaped_cycles > compiled.cycles // 2
+        # The timer really fired during the leaped spans (3000+ cycles at
+        # threshold 300) and the counts survived the jumps.
+        assert outcome[0][0] & 0b10  # fired bit on the first status read
+
+    def test_calc_done_poll_loop_with_large_calc_latency(self):
+        """The CALC_DONE handshake spans a long calc latency.
+
+        On the PLB the master and adapter park while the user-logic stub
+        counts its calc latency down, so nearly the whole 400-cycle window
+        per call is leaped.  (The APB would not leap here: its master never
+        waits on the peripheral, so the poll loop keeps it active.)
+        """
+        source = BASES["plb"] + "int f(int x);\n"
+
+        def build(factory):
+            return build_system(
+                source,
+                behaviors={"f": lambda x: x * 3 + 1},
+                calc_latencies={"f": 400},
+                simulator_factory=factory,
+            )
+
+        def stimulus(system):
+            values = tuple(system.drivers["f"](x) for x in (5, 11))
+            return (values, system.cycles)
+
+        outcome, stats = _run_differential(build, stimulus)
+        _assert_leap_accounting(stats)
+        assert outcome[0] == (16, 34)
+
+    def test_degenerate_zero_transaction_sweep(self):
+        """A built system left entirely idle leaps essentially everything."""
+        source = BASES["plb"] + "int read_reg(char idx);\n"
+
+        def build(factory):
+            return build_system(
+                source,
+                behaviors={"read_reg": lambda idx: 0},
+                simulator_factory=factory,
+            )
+
+        def stimulus(system):
+            system.run(2_000)
+            return system.cycles
+
+        _, stats = _run_differential(build, stimulus)
+        _assert_leap_accounting(stats)
+        compiled = stats["compiled"]
+        assert compiled.leaped_cycles >= compiled.cycles - 5
+
+    def test_no_leap_kernel_is_identical_but_never_leaps(self):
+        """leap=False runs the same design cycle by cycle, bit-identically."""
+
+        def run(leap):
+            timer = build_timer_system(
+                simulator_factory=lambda: CompiledSimulator(leap=leap)
+            )
+            simulator = timer.system.simulator
+            recorder = TraceRecorder(simulator, simulator.signals)
+            drivers = timer.drivers
+            drivers["set_threshold"](150)
+            drivers["enable"]()
+            timer.system.run(1_200)
+            status = drivers["get_status"]()
+            return recorder.trace.samples, status, timer.cycles, simulator
+
+        leap_samples, leap_status, leap_cycles, leap_sim = run(True)
+        plain_samples, plain_status, plain_cycles, plain_sim = run(False)
+        assert leap_sim.design.leap and not plain_sim.design.leap
+        assert leap_sim.stats.leaped_cycles > 0
+        assert plain_sim.stats.leaped_cycles == 0
+        assert (leap_status, leap_cycles) == (plain_status, plain_cycles)
+        assert leap_samples == plain_samples
+
+
+class TestTimedWakeHeap:
+    """The heap the leap decision trusts: dedupe, tombstones, zero wakes."""
+
+    def test_rearming_countdown_keeps_heap_bounded(self):
+        """A machine that re-arms on every run must not grow the heap."""
+        sim = CompiledSimulator()
+        runs = []
+
+        def proc():
+            runs.append(sim.cycle)
+            sim.wake_after(proc, 3)
+            return False
+
+        sim.add_clocked(proc, sensitive_to=[])
+        sim.step(9_000)
+        # Pre-fix, every re-arm pushed a fresh entry: ~3000 of them here.
+        assert len(sim._timed) <= 2
+        assert len(sim._timed_target) <= 1
+        assert runs == list(range(0, 9_000, 3))
+
+    def test_later_rearm_is_deduped_against_pending_earlier_wake(self):
+        sim = CompiledSimulator()
+
+        def proc():
+            return False
+
+        sim.add_clocked(proc, sensitive_to=[])
+        sim.compile()
+        sim.wake_after(proc, 5)
+        before = len(sim._timed)
+        sim.wake_after(proc, 50)  # covered by the pending earlier wake
+        assert len(sim._timed) == before
+        assert sim._timed_target[proc] == sim.cycle + 5
+
+    def test_stale_tombstone_never_delivers_a_wake(self):
+        """Re-arming earlier tombstones the old entry; it must not fire."""
+        sim = CompiledSimulator()
+        runs = []
+        armed = []
+
+        def proc():
+            runs.append(sim.cycle)
+            if not armed:
+                armed.append(True)
+                sim.wake_after(proc, 50)
+                sim.wake_after(proc, 5)  # earlier: tombstones the 50 entry
+            return False
+
+        sim.add_clocked(proc, sensitive_to=[])
+        sim.step(100)
+        # Runs on the initial all-woken cycle and at the live (earlier) wake
+        # target only — the tombstoned cycle-50 entry is discarded silently.
+        assert runs == [0, 5]
+        assert not sim._timed and not sim._timed_target
+
+    def test_zero_cycle_wake_means_next_cycle(self):
+        """wake_after(proc, 0) (and negative) wakes on the *next* cycle."""
+        sim = CompiledSimulator()
+        runs = []
+
+        def proc():
+            runs.append(sim.cycle)
+            if sim.cycle == 0:
+                sim.wake_after(proc, 0)
+            elif sim.cycle == 1:
+                sim.wake_after(proc, -7)
+            return False
+
+        sim.add_clocked(proc, sensitive_to=[])
+        sim.step(10)
+        # Woken exactly once per request, one cycle later — never missed,
+        # never double-delivered within the requesting cycle.
+        assert runs == [0, 1, 2]
+
+
+class TestResetContract:
+    """A parked machine across reset() behaves like a fresh run."""
+
+    @pytest.mark.parametrize("factory", [Simulator, CompiledSimulator],
+                             ids=["event", "compiled"])
+    def test_parked_machine_across_reset(self, factory):
+        def build():
+            sim = factory()
+            out = sim.signal("out", width=32)
+
+            def proc():
+                cycle = sim.cycle
+                if cycle % 7 == 0:
+                    out.next = out.value + 1
+                    return True
+                if sim.timed_wakes:
+                    sim.wake_after(proc, 7 - cycle % 7)
+                return False
+
+            sim.add_clocked(proc, sensitive_to=[])
+            recorder = TraceRecorder(sim, [out])
+            return sim, recorder
+
+        # Fresh 20-cycle run on each kernel: identical traces.
+        event_sim, event_rec = build()
+        event_sim.step(20)
+        baseline = list(event_rec.trace.samples)
+
+        sim, recorder = build()
+        sim.step(10)  # parks mid-countdown: a wake for cycle 14 is pending
+        if sim.timed_wakes:
+            assert sim._timed  # actually parked
+        sim.reset()
+        if sim.timed_wakes:
+            # Reset clears the whole timed state: heap, per-process targets,
+            # cached minimum, and the tie-break sequence counter.
+            assert not sim._timed and not sim._timed_target
+            assert sim._next_timed == _NEVER
+            assert sim._timed_seq == 0
+        assert sim.cycle == 0 and sim.stats.cycles == 0
+        del recorder.trace.samples[:]
+        sim.step(20)
+        # The pre-reset wake must not fire at a bogus cycle: the post-reset
+        # run is indistinguishable from a fresh one.
+        assert recorder.trace.samples == baseline
+
+
+class TestLeapEligibility:
+    """Designs the kernel cannot prove quiet never leap."""
+
+    def test_always_run_clocked_process_disables_leap(self):
+        sim = CompiledSimulator()
+        counter = sim.signal("count", width=8)
+        sim.add_clocked(lambda: setattr(counter, "next", counter.value + 1))
+        sim.step(50)
+        assert not sim.design.leap
+        assert sim.stats.leaped_cycles == 0
+
+    def test_unannotated_monitor_disables_leap(self):
+        sim = CompiledSimulator()
+        sim.signal("idle", width=1)
+        seen = []
+        sim.add_monitor(lambda: seen.append(sim.cycle))
+        sim.step(50)
+        assert not sim.design.leap
+        assert len(seen) == 50  # ran on every cycle, none skipped
+
+    def test_trace_recorder_allows_leap_and_stays_exact(self):
+        sim = CompiledSimulator()
+        idle = sim.signal("idle", width=4, reset=9)
+        recorder = TraceRecorder(sim, [idle])
+        sim.step(50)
+        assert sim.design.leap
+        assert sim.stats.leaped_cycles > 0
+        assert recorder.trace.values("idle") == [9] * 50
