@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Service walkthrough: a farm, its HTTP API, and a streaming client — all
+in one process.
+
+``splice campaign run`` pays elaboration and process startup on every
+invocation.  The service subsystem keeps those warm: worker processes hold
+built runners resident across jobs, a priority queue orders submissions,
+and the shared result cache answers repeat submissions without touching a
+worker.  This example starts the whole stack in-process (the same code
+``splice serve`` runs), drives it through the real HTTP API, and shows:
+
+1. per-cell progress streamed live over NDJSON while a job runs,
+2. priority scheduling (a later, higher-priority job overtakes),
+3. the cache short-circuit (an identical resubmission completes in
+   milliseconds with hit rate 1.0),
+4. that the served result is bit-identical to the batch runner's.
+
+Run from the repository root::
+
+    PYTHONPATH=src python examples/service_client.py
+
+Against a separately started farm (``splice serve``), only the client half
+applies — point :class:`ServiceClient` at its URL.
+"""
+
+from repro.campaign import ScenarioSweep, run_campaign, sweep_grid
+from repro.service import ServiceClient, SimulationFarm, serve_farm_in_thread
+
+
+def main() -> None:
+    # 1. A farm with two warm workers and an (ephemeral) shared cache,
+    #    plus the HTTP server on an OS-assigned port.
+    with SimulationFarm(workers=2, preload=("splice_plb",)) as farm:
+        server, _thread = serve_farm_in_thread(farm)
+        client = ServiceClient("http://127.0.0.1:%d" % server.server_address[1])
+        print(f"Farm up: {client.healthz()}")
+
+        # 2. Submit two grids: a bulk sweep, then a small high-priority one.
+        #    The priority-5 job overtakes the remaining bulk shards.
+        bulk = sweep_grid(
+            ScenarioSweep(mode="geometric", count=4, base=(8, 4, 8), max_size=128),
+            implementations=("splice_plb", "splice_fcb"),
+            name="bulk-sweep",
+        )
+        urgent = sweep_grid(
+            ScenarioSweep(mode="degenerate", count=2),
+            implementations=("splice_plb",),
+            name="urgent",
+        )
+        bulk_job = client.submit(bulk)
+        urgent_job = client.submit(urgent, priority=5)
+        print(f"Submitted {bulk_job['id']} ({bulk_job['cells_total']} cells, "
+              f"priority 0) and {urgent_job['id']} "
+              f"({urgent_job['cells_total']} cells, priority 5)")
+
+        # 3. Follow the bulk job's event stream: one NDJSON line per event,
+        #    delivered as it happens.
+        for event in client.events(bulk_job["id"]):
+            if event["event"] == "cell":
+                print(f"  [{event['done']}/{event['total']}] "
+                      f"{event['label']} scenario {event['scenario']}: "
+                      f"{event['cycles']} cycles (worker {event['worker']})")
+            elif event["event"] == "state":
+                print(f"  {bulk_job['id']} -> {event['state']}")
+
+        urgent_final = client.wait(urgent_job["id"])
+        print(f"Urgent job finished {urgent_final['state']} in "
+              f"{urgent_final['elapsed_s']:.3f}s")
+
+        # 4. Resubmit the identical bulk spec: every cell is answered from
+        #    the shared cache at submit time — no queueing, no workers.
+        warm = client.submit_and_wait(bulk)
+        assert warm["cells_cached"] == warm["cells_total"]
+        print(f"Warm resubmission: {warm['cells_cached']}/{warm['cells_total']} "
+              f"cells from cache in {warm['elapsed_s']:.3f}s")
+
+        # 5. The served result is bit-identical to the batch runner.
+        served = client.result(bulk_job["id"])
+        batch = run_campaign(bulk)
+        assert served["cells"] == batch.payload()
+        print(f"Served result is bit-identical to `splice campaign run` "
+              f"({len(served['cells'])} cells)")
+
+        stats = client.stats()
+        print(f"Farm stats: {stats['cells']['cells_executed']} cells executed, "
+              f"{stats['cells']['cells_cached']} cached, "
+              f"hit rate {stats['cache_hit_rate']:.2f}")
+
+        server.shutdown()
+        server.server_close()
+
+
+if __name__ == "__main__":
+    main()

@@ -17,9 +17,15 @@ The moving parts, bottom-up:
 """
 
 from repro.campaign.cache import ResultCache, cell_digest, kernel_fingerprint
-from repro.campaign.executor import SerialExecutor, ShardedExecutor, execute_cells, make_executor
+from repro.campaign.executor import (
+    CellError,
+    SerialExecutor,
+    ShardedExecutor,
+    execute_cells,
+    make_executor,
+)
 from repro.campaign.presets import PAPER_IMPLEMENTATIONS, paper_grid, sweep_grid
-from repro.campaign.result import CampaignResult, CellResult
+from repro.campaign.result import CampaignResult, CellResult, cell_result
 from repro.campaign.runner import run_campaign
 from repro.campaign.spec import CampaignCell, CampaignSpec
 from repro.campaign.sweep import SWEEP_MODES, ScenarioSweep
@@ -28,8 +34,10 @@ __all__ = [
     "CampaignCell",
     "CampaignSpec",
     "CampaignResult",
+    "CellError",
     "CellResult",
     "ResultCache",
+    "cell_result",
     "ScenarioSweep",
     "SWEEP_MODES",
     "SerialExecutor",

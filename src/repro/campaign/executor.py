@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.campaign.spec import CampaignCell
 from repro.devices.registry import build_runner
@@ -26,10 +28,31 @@ from repro.devices.registry import build_runner
 #: What an executor returns per cell: (result, cycles, transactions).
 CellOutcome = Tuple[int, int, int]
 
+
+@dataclass(frozen=True)
+class CellError:
+    """Structured record for a cell that could not produce an outcome.
+
+    Produced instead of a :data:`CellOutcome` when a worker process died
+    mid-shard and the one retry died too — the rest of the campaign (and, in
+    the service, the rest of the job) proceeds, and the failure is carried
+    through aggregation as :attr:`~repro.campaign.result.CellResult.error`
+    rather than killing the whole run.  Never cached: a crash says nothing
+    about what the outcome would have been.
+    """
+
+    kind: str
+    message: str
+
+    def describe(self) -> str:
+        return f"{self.kind}: {self.message}"
+
+
 #: Progress callback: invoked with (cell, outcome) as results land, so the
 #: caller can persist incrementally (an interrupted campaign keeps what it
-#: finished).  Serial execution reports per cell; sharded per shard.
-ResultCallback = Callable[[CampaignCell, CellOutcome], None]
+#: finished).  Serial execution reports per cell; sharded per shard.  The
+#: outcome may be a :class:`CellError`; persistence layers must skip those.
+ResultCallback = Callable[[CampaignCell, Union[CellOutcome, CellError]], None]
 
 
 def execute_cells(
@@ -118,35 +141,84 @@ class ShardedExecutor:
         self,
         cells: Sequence[CampaignCell],
         on_result: Optional[ResultCallback] = None,
-    ) -> Dict[tuple, CellOutcome]:
+    ) -> Dict[tuple, Union[CellOutcome, CellError]]:
         shards = self.partition(cells, self.workers)
         if len(shards) <= 1:
             return execute_cells(cells, on_result)
         by_key = {cell.key: cell for cell in cells}
-        outcomes: Dict[tuple, CellOutcome] = {}
+        outcomes: Dict[tuple, Union[CellOutcome, CellError]] = {}
         first_error: Optional[BaseException] = None
+        broken: List[List[CampaignCell]] = []
+
+        def merge(shard_result: Dict[tuple, CellOutcome]) -> None:
+            outcomes.update(shard_result)
+            if on_result is not None:
+                for key, outcome in shard_result.items():
+                    on_result(by_key[key], outcome)
+
         with ProcessPoolExecutor(max_workers=len(shards)) as pool:
-            futures = [pool.submit(execute_cells, shard) for shard in shards]
+            futures = {pool.submit(execute_cells, shard): shard for shard in shards}
             for future in as_completed(futures):
                 try:
                     shard_result = future.result()
+                except BrokenProcessPool:
+                    # A worker process died (OOM kill, segfault, os._exit) —
+                    # every unfinished future on the pool reports this, so
+                    # innocent shards land here alongside the one that
+                    # crashed.  Collect them all for a retry after the drain.
+                    broken.append(futures[future])
+                    continue
                 except BaseException as exc:
                     # Keep draining: the other shards' finished work must
                     # still reach on_result (the cache) before we re-raise.
                     if first_error is None:
                         first_error = exc
                     continue
-                outcomes.update(shard_result)
-                if on_result is not None:
-                    for key, outcome in shard_result.items():
-                        on_result(by_key[key], outcome)
+                merge(shard_result)
+
+        # Each broken shard gets exactly one retry on its own fresh
+        # single-worker pool (isolated, so one poisoned shard cannot break
+        # another's retry).  A second death fails just that shard's cells
+        # with a structured record instead of killing the run.
+        for shard in broken:
+            try:
+                with ProcessPoolExecutor(max_workers=1) as retry_pool:
+                    shard_result = retry_pool.submit(execute_cells, shard).result()
+            except BrokenProcessPool:
+                labels = sorted({cell.label for cell in shard})
+                error = CellError(
+                    kind="worker_crash",
+                    message=(
+                        "worker process died running this shard and the retry "
+                        f"died too (shard of {len(shard)} cells, labels {labels})"
+                    ),
+                )
+                for cell in shard:
+                    outcomes[cell.key] = error
+                    if on_result is not None:
+                        on_result(cell, error)
+            except BaseException as exc:
+                if first_error is None:
+                    first_error = exc
+            else:
+                merge(shard_result)
         if first_error is not None:
             raise first_error
         return outcomes
 
 
-def make_executor(workers: int = 1) -> object:
-    """``workers <= 1`` → serial; otherwise a sharded pool of that size."""
+def make_executor(workers: Optional[int] = 1) -> object:
+    """Resolve a worker count to an executor.
+
+    ``0`` or ``None`` (the CLI's ``--workers auto``) resolves to
+    ``os.cpu_count()`` — the same rule the service's worker pool applies, so
+    "auto" means the same thing on every path.  ``1`` (and a 1-CPU host's
+    "auto") is serial; anything larger is a sharded pool of that size.
+    """
+    if workers is None or workers == 0:
+        workers = os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0 (0 = auto), got {workers}")
     if workers <= 1:
         return SerialExecutor()
     return ShardedExecutor(workers=workers)

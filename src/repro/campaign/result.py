@@ -25,10 +25,14 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.campaign.spec import CampaignCell, CampaignSpec
 
-#: Column order shared by the CSV writer and the JSON cell payload.
+#: Column order shared by the CSV writer and the JSON cell payload.  The
+#: ``error`` column is empty for every cell that produced an outcome; failed
+#: cells (worker crashed twice — see
+#: :class:`~repro.campaign.executor.CellError`) carry the structured message
+#: there and ``None`` in the outcome columns.
 CELL_FIELDS = (
     "label", "scenario", "set1", "set2", "set3", "seed", "repeat", "kernel",
-    "result", "cycles", "transactions",
+    "result", "cycles", "transactions", "error",
 )
 
 
@@ -37,16 +41,45 @@ class CellResult:
     """Outcome of one grid cell (deterministic fields only)."""
 
     cell: CampaignCell
-    result: int
-    cycles: int
-    transactions: int
+    result: Optional[int]
+    cycles: Optional[int]
+    transactions: Optional[int]
     cached: bool = False
+    error: Optional[str] = None
 
-    def payload(self) -> Dict[str, int]:
-        """The deterministic, comparable record for this cell."""
+    def payload(self) -> Dict[str, object]:
+        """The deterministic, comparable record for this cell.
+
+        The ``error`` key is present only on failed cells, so payloads of
+        clean runs compare bit-identical with payloads written before the
+        field existed (and across batch/service paths that never fail).
+        """
         row = dict(self.cell.describe())
         row.update(result=self.result, cycles=self.cycles, transactions=self.transactions)
+        if self.error is not None:
+            row["error"] = self.error
         return row
+
+
+def cell_result(cell: CampaignCell, outcome, *, cached: bool = False) -> CellResult:
+    """Build a :class:`CellResult` from an executor outcome.
+
+    ``outcome`` is either a ``(result, cycles, transactions)`` tuple or a
+    :class:`~repro.campaign.executor.CellError`; this is the one place the
+    distinction is folded into aggregation, shared by the batch runner and
+    the service farm so both aggregate identically.
+    """
+    from repro.campaign.executor import CellError
+
+    if isinstance(outcome, CellError):
+        return CellResult(
+            cell=cell, result=None, cycles=None, transactions=None,
+            cached=False, error=outcome.describe(),
+        )
+    return CellResult(
+        cell=cell, result=outcome[0], cycles=outcome[1], transactions=outcome[2],
+        cached=cached,
+    )
 
 
 @dataclass
@@ -78,9 +111,14 @@ class CampaignResult:
         return sorted({c.cell.scenario.number for c in self.cells})
 
     def mean_cycles(self) -> Dict[str, Dict[int, float]]:
-        """Mean cycles per (implementation, scenario) over seeds × repeats."""
+        """Mean cycles per (implementation, scenario) over seeds × repeats.
+
+        Failed cells (``error`` set) have no cycle count and are excluded.
+        """
         sums: Dict[Tuple[str, int], List[int]] = {}
         for cell in self.cells:
+            if cell.error is not None:
+                continue
             sums.setdefault((cell.cell.label, cell.cell.scenario.number), []).append(cell.cycles)
         out: Dict[str, Dict[int, float]] = {}
         for (label, number), values in sums.items():
@@ -95,9 +133,14 @@ class CampaignResult:
         }
 
     def agreement(self) -> Dict[Tuple[int, int, int], bool]:
-        """Per (scenario, seed, repeat): did all implementations agree?"""
+        """Per (scenario, seed, repeat): did all implementations agree?
+
+        Failed cells have no result to compare and are excluded.
+        """
         values: Dict[Tuple[int, int, int], set] = {}
         for cell in self.cells:
+            if cell.error is not None:
+                continue
             key = (cell.cell.scenario.number, cell.cell.seed, cell.cell.repeat)
             values.setdefault(key, set()).add(cell.result & 0xFFFFFFFF)
         return {key: len(seen) == 1 for key, seen in values.items()}
@@ -139,7 +182,7 @@ class CampaignResult:
             cells.append(
                 CellResult(
                     cell=cell, result=row["result"], cycles=row["cycles"],
-                    transactions=row["transactions"],
+                    transactions=row["transactions"], error=row.get("error"),
                 )
             )
         return cls(spec=spec, cells=cells, meta=dict(data.get("meta", {})))
@@ -150,7 +193,7 @@ class CampaignResult:
 
     def to_csv(self, path: Optional[Path] = None) -> str:
         buffer = io.StringIO()
-        writer = csv.DictWriter(buffer, fieldnames=CELL_FIELDS)
+        writer = csv.DictWriter(buffer, fieldnames=CELL_FIELDS, restval="")
         writer.writeheader()
         for row in self.payload():
             writer.writerow(row)

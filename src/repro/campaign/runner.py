@@ -15,8 +15,8 @@ from pathlib import Path
 from typing import Dict, Optional, Sequence, Union
 
 from repro.campaign.cache import ResultCache
-from repro.campaign.executor import CellOutcome, SerialExecutor, make_executor
-from repro.campaign.result import CampaignResult, CellResult
+from repro.campaign.executor import CellError, CellOutcome, SerialExecutor, make_executor
+from repro.campaign.result import CampaignResult, CellResult, cell_result
 from repro.campaign.spec import CampaignCell, CampaignSpec
 from repro.rtl.compile import PROGRAM_CACHE_ENV
 
@@ -82,7 +82,13 @@ def run_campaign(
     if pending:
         # Persist outcomes as they land (per cell serially, per shard when
         # sharded), so an interrupted campaign resumes from what it finished.
-        on_result = None if cache is None else cache.put
+        # CellError records are never persisted: a worker crash says nothing
+        # about what the outcome would have been.
+        on_result = None
+        if cache is not None:
+            def on_result(cell, outcome, _put=cache.put):
+                if not isinstance(outcome, CellError):
+                    _put(cell, outcome)
         with _program_cache_env(cache):
             fresh = executor.execute(pending, on_result)
         missing = [cell.key for cell in pending if cell.key not in fresh]
@@ -91,17 +97,11 @@ def run_campaign(
 
     elapsed = time.perf_counter() - started
     results = [
-        CellResult(
-            cell=cell,
-            result=outcome[0],
-            cycles=outcome[1],
-            transactions=outcome[2],
-            cached=cell.key in cached,
-        )
+        cell_result(cell, cached.get(cell.key) or fresh[cell.key], cached=cell.key in cached)
         for cell in cells
-        for outcome in (cached.get(cell.key) or fresh[cell.key],)
     ]
-    total_cycles = sum(r.cycles for r in results if not r.cached)
+    failed = sum(1 for r in results if r.error is not None)
+    total_cycles = sum(r.cycles for r in results if not r.cached and r.error is None)
     return CampaignResult(
         spec=spec,
         cells=results,
@@ -112,6 +112,7 @@ def run_campaign(
             "cells_total": len(cells),
             "cells_cached": len(cached),
             "cells_executed": len(pending),
+            "cells_failed": failed,
             "simulated_cycles": total_cycles,
             "simulated_cycles_per_s": round(total_cycles / elapsed, 1) if elapsed > 0 else 0.0,
             "spec_fingerprint": spec.fingerprint(),

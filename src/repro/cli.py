@@ -30,6 +30,18 @@ Subcommands:
     wall-clock between the harness (drivers, masters, monitors) and the
     simulation kernel.
 
+``splice serve [--host H] [--port P] [--workers N|auto] [--cache-dir DIR]``
+    Start the long-lived simulation farm (:mod:`repro.service`): persistent
+    warm workers, a priority job queue and the streaming HTTP/JSON API.
+    ``--preload`` builds named runners in every worker before the first job
+    arrives.
+
+``splice submit [grid args] [--url URL] [--priority N] [--no-follow]``
+    Submit a campaign grid (the same ``--preset``/``--sweep``/... arguments
+    as ``campaign run``) to a running farm, follow its event stream, and
+    print/write the result — bit-identical to ``campaign run`` on the same
+    grid.
+
 The legacy flat invocation ``splice <spec-file> [...]`` still works: when
 the first argument is not a subcommand name it is routed to ``generate``.
 """
@@ -39,17 +51,35 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
+from typing import Optional
 
 from repro.core.engine import Splice
 from repro.core.syntax.errors import SpliceError
 from repro.rtl import DEFAULT_KERNEL, KERNELS
 
 #: Names that select a subcommand; anything else routes to ``generate``.
-_SUBCOMMANDS = ("generate", "campaign", "profile")
+_SUBCOMMANDS = ("generate", "campaign", "profile", "serve", "submit")
 
 #: Kernel choices come from the one registry, so a new kernel is
 #: automatically selectable here.
 _KERNEL_CHOICES = tuple(sorted(KERNELS))
+
+
+def _workers_arg(value: str) -> int:
+    """``--workers`` spelling: a positive count, or ``auto``/``0`` for one
+    worker per host CPU (resolved by :func:`repro.campaign.make_executor` /
+    :func:`repro.service.resolve_workers`)."""
+    if value == "auto":
+        return 0
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+    if workers < 0:
+        raise argparse.ArgumentTypeError("workers must be >= 0 (0 = auto)")
+    return workers
 
 
 def _add_generate_arguments(parser: argparse.ArgumentParser) -> None:
@@ -87,6 +117,54 @@ def _add_generate_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_campaign_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    """Grid-selection arguments shared by ``campaign run`` and ``submit``:
+    both expand the same :class:`CampaignSpec`, so a grid described to either
+    command is the identical set of cells."""
+    parser.add_argument(
+        "--preset",
+        choices=("paper", "sweep"),
+        default=None,
+        help="ready-made grid: 'paper' (5 implementations x Figure 9.1) or "
+        "'sweep' (splice implementations x a parametric sweep)",
+    )
+    parser.add_argument(
+        "--implementations",
+        nargs="+",
+        metavar="LABEL",
+        default=None,
+        help="implementation labels (default: the preset's, or the paper's five)",
+    )
+    parser.add_argument(
+        "--sweep",
+        choices=("linear", "geometric", "random", "burst", "degenerate"),
+        default=None,
+        help="generate scenarios from a parametric sweep instead of Figure 9.1",
+    )
+    parser.add_argument("--sweep-count", type=int, default=4, metavar="N",
+                        help="number of sweep scenarios (default: 4)")
+    parser.add_argument("--sweep-seed", type=int, default=0,
+                        help="seed for the 'random' sweep mode (default: 0)")
+    parser.add_argument("--seeds", nargs="+", type=int, default=[0], metavar="S",
+                        help="input-data seeds (default: 0)")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="repeats per cell; each repeat draws fresh inputs (default: 1)")
+    parser.add_argument("--kernel", choices=_KERNEL_CHOICES, default=DEFAULT_KERNEL,
+                        help="simulation kernel every cell runs on (default: "
+                        f"{DEFAULT_KERNEL}); the kernel is part of each cell's "
+                        "identity and cache key")
+
+
+def _check_grid_args(args) -> Optional[str]:
+    """The one cross-argument constraint on the shared grid arguments."""
+    if args.preset == "paper" and (args.sweep is not None or args.implementations is not None):
+        return (
+            "--preset paper fixes the grid; it cannot be combined with "
+            "--sweep or --implementations (drop --preset to customise)"
+        )
+    return None
+
+
 def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="splice",
@@ -106,40 +184,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
 
     run = campaign_sub.add_parser("run", help="run a campaign grid")
-    run.add_argument(
-        "--preset",
-        choices=("paper", "sweep"),
-        default=None,
-        help="ready-made grid: 'paper' (5 implementations x Figure 9.1) or "
-        "'sweep' (splice implementations x a parametric sweep)",
-    )
-    run.add_argument(
-        "--implementations",
-        nargs="+",
-        metavar="LABEL",
-        default=None,
-        help="implementation labels (default: the preset's, or the paper's five)",
-    )
-    run.add_argument(
-        "--sweep",
-        choices=("linear", "geometric", "random", "burst", "degenerate"),
-        default=None,
-        help="generate scenarios from a parametric sweep instead of Figure 9.1",
-    )
-    run.add_argument("--sweep-count", type=int, default=4, metavar="N",
-                     help="number of sweep scenarios (default: 4)")
-    run.add_argument("--sweep-seed", type=int, default=0,
-                     help="seed for the 'random' sweep mode (default: 0)")
-    run.add_argument("--seeds", nargs="+", type=int, default=[0], metavar="S",
-                     help="input-data seeds (default: 0)")
-    run.add_argument("--repeats", type=int, default=1,
-                     help="repeats per cell; each repeat draws fresh inputs (default: 1)")
-    run.add_argument("--kernel", choices=_KERNEL_CHOICES, default=DEFAULT_KERNEL,
-                     help="simulation kernel every cell runs on (default: "
-                     f"{DEFAULT_KERNEL}); the kernel is part of each cell's "
-                     "identity and cache key")
-    run.add_argument("--workers", type=int, default=1, metavar="N",
-                     help="worker processes; 1 = serial (default: 1)")
+    _add_campaign_grid_arguments(run)
+    run.add_argument("--workers", type=_workers_arg, default=1, metavar="N",
+                     help="worker processes; 1 = serial, 0 or 'auto' = one per "
+                     "host CPU (default: 1)")
     run.add_argument("--cache-dir", default=None, metavar="DIR",
                      help="content-addressed result cache directory (default: no cache)")
     run.add_argument("--artifacts", default=None, metavar="DIR",
@@ -177,6 +225,56 @@ def build_arg_parser() -> argparse.ArgumentParser:
                          help="number of hotspots to print (default: 25)")
     profile.add_argument("--sort", choices=("cumulative", "tottime"), default="cumulative",
                          help="pstats sort order (default: cumulative)")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived simulation farm with its HTTP/JSON API",
+        description="Start a persistent simulation farm: warm worker processes "
+        "holding built runners resident across jobs, a priority job queue, a "
+        "shared content-addressed result cache, and the HTTP API "
+        "(POST /jobs, GET /jobs/<id>, streaming GET /jobs/<id>/events, "
+        "DELETE /jobs/<id>, GET /stats).  Submit work with 'splice submit'.",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="address to bind (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8032,
+                       help="port to bind; 0 picks an ephemeral port (default: 8032)")
+    serve.add_argument("--workers", type=_workers_arg, default=0, metavar="N",
+                       help="warm worker processes; 0 or 'auto' = one per host CPU "
+                       "(default: auto)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="shared content-addressed result cache directory "
+                       "(default: an ephemeral cache that dies with the farm)")
+    serve.add_argument("--preload", nargs="+", metavar="LABEL[:KERNEL]", default=(),
+                       help="implementation runners to build in every worker at "
+                       "startup, e.g. 'splice_plb' or 'splice_plb:compiled' "
+                       "(default: none; runners are built on first use)")
+    serve.add_argument("--shard-size", type=int, default=None, metavar="CELLS",
+                       help="cells per dispatched shard — the unit of scheduling "
+                       "and cancellation (default: 4)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit a campaign grid to a running farm",
+        description="Submit a campaign (the same grid arguments as "
+        "'campaign run') to a 'splice serve' farm over HTTP, follow its "
+        "event stream, and print or write the result — bit-identical to "
+        "running the same grid locally.",
+    )
+    _add_campaign_grid_arguments(submit)
+    submit.add_argument("--url", default="http://127.0.0.1:8032",
+                        help="farm base URL (default: http://127.0.0.1:8032)")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="queue priority; higher runs sooner (default: 0)")
+    submit.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                        help="per-job timeout enforced by the farm (default: none)")
+    submit.add_argument("--no-follow", action="store_true",
+                        help="print the job id and exit instead of streaming "
+                        "events and waiting for the result")
+    submit.add_argument("--artifacts", default=None, metavar="DIR",
+                        help="write campaign.json/.csv/.md under DIR")
 
     return parser
 
@@ -352,12 +450,9 @@ def _campaign_run(args) -> int:
     from repro.campaign.runner import run_campaign
     from repro.evaluation.experiments import IMPLEMENTATION_NAMES
 
-    if args.preset == "paper" and (args.sweep is not None or args.implementations is not None):
-        print(
-            "splice: --preset paper fixes the grid; it cannot be combined with "
-            "--sweep or --implementations (drop --preset to customise)",
-            file=sys.stderr,
-        )
+    problem = _check_grid_args(args)
+    if problem is not None:
+        print(f"splice: {problem}", file=sys.stderr)
         return 2
     spec = _campaign_spec_from_args(args)
     cache = None
@@ -408,6 +503,116 @@ def _campaign_report(args) -> int:
     return 0
 
 
+def _serve(args) -> int:
+    """``splice serve``: run the farm + HTTP API until interrupted."""
+    from repro.service import DEFAULT_SHARD_SIZE, SimulationFarm, resolve_workers, serve_farm
+
+    cache = None
+    if args.cache_dir:
+        from repro.campaign.cache import ResultCache
+
+        try:
+            cache = ResultCache(args.cache_dir)
+        except OSError as exc:
+            print(f"splice: cannot use cache directory {args.cache_dir!r}: {exc}", file=sys.stderr)
+            return 2
+    farm = SimulationFarm(
+        workers=args.workers,
+        cache=cache,
+        preload=tuple(args.preload),
+        shard_size=args.shard_size or DEFAULT_SHARD_SIZE,
+    )
+    try:
+        farm.start()
+    except (KeyError, ValueError) as exc:
+        print(f"splice: {exc}", file=sys.stderr)
+        return 2
+    try:
+        server = serve_farm(farm, args.host, args.port, quiet=not args.verbose)
+    except OSError as exc:
+        farm.stop()
+        print(f"splice: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    host, port = server.server_address[:2]
+    cache_note = args.cache_dir or "ephemeral"
+    print(
+        f"splice farm: {resolve_workers(args.workers)} warm workers, "
+        f"cache {cache_note}, serving on http://{host}:{port}  (Ctrl-C to stop)",
+        flush=True,  # the banner is what wrappers/tests parse for the bound port
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nsplice farm: shutting down")
+    finally:
+        server.shutdown()
+        server.server_close()
+        farm.stop()
+    return 0
+
+
+def _submit(args) -> int:
+    """``splice submit``: send a grid to a farm, follow it, print the result."""
+    from repro.evaluation.experiments import IMPLEMENTATION_NAMES
+    from repro.service import ServiceClient, ServiceError
+
+    problem = _check_grid_args(args)
+    if problem is not None:
+        print(f"splice: {problem}", file=sys.stderr)
+        return 2
+    spec = _campaign_spec_from_args(args)
+    client = ServiceClient(args.url)
+    try:
+        job = client.submit(spec, priority=args.priority, timeout_s=args.timeout)
+    except ServiceError as exc:
+        print(f"splice: farm rejected the job: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"splice: no farm reachable at {args.url} ({exc}); "
+              "start one with 'splice serve'", file=sys.stderr)
+        return 1
+    print(f"Submitted job {job['id']} ({job['cells_total']} cells, "
+          f"priority {job['priority']}) to {args.url}")
+    if args.no_follow:
+        print(f"  follow with: GET {args.url}/jobs/{job['id']}/events")
+        return 0
+
+    total = job["cells_total"]
+    for event in client.events(job["id"]):
+        kind = event.get("event")
+        if kind == "cell":
+            print(f"  [{event['done']}/{total}] {event['label']} "
+                  f"scenario {event['scenario']} seed {event['seed']} "
+                  f"rep {event['repeat']}: {event['cycles']} cycles "
+                  f"(worker {event['worker']})")
+        elif kind == "cached":
+            print(f"  {event['cells']}/{total} cells served from the result cache")
+        elif kind == "state":
+            print(f"  job {job['id']}: {event['state']}")
+    status = client.status(job["id"])
+    if status["state"] not in ("done", "failed"):
+        print(f"splice: job {job['id']} ended {status['state']}", file=sys.stderr)
+        return 1
+
+    from repro.campaign.result import CampaignResult
+
+    result = CampaignResult.from_dict(client.result(job["id"]))
+    meta = result.meta
+    print(
+        f"Job {job['id']}: {meta['cells_total']} cells "
+        f"({meta['cells_cached']} cached, {meta['cells_executed']} executed, "
+        f"{meta['cells_failed']} failed) in {meta['elapsed_s']:.3f}s"
+    )
+    if args.artifacts:
+        paths = result.write_artifacts(Path(args.artifacts), names=IMPLEMENTATION_NAMES)
+        for kind, path in sorted(paths.items()):
+            print(f"  {kind}: {path}")
+    else:
+        print()
+        print(result.to_markdown(names=IMPLEMENTATION_NAMES))
+    return 0 if status["state"] == "done" else 1
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Legacy flat invocation: `splice <spec-file> [...]`.  Only the FIRST
@@ -424,6 +629,10 @@ def main(argv=None) -> int:
         return _campaign_report(args)
     if args.command == "profile":
         return _profile(args)
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "submit":
+        return _submit(args)
     if args.command == "generate":
         return _generate(args)
     build_arg_parser().print_help()

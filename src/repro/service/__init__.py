@@ -1,0 +1,60 @@
+"""Campaign-as-a-service: a long-lived simulation farm.
+
+Where :mod:`repro.campaign` is strictly batch — every ``splice campaign
+run`` pays a fresh process pool, re-imports, re-elaborates, re-compiles,
+and exits — this package keeps everything warm and puts a queue and an HTTP
+API in front of it:
+
+* :class:`~repro.service.farm.SimulationFarm` — persistent worker processes
+  holding built runners and compiled programs resident across jobs, a
+  priority job queue (FIFO within a priority, cancellation, per-job
+  timeouts), and the shared content-addressed result cache in front of it
+  all, so repeat submissions short-circuit without touching a worker.
+* :func:`~repro.service.api.serve_farm` — the stdlib HTTP/JSON API:
+  ``POST /jobs``, ``GET /jobs/<id>``, streaming NDJSON
+  ``GET /jobs/<id>/events``, ``DELETE /jobs/<id>``, ``GET /stats``.
+* :class:`~repro.service.client.ServiceClient` — the matching stdlib
+  client, used by ``splice submit``.
+
+Results served through the API are bit-identical to ``splice campaign run``
+on the same spec: jobs expand the identical cell grid, cells execute through
+the same registry-built runners, and aggregation shares the batch runner's
+:func:`~repro.campaign.result.cell_result` path.
+"""
+
+from repro.service.api import build_handler, serve_farm, serve_farm_in_thread
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.farm import DEFAULT_SHARD_SIZE, SimulationFarm, resolve_workers
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    TIMEOUT,
+    Job,
+    JobQueue,
+    Shard,
+)
+
+__all__ = [
+    "SimulationFarm",
+    "DEFAULT_SHARD_SIZE",
+    "resolve_workers",
+    "serve_farm",
+    "serve_farm_in_thread",
+    "build_handler",
+    "ServiceClient",
+    "ServiceError",
+    "Job",
+    "JobQueue",
+    "Shard",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "TIMEOUT",
+    "TERMINAL_STATES",
+]

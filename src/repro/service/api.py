@@ -1,0 +1,259 @@
+"""HTTP/JSON API over a :class:`~repro.service.farm.SimulationFarm`.
+
+Pure stdlib (``http.server``), no new dependencies.  Endpoints:
+
+* ``POST /jobs`` — submit a campaign.  Body is JSON: either
+  ``{"spec": {...}, "priority": 0, "timeout_s": null}`` or a bare spec dict
+  (anything with an ``"implementations"`` key), where the spec payload is
+  exactly :meth:`repro.campaign.spec.CampaignSpec.describe`.  Returns 201
+  with the job snapshot.
+* ``GET /jobs`` — snapshots of every job the farm has seen.
+* ``GET /jobs/<id>`` — one job's snapshot.
+* ``GET /jobs/<id>/events[?from=N]`` — NDJSON stream of the job's event log
+  (submission, state changes, per-cell completions); the response stays
+  open, emitting one JSON object per line, until the job reaches a terminal
+  state.
+* ``GET /jobs/<id>/result`` — the aggregated
+  :class:`~repro.campaign.result.CampaignResult` as JSON, bit-identical in
+  its ``cells`` payload to ``splice campaign run`` on the same spec
+  (409 while the job is still queued/running, 410 for cancelled/timed-out
+  jobs, which never have a complete grid).
+* ``DELETE /jobs/<id>`` — cancel (queued: drops instantly; running: stops
+  at the next shard boundary).
+* ``GET /stats`` — queue depth, per-worker stats, utilization, cache hit
+  rate.
+* ``GET /healthz`` — liveness probe.
+
+The server is a :class:`ThreadingHTTPServer`: each request handler runs on
+its own thread and talks to the farm under the farm's lock, so many clients
+can stream different jobs' events concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.farm import SimulationFarm
+from repro.service.jobs import CANCELLED, DONE, FAILED, TIMEOUT
+
+_JOB_PATH = re.compile(r"^/jobs/([A-Za-z0-9_.-]+)(/events|/result)?$")
+
+
+class FarmRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the farm.  Subclassed per server instance so
+    the ``farm`` reference is a class attribute (the stdlib instantiates a
+    fresh handler per request)."""
+
+    farm: SimulationFarm = None  # injected by build_handler()
+    quiet: bool = True
+    server_version = "splice-farm/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        if not self.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, code: int, payload: dict) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str) -> None:
+        self._send_json(code, {"error": message})
+
+    def _read_body(self) -> Optional[dict]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            return None
+        if length <= 0:
+            return None
+        try:
+            return json.loads(self.rfile.read(length))
+        except (ValueError, UnicodeDecodeError):
+            return None
+
+    def _route_job(self, path: str) -> Optional[Tuple[str, Optional[str]]]:
+        match = _JOB_PATH.match(path)
+        if match is None:
+            return None
+        return match.group(1), (match.group(2) or "").lstrip("/") or None
+
+    # -- methods -----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        parsed = urlparse(self.path)
+        if parsed.path == "/healthz":
+            self._send_json(200, {"ok": True, "running": self.farm.running})
+            return
+        if parsed.path == "/stats":
+            self._send_json(200, self.farm.stats())
+            return
+        if parsed.path == "/jobs":
+            with self.farm.lock:
+                jobs = [job.snapshot() for job in self.farm.jobs()]
+            self._send_json(200, {"jobs": jobs})
+            return
+        routed = self._route_job(parsed.path)
+        if routed is None:
+            self._error(404, f"no such endpoint: {parsed.path}")
+            return
+        job_id, sub = routed
+        job = self.farm.get(job_id)
+        if job is None:
+            self._error(404, f"no such job: {job_id}")
+            return
+        if sub is None:
+            with self.farm.lock:
+                self._send_json(200, job.snapshot())
+            return
+        if sub == "result":
+            with self.farm.lock:
+                state = job.state
+            if state in (CANCELLED, TIMEOUT):
+                self._error(410, f"job {job_id} is {state}; no complete result exists")
+                return
+            if state not in (DONE, FAILED):
+                self._error(409, f"job {job_id} is still {state}")
+                return
+            with self.farm.lock:
+                payload = job.result().to_dict()
+            self._send_json(200, payload)
+            return
+        if sub == "events":
+            query = parse_qs(parsed.query)
+            try:
+                start = int(query.get("from", ["0"])[0])
+            except ValueError:
+                start = 0
+            self._stream_events(job, start)
+            return
+        self._error(404, f"no such endpoint: {parsed.path}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        if urlparse(self.path).path != "/jobs":
+            self._error(404, f"no such endpoint: {self.path}")
+            return
+        body = self._read_body()
+        if body is None:
+            self._error(400, "expected a JSON body")
+            return
+        spec_payload = body.get("spec", body)
+        if not isinstance(spec_payload, dict) or "implementations" not in spec_payload:
+            self._error(400, "body must carry a campaign spec "
+                             "(a 'spec' object or a bare spec with 'implementations')")
+            return
+        try:
+            priority = int(body.get("priority", 0))
+            timeout_raw = body.get("timeout_s")
+            timeout_s = None if timeout_raw is None else float(timeout_raw)
+        except (TypeError, ValueError):
+            self._error(400, "priority must be an int, timeout_s a number or null")
+            return
+        try:
+            job = self.farm.submit(spec_payload, priority=priority, timeout_s=timeout_s)
+        except (KeyError, TypeError, ValueError) as exc:
+            self._error(400, f"invalid campaign spec: {exc}")
+            return
+        except RuntimeError as exc:
+            self._error(503, str(exc))
+            return
+        with self.farm.lock:
+            snapshot = job.snapshot()
+        snapshot["events_url"] = f"/jobs/{job.id}/events"
+        snapshot["result_url"] = f"/jobs/{job.id}/result"
+        self._send_json(201, snapshot)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        routed = self._route_job(urlparse(self.path).path)
+        if routed is None or routed[1] is not None:
+            self._error(404, f"no such endpoint: {self.path}")
+            return
+        job_id = routed[0]
+        job = self.farm.get(job_id)
+        if job is None:
+            self._error(404, f"no such job: {job_id}")
+            return
+        cancelled = self.farm.cancel(job_id)
+        with self.farm.lock:
+            snapshot = job.snapshot()
+        snapshot["cancelled"] = cancelled
+        self._send_json(200, snapshot)
+
+    # -- streaming ---------------------------------------------------------------
+
+    def _stream_events(self, job, start: int) -> None:
+        """NDJSON: one event object per line until the job is terminal.
+
+        No Content-Length — the response is delimited by connection close
+        (we set ``Connection: close`` so HTTP/1.1 clients read to EOF).
+        Each line is flushed as the event lands, so a client following a
+        running job sees per-cell progress live.
+        """
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        try:
+            for event in job.iter_events(start):
+                self.wfile.write((json.dumps(event, sort_keys=True) + "\n").encode())
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-stream; nothing to clean up
+
+
+class FarmHTTPServer(ThreadingHTTPServer):
+    """Threaded server tuned for bursty client pools: the stdlib default
+    listen backlog of 5 drops connections (RST) the moment more than a
+    handful of clients submit at once."""
+
+    daemon_threads = True
+    request_queue_size = 128
+
+
+def build_handler(farm: SimulationFarm, *, quiet: bool = True):
+    """A handler class bound to ``farm`` (one per server)."""
+    return type(
+        "BoundFarmRequestHandler", (FarmRequestHandler,),
+        {"farm": farm, "quiet": quiet},
+    )
+
+
+def serve_farm(
+    farm: SimulationFarm,
+    host: str = "127.0.0.1",
+    port: int = 8032,
+    *,
+    quiet: bool = True,
+) -> ThreadingHTTPServer:
+    """Create (but do not start) an HTTP server bound to ``farm``.
+
+    ``port=0`` picks an ephemeral port; read it back from
+    ``server.server_address``.  Call ``serve_forever()`` (possibly on a
+    thread) to serve, ``shutdown()`` to stop.
+    """
+    return FarmHTTPServer((host, port), build_handler(farm, quiet=quiet))
+
+
+def serve_farm_in_thread(
+    farm: SimulationFarm, host: str = "127.0.0.1", port: int = 0, *, quiet: bool = True
+) -> Tuple[ThreadingHTTPServer, threading.Thread]:
+    """Convenience for tests/examples: server + started daemon thread."""
+    server = serve_farm(farm, host, port, quiet=quiet)
+    thread = threading.Thread(
+        target=server.serve_forever, name="splice-farm-http", daemon=True
+    )
+    thread.start()
+    return server, thread

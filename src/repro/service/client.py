@@ -1,0 +1,142 @@
+"""Stdlib HTTP client for the farm API (used by ``splice submit``).
+
+A thin wrapper over :mod:`http.client` — one short-lived connection per
+call, plus a line-buffered NDJSON reader for the streaming events endpoint.
+Kept dependency-free so examples and CI scripts can drive a farm with
+nothing but the standard library.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+from typing import Iterator, Mapping, Optional, Union
+from urllib.parse import urlparse
+
+from repro.campaign.spec import CampaignSpec
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the farm API."""
+
+    def __init__(self, status: int, payload) -> None:
+        message = payload.get("error") if isinstance(payload, dict) else str(payload)
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Client for one farm server, e.g. ``ServiceClient("http://127.0.0.1:8032")``."""
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+        parsed = urlparse(base_url if "//" in base_url else f"http://{base_url}")
+        if parsed.scheme not in ("", "http"):
+            raise ValueError(f"only http:// farm URLs are supported, got {base_url!r}")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 8032
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            headers = {}
+            encoded = None
+            if body is not None:
+                encoded = json.dumps(body).encode()
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=encoded, headers=headers)
+            response = connection.getresponse()
+            payload = json.loads(response.read() or b"{}")
+            if response.status >= 400:
+                raise ServiceError(response.status, payload)
+            return payload
+        finally:
+            connection.close()
+
+    # -- API ---------------------------------------------------------------------
+
+    def submit(
+        self,
+        spec: Union[CampaignSpec, Mapping],
+        *,
+        priority: int = 0,
+        timeout_s: Optional[float] = None,
+    ) -> dict:
+        """POST the spec; returns the job snapshot (``["id"]`` is the handle)."""
+        payload = spec.describe() if isinstance(spec, CampaignSpec) else dict(spec)
+        return self._request("POST", "/jobs", {
+            "spec": payload, "priority": priority, "timeout_s": timeout_s,
+        })
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def result(self, job_id: str) -> dict:
+        """The finished job's CampaignResult payload (spec / cells / meta)."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def events(self, job_id: str, *, start: int = 0) -> Iterator[dict]:
+        """Stream the job's events as dicts until it reaches a terminal state.
+
+        The connection stays open for the job's whole lifetime; each yielded
+        dict is one NDJSON line flushed by the server as the event happened.
+        """
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request("GET", f"/jobs/{job_id}/events?from={start}")
+            response = connection.getresponse()
+            if response.status >= 400:
+                raise ServiceError(response.status, json.loads(response.read() or b"{}"))
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            connection.close()
+
+    def wait(self, job_id: str, *, timeout: Optional[float] = None) -> dict:
+        """Follow the event stream until the job is terminal; returns the
+        final status snapshot.  Falls back to polling if the stream drops."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                for event in self.events(job_id):
+                    if deadline is not None and time.monotonic() > deadline:
+                        raise TimeoutError(f"job {job_id} still running after {timeout}s")
+                # Stream ended: the job is terminal.
+                return self.status(job_id)
+            except (ConnectionError, OSError):
+                status = self.status(job_id)
+                if status["state"] in ("done", "failed", "cancelled", "timeout"):
+                    return status
+                if deadline is not None and time.monotonic() > deadline:
+                    raise TimeoutError(f"job {job_id} still running after {timeout}s")
+                time.sleep(0.05)
+
+    def submit_and_wait(
+        self,
+        spec: Union[CampaignSpec, Mapping],
+        *,
+        priority: int = 0,
+        timeout_s: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """Submit, wait for a terminal state, and return the final status."""
+        job = self.submit(spec, priority=priority, timeout_s=timeout_s)
+        return self.wait(job["id"], timeout=timeout)

@@ -1,0 +1,496 @@
+"""The simulation farm: warm workers + priority queue + shared result cache.
+
+:class:`SimulationFarm` is the long-lived core the HTTP API and the CLI
+front ends drive.  One farm owns:
+
+* a pool of persistent worker processes (:mod:`repro.service.worker`) that
+  keep built runners and compiled programs resident across jobs,
+* a :class:`~repro.service.jobs.JobQueue` ordering jobs by priority with
+  FIFO fairness within a priority,
+* a shared content-addressed :class:`~repro.campaign.cache.ResultCache` in
+  front of the queue — cells whose digest is already cached are answered at
+  submit time without touching a worker, so a repeat submission of an
+  identical spec is a pure cache read (hit rate 1.0, no queueing), and
+* a single dispatcher thread that pumps worker results, persists fresh
+  outcomes into the cache, enforces per-job timeouts, respawns dead workers
+  (retrying their in-flight shard once, then failing those cells with
+  structured error records), and feeds idle workers the next shard.
+
+Everything observable — job state, per-cell progress, worker stats — is
+mutated under one condition lock and published through job event logs, so
+any number of watchers (HTTP streamers, ``Job.wait``) follow along without
+polling the workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as stdlib_queue
+import shutil
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.executor import CellError
+from repro.campaign.spec import CampaignSpec
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TIMEOUT,
+    Job,
+    JobQueue,
+    Shard,
+)
+from repro.service.worker import spawn_worker
+
+#: Default number of cells per dispatched shard.  Small enough that
+#: cancellation latency (one shard boundary) stays low and several workers
+#: share one medium grid; large enough that the per-shard queue round trip
+#: amortises.
+DEFAULT_SHARD_SIZE = 4
+
+
+def resolve_workers(workers: int) -> int:
+    """``0`` (the ``--workers auto`` spelling) → ``os.cpu_count()``.
+
+    The same rule :func:`repro.campaign.executor.make_executor` applies, so
+    "auto" means the identical thing on the batch and service paths.
+    """
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0 (0 = auto), got {workers}")
+    return workers if workers > 0 else (os.cpu_count() or 1)
+
+
+class SimulationFarm:
+    """A long-lived pool of warm simulation workers behind a job queue."""
+
+    def __init__(
+        self,
+        workers: int = 0,
+        *,
+        cache: Union[ResultCache, Path, str, None] = None,
+        preload: Sequence = (),
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        poll_interval_s: float = 0.02,
+        name: str = "splice-farm",
+    ) -> None:
+        self.name = name
+        self.worker_count = resolve_workers(workers)
+        self.shard_size = max(1, shard_size)
+        self.preload = tuple(preload)
+        self._poll_interval_s = poll_interval_s
+
+        # Without an explicit cache directory the farm still runs one — an
+        # ephemeral per-instance directory — because the cache is what makes
+        # serving cheap: repeat submissions short-circuit, and the compiled
+        # program cache under it is what keeps workers warm across respawns.
+        self._ephemeral_cache_dir: Optional[str] = None
+        if cache is None:
+            self._ephemeral_cache_dir = tempfile.mkdtemp(prefix="splice-farm-cache-")
+            cache = ResultCache(self._ephemeral_cache_dir)
+        elif isinstance(cache, (str, Path)):
+            cache = ResultCache(cache)
+        self.cache = cache
+
+        self._cond = threading.Condition()
+        self._jobs: Dict[str, Job] = {}
+        self._queue = JobQueue()
+        self._workers: List[WorkerHandle] = []
+        self._job_seq = 0
+        self._running = False
+        self._started_at: Optional[float] = None
+        self._ctx = multiprocessing.get_context()
+        self._result_queue = None
+        self._dispatcher: Optional[threading.Thread] = None
+        self.counters = {
+            "cells_total": 0,
+            "cells_cached": 0,
+            "cells_executed": 0,
+            "cells_failed": 0,
+            "cells_discarded": 0,
+            "workers_respawned": 0,
+            "shards_dispatched": 0,
+            "shards_retried": 0,
+        }
+
+    @property
+    def lock(self) -> threading.Condition:
+        """The farm-wide condition lock; hold it to read job state coherently."""
+        return self._cond
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "SimulationFarm":
+        if self._running:
+            return self
+        self._result_queue = self._ctx.Queue()
+        self._workers = [
+            spawn_worker(self._ctx, worker_id, self._result_queue,
+                         self.cache.program_cache_dir, self.preload)
+            for worker_id in range(self.worker_count)
+        ]
+        self._running = True
+        self._started_at = time.perf_counter()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name=f"{self.name}-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+        return self
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        with self._cond:
+            self._running = False
+            # Unblock every waiter/streamer: whatever was still pending is
+            # cancelled, terminally, before the machinery goes away.
+            for job in self._jobs.values():
+                if not job.is_terminal:
+                    job.pending_shards.clear()
+                    job.enter_state(CANCELLED, reason="farm stopped")
+        self._result_queue.put(("wake",))
+        self._dispatcher.join(timeout=10)
+        for handle in self._workers:
+            try:
+                handle.task_queue.put(None)
+            except (ValueError, OSError):
+                pass
+        for handle in self._workers:
+            handle.process.join(timeout=5)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=2)
+            handle.task_queue.close()
+            handle.task_queue.cancel_join_thread()
+        self._result_queue.close()
+        self._result_queue.cancel_join_thread()
+        if self._ephemeral_cache_dir is not None:
+            shutil.rmtree(self._ephemeral_cache_dir, ignore_errors=True)
+
+    def __enter__(self) -> "SimulationFarm":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- submission / control ----------------------------------------------------
+
+    def submit(
+        self,
+        spec: Union[CampaignSpec, Mapping],
+        *,
+        priority: int = 0,
+        timeout_s: Optional[float] = None,
+    ) -> Job:
+        """Queue a campaign spec; returns the live :class:`Job`.
+
+        Cells already present in the shared result cache are satisfied here,
+        synchronously — a fully-cached submission completes without ever
+        touching the queue or a worker.
+        """
+        if not self._running:
+            raise RuntimeError("farm is not running (call start() first)")
+        if not isinstance(spec, CampaignSpec):
+            spec = CampaignSpec.from_dict(dict(spec))
+
+        # Cache lookups happen outside the lock: digesting a cell hashes its
+        # generated inputs, which is pure CPU and must not serialise
+        # concurrent submissions more than the GIL already does.
+        cached = {}
+        for cell in spec.cells():
+            outcome = self.cache.get(cell)
+            if outcome is not None:
+                cached[cell.key] = outcome
+
+        with self._cond:
+            self._job_seq += 1
+            job = Job(
+                f"j{self._job_seq:06d}", spec,
+                priority=priority, timeout_s=timeout_s, cond=self._cond,
+            )
+            self._jobs[job.id] = job
+            job.cached = cached
+            pending = [cell for cell in sorted(job.cells, key=lambda c: c.key)
+                       if cell.key not in cached]
+            self.counters["cells_total"] += len(job.cells)
+            self.counters["cells_cached"] += len(cached)
+            job.emit(
+                "submitted",
+                name=spec.name,
+                priority=priority,
+                timeout_s=timeout_s,
+                cells_total=len(job.cells),
+                cells_cached=len(cached),
+            )
+            if cached:
+                job.emit("cached", cells=len(cached))
+            if not pending:
+                job.enter_state(DONE, cells_cached=len(cached))
+                return job
+            for shard_id, start in enumerate(range(0, len(pending), self.shard_size)):
+                job.pending_shards.append(
+                    Shard(job.id, shard_id, pending[start:start + self.shard_size])
+                )
+            self._queue.push(job)
+        self._result_queue.put(("wake",))
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        return list(self._jobs.values())
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job.  Queued jobs drop instantly; a running job stops at
+        the next shard boundary (its in-flight shard results are discarded).
+        Returns False if the job is unknown or already terminal."""
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None or job.is_terminal:
+                return False
+            job.pending_shards.clear()
+            job.enter_state(CANCELLED, shards_in_flight=len(job.in_flight))
+            return True
+
+    # -- dispatcher --------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            try:
+                message = self._result_queue.get(timeout=self._poll_interval_s)
+            except stdlib_queue.Empty:
+                message = None
+            except (EOFError, OSError):
+                return
+            with self._cond:
+                if not self._running:
+                    return
+                if message is not None:
+                    self._handle(message)
+                while True:  # drain whatever else already arrived
+                    try:
+                        self._handle(self._result_queue.get_nowait())
+                    except stdlib_queue.Empty:
+                        break
+                self._check_timeouts()
+                self._check_workers()
+                self._dispatch_ready()
+
+    def _handle(self, message) -> None:
+        kind = message[0]
+        if kind == "wake":
+            return
+        if kind == "ready":
+            _, worker_id, stats = message
+            handle = self._workers[worker_id]
+            handle.ready = True
+            handle.stats = stats
+            return
+        if kind == "cell":
+            _, worker_id, job_id, shard_id, key, outcome = message
+            job = self._jobs.get(job_id)
+            if job is None or job.is_terminal:
+                self.counters["cells_discarded"] += 1
+                return
+            job.fresh[key] = outcome
+            self.counters["cells_executed"] += 1
+            cell = job.by_key[key]
+            self.cache.put(cell, outcome)
+            job.emit(
+                "cell",
+                label=cell.label,
+                scenario=cell.scenario.number,
+                seed=cell.seed,
+                repeat=cell.repeat,
+                kernel=cell.kernel,
+                result=outcome[0],
+                cycles=outcome[1],
+                transactions=outcome[2],
+                worker=worker_id,
+                done=job.cells_done,
+                total=len(job.cells),
+            )
+            return
+        if kind == "cell_error":
+            _, worker_id, job_id, shard_id, key, text = message
+            job = self._jobs.get(job_id)
+            if job is None or job.is_terminal:
+                self.counters["cells_discarded"] += 1
+                return
+            job.errors[key] = CellError(kind="cell_exception", message=text)
+            self.counters["cells_failed"] += 1
+            cell = job.by_key[key]
+            job.emit(
+                "cell_error",
+                label=cell.label,
+                scenario=cell.scenario.number,
+                seed=cell.seed,
+                repeat=cell.repeat,
+                error=text,
+                worker=worker_id,
+                done=job.cells_done,
+                total=len(job.cells),
+            )
+            return
+        if kind == "shard_done":
+            _, worker_id, job_id, shard_id, stats = message
+            handle = self._workers[worker_id]
+            handle.stats = stats
+            shard = handle.busy
+            handle.busy = None
+            if shard is not None and shard.dispatched_at is not None:
+                handle.busy_s += time.perf_counter() - shard.dispatched_at
+            job = self._jobs.get(job_id)
+            if job is None:
+                return
+            job.in_flight.pop(shard_id, None)
+            if not job.is_terminal:
+                self._maybe_finalize(job)
+
+    def _maybe_finalize(self, job: Job) -> None:
+        """Lock held: finish the job once every cell is accounted for."""
+        if job.pending_shards or job.in_flight:
+            return
+        if job.cells_done < len(job.cells):
+            return
+        if job.errors:
+            job.enter_state(FAILED, cells_failed=len(job.errors))
+        else:
+            job.enter_state(DONE, cells_executed=len(job.fresh),
+                            cells_cached=len(job.cached))
+
+    def _check_timeouts(self) -> None:
+        now = time.perf_counter()
+        for job in self._jobs.values():
+            if job.is_terminal:
+                continue
+            deadline = job.deadline
+            if deadline is not None and now >= deadline:
+                job.pending_shards.clear()
+                job.enter_state(TIMEOUT, timeout_s=job.timeout_s,
+                                cells_done=job.cells_done)
+
+    def _check_workers(self) -> None:
+        for index, handle in enumerate(self._workers):
+            if handle.process.is_alive():
+                continue
+            shard = handle.busy
+            self.counters["workers_respawned"] += 1
+            handle.task_queue.close()
+            handle.task_queue.cancel_join_thread()
+            replacement = spawn_worker(
+                self._ctx, handle.worker_id, self._result_queue,
+                self.cache.program_cache_dir, self.preload,
+            )
+            replacement.respawns = handle.respawns + 1
+            replacement.busy_s = handle.busy_s
+            replacement.dispatched = handle.dispatched
+            self._workers[index] = replacement
+            if shard is None:
+                continue
+            job = self._jobs.get(shard.job_id)
+            if job is None:
+                continue
+            job.in_flight.pop(shard.shard_id, None)
+            if job.is_terminal:
+                continue
+            if shard.attempts <= 1:
+                # One retry on the fresh worker — same policy as the batch
+                # ShardedExecutor.  Partial results the dead worker already
+                # reported are kept; re-running those cells overwrites them
+                # with identical values (cells are deterministic).
+                self.counters["shards_retried"] += 1
+                job.pending_shards.appendleft(shard)
+                self._queue.push(job)
+                job.emit("shard_retry", shard=shard.shard_id,
+                         worker=handle.worker_id)
+            else:
+                error = CellError(
+                    kind="worker_crash",
+                    message=(
+                        f"worker {handle.worker_id} died running shard "
+                        f"{shard.shard_id} and the retry died too"
+                    ),
+                )
+                failed = 0
+                for cell in shard.cells:
+                    if cell.key not in job.fresh and cell.key not in job.errors:
+                        job.errors[cell.key] = error
+                        failed += 1
+                self.counters["cells_failed"] += failed
+                job.emit("shard_failed", shard=shard.shard_id,
+                         worker=handle.worker_id, cells_failed=failed)
+                self._maybe_finalize(job)
+
+    def _dispatch_ready(self) -> None:
+        while True:
+            handle = next(
+                (w for w in self._workers if w.busy is None and w.process.is_alive()),
+                None,
+            )
+            if handle is None:
+                return
+            job = self._queue.pop()
+            if job is None:
+                return
+            shard = job.pending_shards.popleft()
+            if job.pending_shards:
+                self._queue.push(job)
+            if job.state == QUEUED:
+                job.enter_state(RUNNING)
+            shard.attempts += 1
+            shard.worker_id = handle.worker_id
+            shard.dispatched_at = time.perf_counter()
+            job.in_flight[shard.shard_id] = shard
+            handle.busy = shard
+            handle.dispatched += 1
+            self.counters["shards_dispatched"] += 1
+            handle.task_queue.put(("shard", job.id, shard.shard_id, shard.cells))
+
+    # -- observation -------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Queue depth, per-worker stats, utilization, cache hit rate."""
+        with self._cond:
+            worker_records = [w.snapshot() for w in self._workers]
+            busy = sum(1 for w in self._workers if w.busy is not None)
+            states = {state: 0 for state in
+                      (QUEUED, RUNNING, DONE, FAILED, CANCELLED, TIMEOUT)}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            uptime = (time.perf_counter() - self._started_at
+                      if self._started_at is not None else 0.0)
+            total = self.counters["cells_total"]
+            cached = self.counters["cells_cached"]
+            busy_area = sum(w.busy_s for w in self._workers)
+            return {
+                "name": self.name,
+                "running": self._running,
+                "uptime_s": round(uptime, 6),
+                "worker_count": len(self._workers),
+                "workers_busy": busy,
+                "utilization": (busy / len(self._workers)) if self._workers else 0.0,
+                "utilization_lifetime": (
+                    busy_area / (uptime * len(self._workers))
+                    if uptime > 0 and self._workers else 0.0
+                ),
+                "workers": worker_records,
+                "queue_depth": states[QUEUED],
+                "jobs": dict(states, submitted=self._job_seq),
+                "cells": dict(self.counters),
+                "cache_hit_rate": (cached / total) if total else None,
+                "cache_entries": len(self.cache),
+                "shard_size": self.shard_size,
+            }

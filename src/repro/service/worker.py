@@ -1,0 +1,182 @@
+"""Warm worker processes: runners stay resident across jobs.
+
+This is what separates the farm from ``splice campaign run``'s throwaway
+``ProcessPoolExecutor``: a worker process lives for the whole service
+lifetime, keeps every runner it has ever built in an in-process dictionary
+keyed by ``(label, kernel)``, and points the compiled kernel at the shared
+:class:`~repro.rtl.compile.CompiledProgramCache` directory — so after the
+first job touches an implementation, every later job pays neither spec
+parsing, nor elaboration, nor codegen for it.
+
+Protocol (all messages are small picklable tuples):
+
+* parent → worker (per-worker task queue):
+  ``("shard", job_id, shard_id, [CampaignCell, ...])`` or ``None`` to stop.
+* worker → parent (shared result queue):
+  ``("ready", worker_id, stats)`` once warm-up/preload is done,
+  ``("cell", worker_id, job_id, shard_id, cell_key, (result, cycles, txns))``
+  per finished cell (this is what per-cell progress streaming is fed from),
+  ``("cell_error", worker_id, job_id, shard_id, cell_key, message)`` when a
+  single cell raises (the worker survives; job-level fault isolation),
+  ``("shard_done", worker_id, job_id, shard_id, stats)`` at the boundary.
+
+A worker that dies (OOM, segfault, ``os._exit``) simply stops sending; the
+dispatcher notices the dead process, respawns a fresh worker, and retries
+the in-flight shard once before recording structured per-cell errors —
+mirroring :class:`~repro.campaign.executor.ShardedExecutor`'s crash policy.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.rtl.compile import PROGRAM_CACHE_ENV
+
+
+def _parse_preload(entry) -> Tuple[str, str]:
+    """``"label"`` / ``"label:kernel"`` / ``(label, kernel)`` → pair."""
+    from repro.rtl import DEFAULT_KERNEL
+
+    if isinstance(entry, str):
+        label, _, kernel = entry.partition(":")
+        return (label, kernel or DEFAULT_KERNEL)
+    label, kernel = entry
+    return (str(label), str(kernel))
+
+
+def worker_main(
+    worker_id: int,
+    task_queue,
+    result_queue,
+    program_cache_dir: Optional[str],
+    preload: Sequence,
+) -> None:
+    """Worker process entry point (module-level, so it pickles under spawn)."""
+    from repro.devices.registry import build_runner
+
+    if program_cache_dir:
+        # Reaches every CompiledSimulator this process ever builds; the
+        # content-addressed program cache makes re-elaboration of a known
+        # topology a disk read instead of a recompile.
+        os.environ[PROGRAM_CACHE_ENV] = str(program_cache_dir)
+
+    runners: Dict[Tuple[str, str], object] = {}
+    stats = {
+        "worker": worker_id,
+        "pid": os.getpid(),
+        "builds": 0,
+        "preloaded": 0,
+        "cells": 0,
+        "shards": 0,
+        "cell_errors": 0,
+    }
+
+    def get_runner(label: str, kernel: str):
+        key = (label, kernel)
+        runner = runners.get(key)
+        if runner is None:
+            runner = runners[key] = build_runner(label, kernel=kernel)
+            stats["builds"] += 1
+        return runner
+
+    for entry in preload:
+        label, kernel = _parse_preload(entry)
+        try:
+            get_runner(label, kernel)
+            stats["preloaded"] += 1
+        except Exception:
+            # A bad preload label must not take the worker down before it
+            # served a single job; the label will fail per-cell if actually
+            # used, with a proper error record.
+            pass
+
+    result_queue.put(("ready", worker_id, dict(stats, resident=len(runners))))
+
+    while True:
+        message = task_queue.get()
+        if message is None:
+            break
+        _, job_id, shard_id, cells = message
+        for cell in cells:
+            try:
+                runner = get_runner(cell.label, cell.kernel)
+                outcome_raw = runner.run_scenario(cell.generate_inputs())
+                outcome = (
+                    int(outcome_raw["result"]) & 0xFFFFFFFF,
+                    int(outcome_raw["cycles"]),
+                    int(outcome_raw.get("transactions", 0)),
+                )
+            except Exception as exc:  # noqa: BLE001 — isolate the cell, keep serving
+                stats["cell_errors"] += 1
+                result_queue.put((
+                    "cell_error", worker_id, job_id, shard_id, cell.key,
+                    f"{type(exc).__name__}: {exc}",
+                ))
+                continue
+            stats["cells"] += 1
+            result_queue.put(("cell", worker_id, job_id, shard_id, cell.key, outcome))
+        stats["shards"] += 1
+        result_queue.put(("shard_done", worker_id, job_id, shard_id,
+                          dict(stats, resident=len(runners))))
+
+
+@dataclass
+class WorkerHandle:
+    """Parent-side view of one worker process."""
+
+    worker_id: int
+    process: multiprocessing.Process
+    task_queue: object
+    #: Shard currently dispatched to this worker, or None when idle.
+    busy: Optional[object] = None
+    ready: bool = False
+    #: Last stats dict the worker reported (ready/shard_done messages).
+    stats: Dict[str, object] = field(default_factory=dict)
+    #: Cumulative seconds this handle has had a shard in flight.
+    busy_s: float = 0.0
+    dispatched: int = 0
+    respawns: int = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def snapshot(self) -> dict:
+        record = {
+            "worker": self.worker_id,
+            "alive": self.alive,
+            "ready": self.ready,
+            "busy": self.busy is not None,
+            "dispatched_shards": self.dispatched,
+            "busy_s": round(self.busy_s, 6),
+            "respawns": self.respawns,
+        }
+        for key in ("pid", "builds", "preloaded", "cells", "shards",
+                    "cell_errors", "resident"):
+            if key in self.stats:
+                record[key] = self.stats[key]
+        return record
+
+
+def spawn_worker(
+    context,
+    worker_id: int,
+    result_queue,
+    program_cache_dir: Optional[str],
+    preload: Sequence,
+) -> WorkerHandle:
+    """Start one worker process with its own task queue."""
+    task_queue = context.Queue()
+    process = context.Process(
+        target=worker_main,
+        args=(worker_id, task_queue, result_queue,
+              str(program_cache_dir) if program_cache_dir else None,
+              tuple(preload)),
+        daemon=True,
+        name=f"splice-farm-worker-{worker_id}",
+    )
+    process.start()
+    return WorkerHandle(worker_id=worker_id, process=process, task_queue=task_queue)

@@ -231,6 +231,104 @@ class TestExecutors:
         assert serial_s / sharded_s >= 2.0, f"speedup {serial_s / sharded_s:.2f}x"
 
 
+class TestMakeExecutor:
+    def test_one_means_serial(self):
+        from repro.campaign import make_executor
+
+        assert isinstance(make_executor(1), SerialExecutor)
+        assert isinstance(make_executor(None), (SerialExecutor, ShardedExecutor))
+
+    def test_many_means_sharded(self):
+        from repro.campaign import make_executor
+
+        executor = make_executor(3)
+        assert isinstance(executor, ShardedExecutor)
+        assert executor.workers == 3
+
+    def test_zero_means_one_worker_per_cpu(self):
+        from repro.campaign import make_executor
+
+        cpus = os.cpu_count() or 1
+        executor = make_executor(0)
+        if cpus <= 1:
+            assert isinstance(executor, SerialExecutor)
+        else:
+            assert isinstance(executor, ShardedExecutor)
+            assert executor.workers == cpus
+
+    def test_negative_rejected(self):
+        from repro.campaign import make_executor
+
+        with pytest.raises(ValueError):
+            make_executor(-2)
+
+
+class TestWorkerCrashIsolation:
+    @pytest.mark.skipif(
+        __import__("multiprocessing").get_start_method() != "fork",
+        reason="runtime-registered runners only reach workers under fork",
+    )
+    def test_dead_worker_yields_error_records_not_a_crash(self, tmp_path):
+        """A worker process dying mid-shard (BrokenProcessPool) retries the
+        shard once on a fresh pool; if that dies too, the shard's cells get
+        structured ``worker_crash`` error records and every other shard's
+        outcomes survive."""
+        from repro.devices.registry import _BUILDERS, register_runner
+
+        class Exiting:
+            def run_scenario(self, sets):
+                os._exit(3)
+
+        register_runner("zz_exiting", Exiting)
+        try:
+            spec = CampaignSpec(
+                implementations=("splice_plb", "zz_exiting"),
+                scenarios=SCENARIOS[:2],
+                name="worker-crash",
+            )
+            result = run_campaign(spec, workers=2, cache=tmp_path / "cache")
+            by_label = {}
+            for cell in result.cells:
+                by_label.setdefault(cell.cell.label, []).append(cell)
+            assert all(c.error is None for c in by_label["splice_plb"])
+            assert all(
+                c.error is not None and "worker_crash" in c.error
+                for c in by_label["zz_exiting"]
+            )
+            assert all(c.cycles is None for c in by_label["zz_exiting"])
+            assert result.meta["cells_failed"] == 2
+            # Error records are never cached: a warm rerun re-attempts them.
+            warm = run_campaign(spec, workers=2, cache=tmp_path / "cache")
+            assert warm.meta["cells_cached"] == 2
+            assert warm.meta["cells_failed"] == 2
+        finally:
+            _BUILDERS.pop("zz_exiting", None)
+
+    def test_error_rows_round_trip_through_json_and_csv(self, tmp_path):
+        from repro.campaign.executor import CellError
+        from repro.campaign.result import cell_result
+
+        spec = CampaignSpec(
+            implementations=("splice_plb",), scenarios=SCENARIOS[:2], name="err-rows"
+        )
+        cells = spec.cells()
+        mixed = CampaignResult(
+            spec=spec,
+            cells=[
+                cell_result(cells[0], (1, 2, 3)),
+                cell_result(cells[1], CellError(kind="worker_crash", message="died")),
+            ],
+            meta={},
+        )
+        clone = CampaignResult.from_dict(mixed.to_dict())
+        assert clone.cells[0].error is None and clone.cells[0].cycles == 2
+        assert clone.cells[1].error == "worker_crash: died"
+        assert clone.cells[1].cycles is None
+        assert "worker_crash: died" in mixed.to_csv()
+        # Errored cells drop out of the aggregates instead of poisoning them.
+        assert mixed.mean_cycles() == {"splice_plb": {cells[0].scenario.number: 2.0}}
+
+
 class TestCache:
     def test_warm_rerun_skips_every_cell(self, tmp_path):
         spec = CampaignSpec(implementations=("splice_plb",), scenarios=SCENARIOS[:2], seeds=(0, 1))

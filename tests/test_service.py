@@ -1,0 +1,441 @@
+"""Tests for the simulation farm service: job queue, farm, HTTP API, CLI.
+
+The farm's contract is that serving a campaign through the queue + warm
+workers + shared cache is *observably identical* to ``splice campaign run``:
+same cells, same payload bytes, same aggregation.  The tests here pin that,
+plus the queueing semantics the batch path does not have: priority ordering,
+FIFO fairness, cancellation at shard boundaries, per-job timeouts, the
+cache short-circuit, and worker-crash fault isolation.
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.campaign import CampaignSpec, ScenarioSweep, paper_grid, run_campaign, sweep_grid
+from repro.evaluation.scenarios import SCENARIOS
+from repro.service import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    TIMEOUT,
+    Job,
+    JobQueue,
+    ServiceClient,
+    ServiceError,
+    Shard,
+    SimulationFarm,
+    resolve_workers,
+    serve_farm_in_thread,
+)
+
+#: Runtime-registered runners (the slow/crashing stand-ins below) only reach
+#: worker processes when the OS forks them from the registering parent.
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="runtime-registered runners only reach workers under fork",
+)
+
+
+def small_spec(count=2, name="svc-small", seed=0):
+    """A cheap single-implementation grid (degenerate scenarios simulate fast)."""
+    return sweep_grid(
+        ScenarioSweep(mode="degenerate", count=count),
+        implementations=("splice_plb",),
+        seeds=(seed,),
+        name=name,
+    )
+
+
+class _SlowRunner:
+    """Holds a worker busy for a deterministic, nontrivial interval."""
+
+    def run_scenario(self, sets):
+        time.sleep(0.15)
+        return {"result": 1, "cycles": 1, "transactions": 0}
+
+
+class _ExitingRunner:
+    """Kills the whole worker process mid-shard (not an exception)."""
+
+    def run_scenario(self, sets):
+        import os
+
+        os._exit(3)
+
+
+def _register(label, builder):
+    from repro.devices.registry import register_runner
+
+    register_runner(label, builder, replace=True)
+
+
+def _unregister(label):
+    from repro.devices.registry import _BUILDERS
+
+    _BUILDERS.pop(label, None)
+
+
+# ---------------------------------------------------------------------------
+# JobQueue unit semantics (no processes involved)
+# ---------------------------------------------------------------------------
+
+
+class TestJobQueue:
+    def _job(self, job_id, priority=0):
+        job = Job(job_id, small_spec(name=f"q-{job_id}"), priority=priority)
+        job.pending_shards.append(Shard(job_id, 0, []))
+        return job
+
+    def test_higher_priority_pops_first(self):
+        queue = JobQueue()
+        low, high = self._job("low", priority=0), self._job("high", priority=5)
+        queue.push(low)
+        queue.push(high)
+        assert queue.pop() is high
+        assert queue.pop() is low
+        assert queue.pop() is None
+
+    def test_fifo_within_a_priority(self):
+        queue = JobQueue()
+        jobs = [self._job(f"j{i}") for i in range(4)]
+        for job in jobs:
+            queue.push(job)
+        assert [queue.pop() for _ in jobs] == jobs
+
+    def test_repush_keeps_the_original_queue_position(self):
+        """A job re-pushed while it still has pending shards must not lose
+        its FIFO slot to a later submission of the same priority."""
+        queue = JobQueue()
+        first, second = self._job("first"), self._job("second")
+        queue.push(first)
+        queue.push(second)
+        assert queue.pop() is first
+        queue.push(first)  # still has pending shards: goes back in
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_terminal_jobs_are_skipped_lazily(self):
+        queue = JobQueue()
+        cancelled, live = self._job("dead"), self._job("live")
+        queue.push(cancelled)
+        queue.push(live)
+        cancelled.state = CANCELLED  # cancel() just flips state; heap untouched
+        assert queue.pop() is live
+        assert queue.pop() is None
+
+    def test_jobs_without_pending_shards_are_skipped(self):
+        queue = JobQueue()
+        drained = self._job("drained")
+        drained.pending_shards.clear()
+        queue.push(drained)
+        assert len(queue) == 0
+        assert queue.peek() is None
+        assert queue.pop() is None
+
+    def test_len_counts_distinct_dispatchable_jobs(self):
+        queue = JobQueue()
+        job = self._job("dup")
+        queue.push(job)
+        queue.push(job)  # re-push duplicates the heap entry, not the job
+        assert len(queue) == 1
+
+
+class TestResolveWorkers:
+    def test_zero_means_one_per_cpu(self):
+        import os
+
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+        assert resolve_workers(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+
+# ---------------------------------------------------------------------------
+# Farm behaviour (real worker processes)
+# ---------------------------------------------------------------------------
+
+
+class TestFarm:
+    def test_farm_result_is_bit_identical_to_batch_on_the_paper_grid(self):
+        grid = paper_grid()
+        batch = run_campaign(grid)
+        with SimulationFarm(workers=2) as farm:
+            job = farm.submit(grid)
+            assert job.wait(timeout=120) == DONE
+            assert job.result().payload() == batch.payload()
+
+    def test_repeat_submission_short_circuits_without_touching_workers(self):
+        spec = small_spec(name="svc-cachehit")
+        with SimulationFarm(workers=1) as farm:
+            first = farm.submit(spec)
+            assert first.wait(timeout=60) == DONE
+            executed_before = farm.counters["cells_executed"]
+
+            second = farm.submit(spec)
+            # Fully cached: terminal at submit time, no queueing, no worker.
+            assert second.state == DONE
+            assert len(second.cached) == spec.cell_count
+            assert len(second.fresh) == 0
+            assert farm.counters["cells_executed"] == executed_before
+            stats = farm.stats()
+            assert stats["cache_hit_rate"] == 0.5  # 0/N then N/N
+            assert stats["queue_depth"] == 0
+
+    def test_submit_requires_a_running_farm(self):
+        farm = SimulationFarm(workers=1)
+        with pytest.raises(RuntimeError):
+            farm.submit(small_spec())
+
+    @fork_only
+    def test_priority_cancel_and_timeout_semantics(self):
+        """One slow worker, deterministic queueing behind it.
+
+        While the worker grinds through a slow job's first shard, everything
+        submitted after it is provably queued — so priority overtaking,
+        queued-cancellation and queued-timeout can be asserted exactly.
+        """
+        _register("zz_slow", _SlowRunner)
+        try:
+            slow_spec = CampaignSpec(
+                implementations=("zz_slow",), scenarios=SCENARIOS[:3], name="slow"
+            )
+            with SimulationFarm(workers=1, shard_size=1) as farm:
+                slow = farm.submit(slow_spec)  # 3 shards x 0.15s
+                low = farm.submit(small_spec(name="low"), priority=0)
+                high = farm.submit(small_spec(name="high", seed=1), priority=5)
+                doomed = farm.submit(small_spec(name="doomed", seed=2), priority=0)
+                expiring = farm.submit(
+                    small_spec(name="expiring", seed=3), timeout_s=0.05
+                )
+
+                # Queued cancellation: drops instantly, never runs a cell.
+                assert farm.cancel(doomed.id) is True
+                assert doomed.state == CANCELLED
+                assert farm.cancel(doomed.id) is False  # already terminal
+
+                assert expiring.wait(timeout=30) == TIMEOUT
+                with pytest.raises(ValueError):
+                    expiring.result()  # holes in the grid: no result exists
+
+                assert high.wait(timeout=60) == DONE
+                assert low.wait(timeout=60) == DONE
+                assert slow.wait(timeout=60) == DONE
+                # Priority 5 overtook the earlier-submitted priority 0.
+                assert high.finished < low.finished
+                assert doomed.fresh == {} and doomed.cells_done == 0
+        finally:
+            _unregister("zz_slow")
+
+    @fork_only
+    def test_cancelling_a_running_job_stops_at_the_shard_boundary(self):
+        _register("zz_slow", _SlowRunner)
+        try:
+            slow_spec = CampaignSpec(
+                implementations=("zz_slow",), scenarios=SCENARIOS[:4], name="slow-cancel"
+            )
+            with SimulationFarm(workers=1, shard_size=1) as farm:
+                job = farm.submit(slow_spec)
+                with farm.lock:
+                    while not job.in_flight:
+                        farm.lock.wait(1.0)
+                assert farm.cancel(job.id) is True
+                assert job.state == CANCELLED
+                # The in-flight shard runs to its boundary in the worker and
+                # its late results are discarded, after which the farm is
+                # fully available again for new jobs.
+                follow_up = farm.submit(small_spec(name="after-cancel"))
+                assert follow_up.wait(timeout=60) == DONE
+                assert job.cells_done < len(job.cells)
+        finally:
+            _unregister("zz_slow")
+
+    @fork_only
+    def test_dead_worker_is_respawned_and_the_job_fails_structurally(self):
+        """A worker killed mid-shard (twice) must not take the farm down:
+        the shard is retried once on a fresh worker, then its cells get
+        structured error records and the farm keeps serving."""
+        _register("zz_exit", _ExitingRunner)
+        try:
+            crash_spec = CampaignSpec(
+                implementations=("zz_exit",), scenarios=SCENARIOS[:1], name="crash"
+            )
+            with SimulationFarm(workers=1, shard_size=1) as farm:
+                job = farm.submit(crash_spec)
+                assert job.wait(timeout=60) == FAILED
+                assert len(job.errors) == 1
+                (error,) = job.errors.values()
+                assert error.kind == "worker_crash"
+                assert farm.counters["workers_respawned"] >= 2
+                assert farm.counters["shards_retried"] == 1
+
+                result = job.result()
+                (cell,) = result.cells
+                assert cell.error is not None and "worker_crash" in cell.error
+                assert cell.cycles is None
+
+                # The respawned worker serves the next job normally.
+                follow_up = farm.submit(small_spec(name="after-crash"))
+                assert follow_up.wait(timeout=60) == DONE
+        finally:
+            _unregister("zz_exit")
+
+
+# ---------------------------------------------------------------------------
+# HTTP API + client
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def served_farm():
+    with SimulationFarm(workers=2, name="test-farm") as farm:
+        server, _thread = serve_farm_in_thread(farm)
+        try:
+            yield farm, ServiceClient("http://127.0.0.1:%d" % server.server_address[1])
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestHTTPAPI:
+    def test_submit_stream_and_result_match_the_batch_runner(self, served_farm):
+        farm, client = served_farm
+        spec = small_spec(count=3, name="http-flow")
+        job = client.submit(spec, priority=2)
+        assert job["state"] in (QUEUED, "running", DONE)
+        assert job["cells_total"] == 3
+        assert job["priority"] == 2
+
+        events = list(client.events(job["id"]))
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "submitted"
+        assert kinds[-1] == "state" and events[-1]["state"] == DONE
+        cell_events = [e for e in events if e["event"] == "cell"]
+        assert len(cell_events) == 3
+        assert all(e["label"] == "splice_plb" for e in cell_events)
+
+        served = client.result(job["id"])
+        batch = run_campaign(spec)
+        assert served["cells"] == batch.payload()
+        assert served["meta"]["executor"] == "farm"
+
+    def test_event_stream_supports_resume_offsets(self, served_farm):
+        farm, client = served_farm
+        job = client.submit(small_spec(name="http-offset", seed=11))
+        client.wait(job["id"], timeout=60)
+        all_events = list(client.events(job["id"]))
+        tail = list(client.events(job["id"], start=len(all_events) - 1))
+        assert tail == all_events[-1:]
+
+    def test_status_jobs_stats_and_health(self, served_farm):
+        farm, client = served_farm
+        assert client.healthz() == {"ok": True, "running": True}
+        stats = client.stats()
+        assert stats["worker_count"] == 2
+        assert stats["shard_size"] == farm.shard_size
+        assert {"cells_total", "cells_cached", "cells_executed"} <= set(stats["cells"])
+        job = client.submit(small_spec(name="http-status", seed=12))
+        final = client.wait(job["id"], timeout=60)
+        assert final["state"] == DONE
+        assert final["cells_done"] == final["cells_total"]
+        assert any(j["id"] == job["id"] for j in client.jobs())
+
+    def test_delete_cancels_and_error_codes_are_specific(self, served_farm):
+        farm, client = served_farm
+        # 404: unknown endpoints and unknown jobs.
+        for path in ("status", "result", "cancel"):
+            with pytest.raises(ServiceError) as excinfo:
+                getattr(client, path)("j999999")
+            assert excinfo.value.status == 404
+        # 400: bodies that are not campaign specs.
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"bogus": 1})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"implementations": ["no_such_label"]})
+        assert excinfo.value.status == 400
+        # Cancel flow: done jobs cannot be cancelled; cancelled jobs have no
+        # result (410, distinct from 409 = still running).
+        job = client.submit(small_spec(name="http-del", seed=13))
+        client.wait(job["id"], timeout=60)
+        assert client.cancel(job["id"])["cancelled"] is False
+        assert client.result(job["id"])["meta"]["executor"] == "farm"
+
+    def test_warm_resubmission_over_http_is_fully_cached(self, served_farm):
+        farm, client = served_farm
+        spec = small_spec(name="http-warm", seed=14)
+        cold = client.submit_and_wait(spec, timeout=60)
+        warm = client.submit_and_wait(spec, timeout=60)
+        assert cold["state"] == warm["state"] == DONE
+        assert warm["cells_cached"] == warm["cells_total"]
+        assert warm["cells_executed"] == 0
+
+
+# ---------------------------------------------------------------------------
+# CLI integration (the `submit` front end is a pure HTTP client)
+# ---------------------------------------------------------------------------
+
+
+class TestCLI:
+    def test_workers_arg_spellings(self):
+        import argparse
+
+        from repro.cli import _workers_arg
+
+        assert _workers_arg("auto") == 0
+        assert _workers_arg("0") == 0
+        assert _workers_arg("3") == 3
+        with pytest.raises(argparse.ArgumentTypeError):
+            _workers_arg("-2")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _workers_arg("many")
+
+    def test_submit_round_trip_against_a_live_farm(self, served_farm, capsys):
+        from repro.cli import main
+
+        farm, client = served_farm
+        url = f"http://{client.host}:{client.port}"
+        code = main([
+            "submit", "--url", url, "--implementations", "splice_plb",
+            "--sweep", "degenerate", "--sweep-count", "2", "--seeds", "21",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Submitted job" in out
+        assert "# Campaign report" in out
+
+    def test_submit_no_follow_prints_the_handle_only(self, served_farm, capsys):
+        from repro.cli import main
+
+        farm, client = served_farm
+        url = f"http://{client.host}:{client.port}"
+        code = main([
+            "submit", "--url", url, "--no-follow", "--implementations",
+            "splice_plb", "--sweep", "degenerate", "--sweep-count", "2",
+            "--seeds", "22",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "follow with" in out
+
+    def test_submit_reports_an_unreachable_farm(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "submit", "--url", "http://127.0.0.1:1", "--implementations",
+            "splice_plb", "--sweep", "degenerate",
+        ])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "no farm reachable" in err
+
+    def test_submit_rejects_contradictory_grid_arguments(self, capsys):
+        from repro.cli import main
+
+        code = main(["submit", "--preset", "paper", "--sweep", "linear"])
+        assert code == 2
+        assert "--preset paper fixes the grid" in capsys.readouterr().err
