@@ -34,8 +34,12 @@ class CellError:
     """Structured record for a cell that could not produce an outcome.
 
     Produced instead of a :data:`CellOutcome` when a worker process died
-    mid-shard and the one retry died too — the rest of the campaign (and, in
-    the service, the rest of the job) proceeds, and the failure is carried
+    mid-shard and the one retry died too (``worker_crash``), when a faulted
+    cell's simulation raised — e.g. an injected fault deadlocked the
+    handshake until a driver timeout fired (``cell_exception``) — or when a
+    fault schedule targets a runner that cannot inject it
+    (``faults_unsupported``).  The rest of the campaign (and, in the
+    service, the rest of the job) proceeds, and the failure is carried
     through aggregation as :attr:`~repro.campaign.result.CellResult.error`
     rather than killing the whole run.  Never cached: a crash says nothing
     about what the outcome would have been.
@@ -58,30 +62,68 @@ ResultCallback = Callable[[CampaignCell, Union[CellOutcome, CellError]], None]
 def execute_cells(
     cells: Sequence[CampaignCell],
     on_result: Optional[ResultCallback] = None,
-) -> Dict[tuple, CellOutcome]:
+) -> Dict[tuple, Union[CellOutcome, CellError]]:
     """Run ``cells`` in-process, building each (implementation, kernel) once.
 
     This is both the whole of :class:`SerialExecutor` and the per-worker body
     of :class:`ShardedExecutor` — a single code path keeps the two executors
     trivially equivalent.  (Workers call it without ``on_result``; callbacks
     don't cross process boundaries.)
+
+    Cells carrying a fault schedule attach it to the shared runner before the
+    scenario and clear it after; a faulted cell whose simulation raises (a
+    fault can deadlock the handshake into a driver timeout) or whose runner
+    cannot inject (baselines have no SIS bundle) yields a structured
+    :class:`CellError` instead of aborting the shard.  Clean cells are
+    untouched: they share runners as before and a raise still propagates.
     """
-    outcomes: Dict[tuple, CellOutcome] = {}
+    outcomes: Dict[tuple, Union[CellOutcome, CellError]] = {}
     runners: Dict[tuple, object] = {}
+    applied: Dict[tuple, Optional[str]] = {}
+
+    def emit(cell: CampaignCell, value: Union[CellOutcome, CellError]) -> None:
+        outcomes[cell.key] = value
+        if on_result is not None:
+            on_result(cell, value)
+
     for cell in sorted(cells, key=lambda c: c.key):
         runner_key = (cell.label, cell.kernel)
+        faults = getattr(cell, "faults", None)
         runner = runners.get(runner_key)
         if runner is None:
             runner = runners[runner_key] = build_runner(cell.label, kernel=cell.kernel)
+            applied[runner_key] = None
+        apply_faults = getattr(runner, "apply_faults", None)
+        if faults is not None and apply_faults is None:
+            emit(cell, CellError(
+                kind="faults_unsupported",
+                message=f"runner {cell.label!r} cannot inject fault schedule {faults!r}",
+            ))
+            continue
+        if apply_faults is not None and applied[runner_key] != faults:
+            apply_faults(faults)
+            applied[runner_key] = faults
         sets = cell.generate_inputs()
-        outcome = runner.run_scenario(sets)
-        outcomes[cell.key] = result = (
+        if faults is None:
+            outcome = runner.run_scenario(sets)
+        else:
+            try:
+                outcome = runner.run_scenario(sets)
+            except Exception as exc:
+                # The faulted system may be wedged mid-handshake: drop the
+                # runner so later cells of this label rebuild fresh.
+                runners.pop(runner_key, None)
+                applied.pop(runner_key, None)
+                emit(cell, CellError(
+                    kind="cell_exception",
+                    message=f"fault schedule {faults!r}: {type(exc).__name__}: {exc}",
+                ))
+                continue
+        emit(cell, (
             int(outcome["result"]) & 0xFFFFFFFF,
             int(outcome["cycles"]),
             int(outcome.get("transactions", 0)),
-        )
-        if on_result is not None:
-            on_result(cell, result)
+        ))
     return outcomes
 
 

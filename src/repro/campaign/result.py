@@ -32,7 +32,7 @@ from repro.campaign.spec import CampaignCell, CampaignSpec
 #: there and ``None`` in the outcome columns.
 CELL_FIELDS = (
     "label", "scenario", "set1", "set2", "set3", "seed", "repeat", "kernel",
-    "result", "cycles", "transactions", "error",
+    "faults", "result", "cycles", "transactions", "error",
 )
 
 
@@ -113,11 +113,13 @@ class CampaignResult:
     def mean_cycles(self) -> Dict[str, Dict[int, float]]:
         """Mean cycles per (implementation, scenario) over seeds × repeats.
 
-        Failed cells (``error`` set) have no cycle count and are excluded.
+        Failed cells (``error`` set) have no cycle count and are excluded;
+        so are faulted cells — the Figure 9.2 metric is defined over clean
+        runs, and a fault's cycle penalty would silently skew the mean.
         """
         sums: Dict[Tuple[str, int], List[int]] = {}
         for cell in self.cells:
-            if cell.error is not None:
+            if cell.error is not None or cell.cell.faults is not None:
                 continue
             sums.setdefault((cell.cell.label, cell.cell.scenario.number), []).append(cell.cycles)
         out: Dict[str, Dict[int, float]] = {}
@@ -132,16 +134,23 @@ class CampaignResult:
             for label, per in self.mean_cycles().items()
         }
 
-    def agreement(self) -> Dict[Tuple[int, int, int], bool]:
+    def agreement(self) -> Dict[Tuple, bool]:
         """Per (scenario, seed, repeat): did all implementations agree?
 
-        Failed cells have no result to compare and are excluded.
+        Failed cells have no result to compare and are excluded.  Faulted
+        cells are compared only against cells running the *same* fault
+        schedule (the token is appended to the grouping key), so a fault
+        that corrupts the result never reads as an implementation
+        disagreement — but two implementations diverging under the same
+        fault still does.
         """
-        values: Dict[Tuple[int, int, int], set] = {}
+        values: Dict[Tuple, set] = {}
         for cell in self.cells:
             if cell.error is not None:
                 continue
             key = (cell.cell.scenario.number, cell.cell.seed, cell.cell.repeat)
+            if cell.cell.faults is not None:
+                key = key + (cell.cell.faults,)
             values.setdefault(key, set()).add(cell.result & 0xFFFFFFFF)
         return {key: len(seen) == 1 for key, seen in values.items()}
 
@@ -178,6 +187,7 @@ class CampaignResult:
                 label=row["label"], scenario=scenario,
                 seed=row["seed"], repeat=row["repeat"],
                 kernel=row.get("kernel", spec.kernel),
+                faults=row.get("faults"),
             )
             cells.append(
                 CellResult(

@@ -16,7 +16,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.evaluation.scenarios import SCENARIOS, Scenario
 from repro.rtl import DEFAULT_KERNEL, KERNELS
@@ -33,6 +33,12 @@ class CampaignCell:
     #: Simulation kernel the cell runs on; part of the identity (and hence
     #: the cache key), so the same grid on two kernels never shares results.
     kernel: str = DEFAULT_KERNEL
+
+    #: Canonical fault-schedule token (see :mod:`repro.faults.spec`), or
+    #: ``None`` for a clean run.  Part of the identity when set, so a cached
+    #: faulted outcome can never be served as clean (or vice versa); clean
+    #: cells keep their pre-fault keys and digests.
+    faults: Optional[str] = None
 
     #: Stride separating the input seeds of successive repeats.  Large and
     #: prime so that (seed, repeat) pairs from grids mixing several seeds
@@ -52,18 +58,28 @@ class CampaignCell:
         return self.seed + self.repeat * self.REPEAT_SEED_STRIDE
 
     @property
-    def key(self) -> Tuple[str, int, int, int, int, int, int, str]:
-        """Stable identity: label + scenario shape + seed + repeat + kernel."""
+    def key(self) -> Tuple:
+        """Stable identity: label + scenario shape + seed + repeat + kernel.
+
+        The fault token is appended only when present, so clean cells keep
+        the key shape every existing artifact and cache entry was built on.
+        """
         s = self.scenario
-        return (self.label, s.number, s.set1, s.set2, s.set3, self.seed, self.repeat, self.kernel)
+        base = (self.label, s.number, s.set1, s.set2, s.set3, self.seed, self.repeat, self.kernel)
+        return base if self.faults is None else base + (self.faults,)
 
     def generate_inputs(self) -> Tuple[List[int], List[int], List[int]]:
         return self.scenario.generate_inputs(seed=self.effective_seed)
 
     def describe(self) -> Dict[str, object]:
-        """JSON-friendly descriptor (used by the cache and artifacts)."""
+        """JSON-friendly descriptor (used by the cache and artifacts).
+
+        ``faults`` appears only when set: clean descriptors — and therefore
+        clean cells' content-addressed cache digests — are byte-identical to
+        those written before fault injection existed.
+        """
         s = self.scenario
-        return {
+        data = {
             "label": self.label,
             "scenario": s.number,
             "set1": s.set1,
@@ -73,6 +89,9 @@ class CampaignCell:
             "repeat": self.repeat,
             "kernel": self.kernel,
         }
+        if self.faults is not None:
+            data["faults"] = self.faults
+        return data
 
 
 @dataclass(frozen=True)
@@ -85,6 +104,10 @@ class CampaignSpec:
     repeats: int = 1
     name: str = "campaign"
     kernel: str = DEFAULT_KERNEL
+    #: Fault-schedule axis: each entry is a canonical schedule token (see
+    #: :mod:`repro.faults.spec`) or ``None`` for the clean baseline.  The
+    #: default ``(None,)`` reproduces the pre-fault grid exactly.
+    faults: Tuple[Optional[str], ...] = (None,)
 
     def __post_init__(self) -> None:
         if not self.implementations:
@@ -101,10 +124,25 @@ class CampaignSpec:
         object.__setattr__(self, "implementations", tuple(self.implementations))
         object.__setattr__(self, "scenarios", tuple(self.scenarios))
         object.__setattr__(self, "seeds", tuple(self.seeds) or (0,))
+        # Canonicalise each fault token through the parser so equivalent
+        # spellings ("a;b" vs "b;a") key and cache identically — and so a
+        # malformed token fails here, not inside a worker process.
+        from repro.faults.spec import FaultSchedule
+
+        normalised = []
+        for token in (tuple(self.faults) or (None,)):
+            if token is None or token == "":
+                normalised.append(None)
+            else:
+                normalised.append(FaultSchedule.parse(str(token)).token)
+        object.__setattr__(self, "faults", tuple(normalised))
 
     @property
     def cell_count(self) -> int:
-        return len(self.implementations) * len(self.scenarios) * len(self.seeds) * self.repeats
+        return (
+            len(self.implementations) * len(self.scenarios) * len(self.seeds)
+            * self.repeats * len(self.faults)
+        )
 
     def cells(self) -> List[CampaignCell]:
         """Expand the grid, implementation-major, in deterministic order."""
@@ -113,12 +151,19 @@ class CampaignSpec:
             for scenario in self.scenarios:
                 for seed in self.seeds:
                     for repeat in range(self.repeats):
-                        out.append(CampaignCell(label, scenario, seed, repeat, self.kernel))
+                        for faults in self.faults:
+                            out.append(
+                                CampaignCell(label, scenario, seed, repeat, self.kernel, faults)
+                            )
         return out
 
     def describe(self) -> Dict[str, object]:
-        """Canonical JSON-friendly form (stable across processes)."""
-        return {
+        """Canonical JSON-friendly form (stable across processes).
+
+        ``faults`` is emitted only for grids that actually use the axis, so
+        fingerprints of clean specs are unchanged from before it existed.
+        """
+        data = {
             "name": self.name,
             "implementations": list(self.implementations),
             "scenarios": [
@@ -129,6 +174,9 @@ class CampaignSpec:
             "repeats": self.repeats,
             "kernel": self.kernel,
         }
+        if self.faults != (None,):
+            data["faults"] = list(self.faults)
+        return data
 
     def fingerprint(self) -> str:
         """Content hash of the spec itself (not of the code that runs it)."""
@@ -148,4 +196,5 @@ class CampaignSpec:
             repeats=int(data.get("repeats", 1)),
             name=str(data.get("name", "campaign")),
             kernel=str(data.get("kernel", DEFAULT_KERNEL)),
+            faults=tuple(data.get("faults", (None,))),
         )

@@ -58,7 +58,7 @@ from repro.core.syntax.errors import SpliceError
 from repro.rtl import DEFAULT_KERNEL, KERNELS
 
 #: Names that select a subcommand; anything else routes to ``generate``.
-_SUBCOMMANDS = ("generate", "campaign", "profile", "serve", "submit")
+_SUBCOMMANDS = ("generate", "campaign", "profile", "serve", "submit", "faults")
 
 #: Kernel choices come from the one registry, so a new kernel is
 #: automatically selectable here.
@@ -153,6 +153,12 @@ def _add_campaign_grid_arguments(parser: argparse.ArgumentParser) -> None:
                         help="simulation kernel every cell runs on (default: "
                         f"{DEFAULT_KERNEL}); the kernel is part of each cell's "
                         "identity and cache key")
+    parser.add_argument("--faults", nargs="+", metavar="SCHEDULE", default=None,
+                        help="fault-schedule grid axis: each value is a schedule "
+                        "token like 'stuck_at_1:IO_ENABLE:10:3:*' (semicolon-join "
+                        "specs for multi-fault schedules) or 'none' for the clean "
+                        "baseline; every grid cell is run once per schedule "
+                        "(default: clean only)")
 
 
 def _check_grid_args(args) -> Optional[str]:
@@ -197,6 +203,35 @@ def build_arg_parser() -> argparse.ArgumentParser:
     report.add_argument("result", help="path to a campaign.json written by 'campaign run'")
     report.add_argument("--format", choices=("markdown", "csv", "text"), default="markdown",
                         help="output format (default: markdown)")
+
+    faults = subparsers.add_parser(
+        "faults",
+        help="deterministic fault injection against the SIS protocol monitor",
+        description="Mutation testing for the protocol monitor: inject seeded, "
+        "probe-guided faults (stuck-at, bit flip, transient pulse, delayed "
+        "handshake, dropped/duplicated beat) into generated adapters and "
+        "report which ones the monitor detects.  Escapes are findings, not "
+        "failures — the command exits 0 either way.",
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+    faults_run = faults_sub.add_parser(
+        "run", help="run the (bus x fault class) monitor-efficacy matrix"
+    )
+    faults_run.add_argument("--buses", nargs="+", metavar="LABEL", default=None,
+                            help="Splice implementation labels to sweep "
+                            "(default: the four-bus Figure 9.1 grid)")
+    faults_run.add_argument("--classes", nargs="+", metavar="KIND", default=None,
+                            help="fault classes to inject (default: all seven)")
+    faults_run.add_argument("--scenario", type=int, default=1, metavar="N",
+                            help="Figure 9.1 scenario number to run (default: 1)")
+    faults_run.add_argument("--seed", type=int, default=0,
+                            help="placement seed (default: 0); every row records "
+                            "its exact schedule token for bit-exact replay")
+    faults_run.add_argument("--kernel", choices=_KERNEL_CHOICES, default="compiled",
+                            help="simulation kernel to inject into (default: "
+                            "compiled; all three are cycle-exact under injection)")
+    faults_run.add_argument("--artifacts", default=None, metavar="DIR",
+                            help="write faults.md and faults.json under DIR")
 
     profile = subparsers.add_parser(
         "profile",
@@ -252,6 +287,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shard-size", type=int, default=None, metavar="CELLS",
                        help="cells per dispatched shard — the unit of scheduling "
                        "and cancellation (default: 4)")
+    serve.add_argument("--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+                       help="on SIGINT/SIGTERM, stop accepting jobs and let "
+                       "running work finish for up to this long before "
+                       "cancelling what remains (default: 30; 0 = stop "
+                       "immediately)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
 
@@ -443,6 +483,16 @@ def _campaign_spec_from_args(args):
             name="cli-grid",
             kernel=args.kernel,
         )
+    if getattr(args, "faults", None):
+        import dataclasses
+
+        faults = tuple(
+            None if token.lower() in ("none", "clean") else token
+            for token in args.faults
+        )
+        # replace() re-runs __post_init__, so malformed tokens fail here with
+        # the parser's message rather than inside a worker.
+        spec = dataclasses.replace(spec, faults=faults)
     return spec
 
 
@@ -503,6 +553,60 @@ def _campaign_report(args) -> int:
     return 0
 
 
+def _faults_run(args) -> int:
+    """``splice faults run``: the monitor-efficacy matrix."""
+    import json as json_module
+
+    from repro.evaluation.scenarios import SCENARIOS
+    from repro.faults import (
+        DEFAULT_MATRIX_BUSES,
+        FAULT_KINDS,
+        matrix_to_markdown,
+        matrix_to_payload,
+        run_fault_matrix,
+    )
+
+    buses = tuple(args.buses) if args.buses else DEFAULT_MATRIX_BUSES
+    kinds = tuple(args.classes) if args.classes else FAULT_KINDS
+    unknown = [kind for kind in kinds if kind not in FAULT_KINDS]
+    if unknown:
+        print(f"splice: unknown fault class(es) {unknown} "
+              f"(known: {list(FAULT_KINDS)})", file=sys.stderr)
+        return 2
+    by_number = {s.number: s for s in SCENARIOS}
+    scenario = by_number.get(args.scenario)
+    if scenario is None:
+        print(f"splice: unknown scenario {args.scenario} "
+              f"(known: {sorted(by_number)})", file=sys.stderr)
+        return 2
+    try:
+        rows = run_fault_matrix(
+            buses, kinds, scenario=scenario, seed=args.seed, kernel=args.kernel
+        )
+    except KeyError as exc:
+        print(f"splice: {exc}", file=sys.stderr)
+        return 2
+    payload = matrix_to_payload(rows, seed=args.seed, scenario=scenario, kernel=args.kernel)
+    summary = payload["summary"]
+    print(matrix_to_markdown(rows))
+    print()
+    print(
+        f"{len(rows)} cells: {summary['detected']} detected, "
+        f"{summary['escape']} escapes ({summary['crashed']} runs crashed). "
+        "Escapes are monitor-coverage findings, not failures."
+    )
+    if args.artifacts:
+        directory = Path(args.artifacts)
+        directory.mkdir(parents=True, exist_ok=True)
+        md_path = directory / "faults.md"
+        json_path = directory / "faults.json"
+        md_path.write_text(matrix_to_markdown(rows) + "\n")
+        json_path.write_text(json_module.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"  markdown: {md_path}")
+        print(f"  json: {json_path}")
+    return 0
+
+
 def _serve(args) -> int:
     """``splice serve``: run the farm + HTTP API until interrupted."""
     from repro.service import DEFAULT_SHARD_SIZE, SimulationFarm, resolve_workers, serve_farm
@@ -540,11 +644,28 @@ def _serve(args) -> int:
         f"cache {cache_note}, serving on http://{host}:{port}  (Ctrl-C to stop)",
         flush=True,  # the banner is what wrappers/tests parse for the bound port
     )
+
+    import signal
+
+    def _terminate(signum, frame):  # SIGTERM drains exactly like Ctrl-C
+        raise KeyboardInterrupt
+
+    previous_term = signal.signal(signal.SIGTERM, _terminate)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("\nsplice farm: shutting down")
+        # Graceful drain: the farm rejects new jobs (503) but running and
+        # queued shards keep executing; established event streams (daemon
+        # handler threads) stay connected and see each job's terminal event.
+        print(f"\nsplice farm: draining for up to {args.drain_timeout:g}s "
+              "(running jobs finish; new submissions are rejected)", flush=True)
+        outcome = farm.drain(timeout_s=args.drain_timeout)
+        if outcome["cancelled"]:
+            print("splice farm: drain timeout — cancelled "
+                  + ", ".join(outcome["cancelled"]), flush=True)
+        print("splice farm: shutting down")
     finally:
+        signal.signal(signal.SIGTERM, previous_term)
         server.shutdown()
         server.server_close()
         farm.stop()
@@ -629,6 +750,8 @@ def main(argv=None) -> int:
         return _campaign_report(args)
     if args.command == "profile":
         return _profile(args)
+    if args.command == "faults":
+        return _faults_run(args)
     if args.command == "serve":
         return _serve(args)
     if args.command == "submit":

@@ -17,7 +17,7 @@ interconnect.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.rtl.simulator import Simulator
 from repro.soc.system import SpliceSystem, build_system
@@ -128,12 +128,35 @@ class SpliceInterpolator:
 
     system: SpliceSystem
     label: str
+    fault_controller: Optional[object] = None
+
+    def apply_faults(self, schedule) -> None:
+        """Attach a fault schedule (token string, ``FaultSchedule``, or
+        ``None`` to clear) to this runner's simulator.
+
+        Spec cycles are relative to scenario start: ``run_scenario`` rebases
+        the controller every call, so the same schedule faults the same
+        relative cycle of every scenario regardless of how many ran before.
+        """
+        from repro.faults import FaultController, coerce_schedule, sis_targets
+
+        schedule = coerce_schedule(schedule)
+        if schedule is None:
+            self.fault_controller = None
+            self.system.simulator.inject_faults(None)
+            return
+        self.fault_controller = FaultController(
+            schedule, sis_targets(self.system.peripheral.sis)
+        )
+        self.system.simulator.inject_faults(self.fault_controller)
 
     def run_scenario(self, sets: Sequence[Sequence[int]]) -> Dict[str, int]:
         """Run one interpolation and report the cycles the call took."""
         set1, set2, set3 = [list(s) for s in sets]
         driver = self.system.drivers["interpolate"]
         start = self.system.cycles
+        if self.fault_controller is not None:
+            self.fault_controller.rebase(self.system.simulator, start)
         result = driver(len(set1), set1, len(set2), set2, len(set3), set3)
         return {
             "result": int(result),

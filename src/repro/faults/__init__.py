@@ -1,0 +1,40 @@
+"""Deterministic fault injection for the three simulation kernels.
+
+See :mod:`repro.faults.spec` for the schedule model,
+:mod:`repro.faults.inject` for the kernel binding, and
+:mod:`repro.faults.matrix` for the monitor-efficacy matrix behind
+``splice faults run``.
+"""
+
+from repro.faults.inject import FaultController, sis_targets
+from repro.faults.matrix import (
+    DEFAULT_MATRIX_BUSES,
+    FaultMatrixRow,
+    matrix_to_markdown,
+    matrix_to_payload,
+    plan_fault,
+    run_fault_matrix,
+)
+from repro.faults.spec import (
+    FAULT_KINDS,
+    SIS_TARGET_NAMES,
+    FaultSchedule,
+    FaultSpec,
+    coerce_schedule,
+)
+
+__all__ = [
+    "DEFAULT_MATRIX_BUSES",
+    "FAULT_KINDS",
+    "FaultController",
+    "FaultMatrixRow",
+    "FaultSchedule",
+    "FaultSpec",
+    "SIS_TARGET_NAMES",
+    "coerce_schedule",
+    "matrix_to_markdown",
+    "matrix_to_payload",
+    "plan_fault",
+    "run_fault_matrix",
+    "sis_targets",
+]

@@ -1,0 +1,126 @@
+"""Kernel-side fault injection: binding schedules to live simulations.
+
+A :class:`FaultController` compiles a :class:`~repro.faults.spec.FaultSchedule`
+against a concrete set of target :class:`~repro.rtl.signal.Signal` objects
+(per-cycle masked-override op lists) and attaches to any of the three
+kernels through ``Simulator.inject_faults``.  The kernels share one firing
+contract:
+
+* the kernel checks ``self._next_fault <= self.cycle`` once per executed
+  cycle, *after* the combinational settle and *before* the cycle counter
+  increments and the monitors run — the scan kernels inline the check in
+  ``step()``, the compiled kernel emits it into the fused ``cycle_body``
+  (and clamps its cycle-leap span so a scheduled fault cycle is never
+  leaped over);
+* :meth:`FaultController.fire` applies every op due at the current cycle
+  via ``Signal.drive`` and advances ``_next_fault``;
+* after firing, the kernel forces a *full* combinational re-derivation on
+  the next cycle (dirty-all on the event kernel, ``_events |= comb_all``
+  on the compiled kernel; the reference kernel re-runs everything anyway),
+  so a forced value on a comb-driven wire reverts on the same cycle in all
+  three kernels and the differential harness stays cycle-exact under
+  injection.
+
+Faulted values are therefore visible to the monitors of the cycle they fire
+on, and to the clocked processes of the following cycle — the same window a
+real single-cycle upset on the wire would have.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.spec import FaultSchedule, coerce_schedule
+from repro.rtl.signal import Signal
+
+#: Sentinel cycle meaning "no fault pending" — matches the compiled
+#: kernel's timed-wake sentinel so the generated compare never overflows.
+NEVER = 1 << 62
+
+
+def sis_targets(bundle) -> Dict[str, Signal]:
+    """Map fault-target role names onto an :class:`SISBundle`'s signals."""
+    return {
+        "RST": bundle.rst,
+        "DATA_IN": bundle.data_in,
+        "DATA_IN_VALID": bundle.data_in_valid,
+        "IO_ENABLE": bundle.io_enable,
+        "FUNC_ID": bundle.func_id,
+        "DATA_OUT": bundle.data_out,
+        "DATA_OUT_VALID": bundle.data_out_valid,
+        "IO_DONE": bundle.io_done,
+        "CALC_DONE": bundle.calc_done,
+    }
+
+
+class FaultController:
+    """A schedule bound to concrete signals, ready to fire into a kernel.
+
+    ``targets`` maps role names (``"IO_ENABLE"`` ...) to signals; specs are
+    expanded into per-relative-cycle op lists at construction, so firing is
+    a dict lookup plus a few masked drives.  The controller is stateless
+    across runs except for :attr:`injected` (a telemetry counter) — rebasing
+    it onto a new start cycle re-arms the whole schedule.
+    """
+
+    def __init__(self, schedule, targets: Dict[str, Signal]) -> None:
+        self.schedule: FaultSchedule = coerce_schedule(schedule)
+        if self.schedule is None:
+            raise ValueError("FaultController requires a non-empty schedule")
+        self._base = 0
+        #: Total ops applied across all runs (diagnostic only).
+        self.injected = 0
+        by_cycle: Dict[int, List[Tuple[Signal, int, int, int]]] = {}
+        for spec in self.schedule:
+            signal = targets.get(spec.target)
+            if signal is None:
+                raise ValueError(
+                    f"fault target {spec.target!r} is not available on this "
+                    f"design (have: {', '.join(sorted(targets))})"
+                )
+            and_mask, or_mask, xor_mask = spec.masks(signal.width)
+            for offset in range(spec.duration):
+                by_cycle.setdefault(spec.cycle + offset, []).append(
+                    (signal, and_mask, or_mask, xor_mask)
+                )
+        self._by_cycle = by_cycle
+        self._cycles = sorted(by_cycle)
+
+    @property
+    def fingerprint(self) -> str:
+        """The schedule's fingerprint (folded into compiled-program digests)."""
+        return self.schedule.fingerprint
+
+    @property
+    def token(self) -> str:
+        return self.schedule.token
+
+    def rebase(self, simulator, base: int) -> None:
+        """Re-arm the schedule with relative cycle 0 at absolute ``base``.
+
+        Called when the controller is attached and at the start of every
+        scenario run (and on ``reset()``, with ``base=0``), so spec cycles
+        always count from the run being faulted, not from simulator birth.
+        """
+        self._base = base
+        rel = simulator.cycle - base
+        index = bisect_right(self._cycles, rel - 1)
+        if index < len(self._cycles):
+            simulator._next_fault = self._cycles[index] + base
+        else:
+            simulator._next_fault = NEVER
+
+    def fire(self, simulator) -> None:
+        """Apply every op due at the simulator's current cycle, then re-arm."""
+        rel = simulator.cycle - self._base
+        ops = self._by_cycle.get(rel)
+        if ops:
+            for signal, and_mask, or_mask, xor_mask in ops:
+                signal.drive(((signal._value & and_mask) | or_mask) ^ xor_mask)
+            self.injected += len(ops)
+        index = bisect_right(self._cycles, rel)
+        if index < len(self._cycles):
+            simulator._next_fault = self._cycles[index] + self._base
+        else:
+            simulator._next_fault = NEVER

@@ -1,0 +1,322 @@
+"""Monitor-efficacy matrix: fault class × bus → detected / escape / crash.
+
+This is mutation testing for the SIS protocol monitor
+(:mod:`repro.sis.protocol`): each cell of the matrix runs one scenario with
+one seeded fault injected and reports whether the monitor caught it.  The
+placement is *probe-guided* — a clean run of the scenario first records the
+per-cycle SIS strobe activity, and each fault class is then planted at a
+deterministically chosen cycle where its target wire is actually in use (a
+stuck-at-1 on ``IO_ENABLE`` lands on a real enable strobe, a bit flip on
+``DATA_IN`` lands inside a held-valid window, and so on), so a "detected"
+verdict reflects monitor efficacy, not placement luck.
+
+Verdicts:
+
+* ``detected`` — the monitor recorded at least one violation; the first
+  triggering rule and the detection latency (cycles after the fault's first
+  cycle; 0 = caught on the fault cycle itself) are reported.
+* ``escape`` — the monitor recorded nothing.  Escapes are findings about
+  monitor coverage, not failures: e.g. the strictly synchronous APB variant
+  disables the stability/handshake rules, so data faults on APB are
+  *expected* escapes.
+
+Either verdict may additionally carry ``crashed`` — the faulted run raised
+(typically a held or dropped strobe deadlocking the handshake until a driver
+timeout fires).  Structured, not fatal: the error text is recorded and the
+sweep continues; any violations the monitor logged before the crash still
+count toward detection.
+
+Everything is deterministic: placement draws from ``random.Random`` seeded
+with the (bus, class, seed) triple, and the fault schedules are ordinary
+:class:`~repro.faults.spec.FaultSchedule` values, so any row can be replayed
+bit-exactly from its recorded token.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.evaluation.scenarios import SCENARIOS, Scenario
+from repro.faults.spec import FAULT_KINDS, FaultSchedule, FaultSpec
+
+#: The Figure 9.1 bus grid the matrix sweeps by default.
+DEFAULT_MATRIX_BUSES: Tuple[str, ...] = (
+    "splice_plb",
+    "splice_fcb",
+    "splice_opb",
+    "splice_apb",
+)
+
+
+@dataclass
+class FaultMatrixRow:
+    """One (bus × fault class) cell of the efficacy matrix."""
+
+    bus: str
+    kind: str
+    target: str
+    schedule: str
+    status: str  # "detected" | "escape"
+    rules: Tuple[str, ...] = ()
+    cycles_to_detection: Optional[int] = None
+    violations: int = 0
+    crashed: bool = False
+    result_match: Optional[bool] = None
+    clean_result: Optional[int] = None
+    faulted_result: Optional[int] = None
+    clean_cycles: Optional[int] = None
+    faulted_cycles: Optional[int] = None
+    error: Optional[str] = None
+
+    def payload(self) -> Dict[str, object]:
+        data = {
+            "bus": self.bus,
+            "kind": self.kind,
+            "target": self.target,
+            "schedule": self.schedule,
+            "status": self.status,
+            "rules": list(self.rules),
+            "violations": self.violations,
+            "crashed": self.crashed,
+        }
+        for name in (
+            "cycles_to_detection",
+            "result_match",
+            "clean_result",
+            "faulted_result",
+            "clean_cycles",
+            "faulted_cycles",
+            "error",
+        ):
+            value = getattr(self, name)
+            if value is not None:
+                data[name] = value
+        return data
+
+
+@dataclass
+class _CleanProbe:
+    """Clean-run telemetry guiding fault placement for one bus."""
+
+    result: int
+    cycles: int
+    #: Relative cycles (0 = first scenario cycle) at which each condition
+    #: held, as observed post-settle — exactly the values a fault scheduled
+    #: at that relative cycle would override.
+    write_strobe: List[int] = field(default_factory=list)  # io_enable & valid
+    enable: List[int] = field(default_factory=list)  # io_enable high
+    held_valid: List[int] = field(default_factory=list)  # valid, not done
+    read_strobe: List[int] = field(default_factory=list)  # data_out_valid
+    quiet: List[int] = field(default_factory=list)  # all strobes low
+
+
+def _build_runner(bus: str, kernel: str):
+    from repro.devices.registry import build_runner
+
+    return build_runner(bus, kernel=kernel)
+
+
+def _probe_clean(bus: str, scenario: Scenario, seed: int, kernel: str) -> _CleanProbe:
+    runner = _build_runner(bus, kernel)
+    sis = runner.system.peripheral.sis
+    simulator = runner.system.simulator
+    samples: List[Tuple[int, int, int, int, int]] = []
+
+    def record() -> None:
+        samples.append(
+            (
+                simulator.cycle,
+                sis.io_enable._value,
+                sis.data_in_valid._value,
+                sis.data_out_valid._value,
+                sis.io_done._value,
+            )
+        )
+
+    simulator.add_monitor(record)
+    start = runner.system.cycles
+    outcome = runner.run_scenario(scenario.generate_inputs(seed=seed))
+    probe = _CleanProbe(result=outcome["result"], cycles=outcome["cycles"])
+    for cycle, io_enable, valid, dov, done in samples:
+        # Monitors sample after the cycle counter increments, so the values
+        # belong to relative cycle ``cycle - 1 - start``.
+        rel = cycle - 1 - start
+        if rel < 0:
+            continue
+        if io_enable and valid:
+            probe.write_strobe.append(rel)
+        if io_enable:
+            probe.enable.append(rel)
+        if valid and not done:
+            probe.held_valid.append(rel)
+        if dov:
+            probe.read_strobe.append(rel)
+        if not (io_enable or valid or dov):
+            probe.quiet.append(rel)
+    return probe
+
+
+def _pick(rng: random.Random, candidates: Sequence[int], fallback: int) -> int:
+    if not candidates:
+        return fallback
+    # Prefer mid-scenario placements: the first/last beats of a transfer sit
+    # next to driver setup/teardown, where a fault can only deadlock.
+    pool = list(candidates)
+    lo, hi = len(pool) // 4, max(len(pool) // 4 + 1, 3 * len(pool) // 4)
+    return rng.choice(pool[lo:hi] or pool)
+
+
+def plan_fault(
+    kind: str, probe: _CleanProbe, rng: random.Random, data_width: int = 32
+) -> FaultSchedule:
+    """Plant one fault of ``kind`` at a probe-guided cycle.
+
+    Returns the single-spec schedule; the placement policy per class is the
+    module docstring's table in code form.
+    """
+    mid = max(probe.cycles // 2, 1)
+    if kind == "stuck_at_0":
+        # Force FUNC_ID to 0 across a write strobe: writing function id 0
+        # (the read-only CALC_DONE register) trips status_register_write on
+        # every bus variant.
+        cycle = _pick(rng, probe.write_strobe, mid)
+        return FaultSchedule.of(FaultSpec(kind, "FUNC_ID", cycle, duration=2))
+    if kind == "stuck_at_1":
+        # Hold IO_ENABLE high over a real strobe: a >= 2-cycle run trips
+        # io_enable_strobe on every bus variant.
+        cycle = _pick(rng, probe.enable, mid)
+        return FaultSchedule.of(FaultSpec(kind, "IO_ENABLE", cycle, duration=3))
+    if kind == "bit_flip":
+        # Flip one DATA_IN bit inside a held-valid window: the payload
+        # glitches mid-transfer, tripping data_in_stability on
+        # pseudo-asynchronous buses (expected escape on APB).
+        cycle = _pick(rng, probe.held_valid, mid)
+        bit = rng.randrange(data_width)
+        return FaultSchedule.of(FaultSpec(kind, "DATA_IN", cycle, duration=1, bit=bit))
+    if kind == "transient_pulse":
+        # Pulse DATA_OUT_VALID on a quiet cycle: a read completion with no
+        # IO_DONE trips read_handshake on pseudo-asynchronous buses.
+        cycle = _pick(rng, probe.quiet, mid)
+        return FaultSchedule.of(FaultSpec(kind, "DATA_OUT_VALID", cycle, duration=1))
+    if kind == "delayed_handshake":
+        # Hold IO_DONE low across a read completion: DATA_OUT_VALID without
+        # IO_DONE is the late-handshake signature read_handshake watches.
+        cycle = _pick(rng, probe.read_strobe, mid)
+        return FaultSchedule.of(FaultSpec(kind, "IO_DONE", cycle, duration=2))
+    if kind == "drop_beat":
+        # Knock DATA_IN_VALID low mid-transfer: one wire-format beat is
+        # never seen.  Depending on the adapter this is an escape, a wrong
+        # result, or a handshake deadlock (an escape flagged ``crashed``).
+        cycle = _pick(rng, probe.held_valid, mid)
+        return FaultSchedule.of(FaultSpec(kind, "DATA_IN_VALID", cycle, duration=1))
+    if kind == "dup_beat":
+        # Stretch IO_ENABLE over the following cycle: the peripheral is
+        # enabled twice for one beat — also a >= 2-cycle strobe run.
+        cycle = _pick(rng, probe.enable, mid)
+        return FaultSchedule.of(FaultSpec(kind, "IO_ENABLE", cycle, duration=2))
+    raise ValueError(f"unknown fault kind {kind!r}")
+
+
+def run_fault_matrix(
+    buses: Sequence[str] = DEFAULT_MATRIX_BUSES,
+    kinds: Sequence[str] = FAULT_KINDS,
+    *,
+    scenario: Optional[Scenario] = None,
+    seed: int = 0,
+    kernel: str = "compiled",
+) -> List[FaultMatrixRow]:
+    """Run the full (bus × fault class) sweep and return one row per cell.
+
+    Every cell gets a *fresh* system (fault state never leaks between
+    cells), and each faulted outcome is compared against the bus's clean
+    probe run for the ``result_match`` column.
+    """
+    scenario = scenario if scenario is not None else SCENARIOS[0]
+    rows: List[FaultMatrixRow] = []
+    for bus in buses:
+        probe = _probe_clean(bus, scenario, seed, kernel)
+        for kind in kinds:
+            rng = random.Random(f"{bus}:{kind}:{seed}")
+            schedule = plan_fault(kind, probe, rng)
+            spec = schedule.specs[0]
+            runner = _build_runner(bus, kernel)
+            runner.apply_faults(schedule)
+            monitor = runner.system.monitor
+            start = runner.system.cycles
+            fault_abs = start + spec.cycle
+            row = FaultMatrixRow(
+                bus=bus,
+                kind=kind,
+                target=spec.target,
+                schedule=schedule.token,
+                status="escape",
+                clean_result=probe.result,
+                clean_cycles=probe.cycles,
+            )
+            try:
+                outcome = runner.run_scenario(scenario.generate_inputs(seed=seed))
+            except Exception as exc:  # deterministic per-cell crash record
+                row.crashed = True
+                row.error = f"{type(exc).__name__}: {exc}"
+            else:
+                row.faulted_result = outcome["result"]
+                row.faulted_cycles = outcome["cycles"]
+                row.result_match = outcome["result"] == probe.result
+            violations = list(monitor.violations) if monitor is not None else []
+            if violations:
+                row.status = "detected"
+                row.rules = tuple(sorted({v.rule for v in violations}))
+                row.violations = len(violations)
+                # Monitors sample post-increment: a violation recorded at
+                # simulator cycle c observed the values of executed cycle
+                # c - 1, so latency 0 means "caught on the fault cycle".
+                row.cycles_to_detection = min(v.cycle for v in violations) - 1 - fault_abs
+            rows.append(row)
+    return rows
+
+
+def matrix_to_payload(
+    rows: Sequence[FaultMatrixRow], *, seed: int, scenario: Scenario, kernel: str
+) -> Dict[str, object]:
+    """JSON-ready artifact: meta + rows + a per-status summary."""
+    summary: Dict[str, int] = {"detected": 0, "escape": 0, "crashed": 0}
+    for row in rows:
+        summary[row.status] = summary.get(row.status, 0) + 1
+        if row.crashed:
+            summary["crashed"] += 1
+    return {
+        "meta": {
+            "scenario": scenario.number,
+            "seed": seed,
+            "kernel": kernel,
+            "buses": sorted({row.bus for row in rows}),
+            "kinds": [kind for kind in FAULT_KINDS if any(r.kind == kind for r in rows)],
+        },
+        "summary": summary,
+        "rows": [row.payload() for row in rows],
+    }
+
+
+def matrix_to_markdown(rows: Sequence[FaultMatrixRow]) -> str:
+    """Render the matrix as a GitHub-flavoured markdown table."""
+    lines = [
+        "| bus | fault class | target | status | rule(s) | cycles to detection | result match |",
+        "| --- | --- | --- | --- | --- | --- | --- |",
+    ]
+    for row in rows:
+        rules = ", ".join(row.rules) if row.rules else "—"
+        latency = str(row.cycles_to_detection) if row.cycles_to_detection is not None else "—"
+        status = f"{row.status} (crash)" if row.crashed else row.status
+        if row.crashed:
+            match = "crash"
+        elif row.result_match is None:
+            match = "—"
+        else:
+            match = "yes" if row.result_match else "NO"
+        lines.append(
+            f"| {row.bus} | {row.kind} | {row.target} | {status} "
+            f"| {rules} | {latency} | {match} |"
+        )
+    return "\n".join(lines)

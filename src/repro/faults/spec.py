@@ -1,0 +1,215 @@
+"""Deterministic fault schedules for the SIS adapter designs.
+
+A :class:`FaultSpec` names one fault: a *class* (stuck-at-0/1, single-cycle
+bit flip, transient pulse, delayed handshake, dropped or duplicated
+wire-format beat), a *target* SIS wire (by role name, resolved against the
+peripheral's :class:`~repro.sis.signals.SISBundle`), the *relative cycle* at
+which it fires (counted from the start of the scenario it is applied to),
+and a duration/bit selector.  A :class:`FaultSchedule` is an ordered,
+hashable bundle of specs with a canonical string token — the token is what
+rides through campaign grids, cache digests, and CSV artifacts, so a
+schedule can be round-tripped through any of them without loss.
+
+Every fault class lowers to the same primitive: a masked override applied to
+the target signal's committed value once per scheduled cycle, *after* the
+cycle's combinational settle and *before* the monitors sample.  The classes
+differ only in which mask they apply:
+
+* ``stuck_at_0`` / ``delayed_handshake`` / ``drop_beat`` force bits low,
+* ``stuck_at_1`` / ``transient_pulse`` / ``dup_beat`` force bits high,
+* ``bit_flip`` inverts a bit.
+
+``delayed_handshake`` (hold a done strobe low so the handshake lands late),
+``drop_beat`` (hold a valid strobe low so a wire-format beat is never seen)
+and ``dup_beat`` (hold an enable strobe high so a beat is consumed twice)
+are protocol-level *placements* of the low/high primitives: the class name
+records the intent and drives the default target selection in the
+monitor-efficacy matrix (:mod:`repro.faults.matrix`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+#: Every supported fault class, in canonical order.
+FAULT_KINDS: Tuple[str, ...] = (
+    "stuck_at_0",
+    "stuck_at_1",
+    "bit_flip",
+    "transient_pulse",
+    "delayed_handshake",
+    "drop_beat",
+    "dup_beat",
+)
+
+#: Classes that force the selected bits low / high / inverted.
+FORCE_LOW_KINDS = frozenset({"stuck_at_0", "delayed_handshake", "drop_beat"})
+FORCE_HIGH_KINDS = frozenset({"stuck_at_1", "transient_pulse", "dup_beat"})
+FLIP_KINDS = frozenset({"bit_flip"})
+
+#: SIS wire role names a fault may target (see
+#: :func:`repro.faults.inject.sis_targets` for the bundle-field mapping).
+SIS_TARGET_NAMES: Tuple[str, ...] = (
+    "RST",
+    "DATA_IN",
+    "DATA_IN_VALID",
+    "IO_ENABLE",
+    "FUNC_ID",
+    "DATA_OUT",
+    "DATA_OUT_VALID",
+    "IO_DONE",
+    "CALC_DONE",
+)
+
+_BIT_WILDCARD = "*"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault on one SIS wire.
+
+    ``cycle`` is relative to the start of the run the schedule is applied to
+    (scenario start for campaign cells); ``duration`` repeats the override on
+    that many consecutive cycles; ``bit`` selects a single bit of the target
+    (``None`` = the whole signal, which is what e.g. a stuck-at-0 on a
+    multi-bit ``FUNC_ID`` wants).
+    """
+
+    kind: str
+    target: str
+    cycle: int
+    duration: int = 1
+    bit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} (choose from {', '.join(FAULT_KINDS)})"
+            )
+        if self.target not in SIS_TARGET_NAMES:
+            raise ValueError(
+                f"unknown fault target {self.target!r} "
+                f"(choose from {', '.join(SIS_TARGET_NAMES)})"
+            )
+        if self.cycle < 0:
+            raise ValueError(f"fault cycle must be >= 0, got {self.cycle}")
+        if self.duration < 1:
+            raise ValueError(f"fault duration must be >= 1, got {self.duration}")
+        if self.bit is not None and self.bit < 0:
+            raise ValueError(f"fault bit must be >= 0, got {self.bit}")
+
+    @property
+    def token(self) -> str:
+        """Canonical ``kind:target:cycle:duration:bit`` encoding."""
+        bit = _BIT_WILDCARD if self.bit is None else str(self.bit)
+        return f"{self.kind}:{self.target}:{self.cycle}:{self.duration}:{bit}"
+
+    @classmethod
+    def parse(cls, token: str) -> "FaultSpec":
+        """Invert :attr:`token` (whitespace-tolerant).
+
+        ``duration`` and ``bit`` may be omitted (``kind:target:cycle``
+        defaults to a one-cycle whole-signal fault), so hand-typed CLI
+        schedules stay short; :attr:`token` always re-emits the full
+        five-field canonical form.
+        """
+        parts = token.strip().split(":")
+        if not 3 <= len(parts) <= 5:
+            raise ValueError(
+                f"malformed fault token {token!r} "
+                "(expected kind:target:cycle[:duration[:bit]])"
+            )
+        kind, target, cycle = parts[:3]
+        duration = parts[3] if len(parts) > 3 else "1"
+        bit = parts[4] if len(parts) > 4 else _BIT_WILDCARD
+        return cls(
+            kind=kind,
+            target=target,
+            cycle=int(cycle),
+            duration=int(duration),
+            bit=None if bit == _BIT_WILDCARD else int(bit),
+        )
+
+    def masks(self, width: int) -> Tuple[int, int, int]:
+        """The ``(and, or, xor)`` override masks for a ``width``-bit target.
+
+        Applied as ``value = ((value & and) | or) ^ xor`` — exactly what
+        :meth:`repro.faults.inject.FaultController.fire` executes.
+        """
+        full = (1 << width) - 1
+        select = full if self.bit is None else (1 << self.bit) & full
+        if self.kind in FORCE_LOW_KINDS:
+            return (full & ~select, 0, 0)
+        if self.kind in FORCE_HIGH_KINDS:
+            return (full, select, 0)
+        # bit_flip: a whole-signal flip inverts bit 0 by convention — a full
+        # vector inversion is a different (and less physical) fault model.
+        flip = select if self.bit is not None else 1
+        return (full, 0, flip)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered, hashable set of :class:`FaultSpec` entries.
+
+    The canonical :attr:`token` (specs sorted by cycle, then kind/target)
+    is the schedule's identity everywhere outside this module: campaign
+    grid axes carry the token string, ``cell_digest`` hashes it via
+    ``CampaignCell.describe()``, and the compiled kernel folds
+    :attr:`fingerprint` into its program digest.
+    """
+
+    specs: Tuple[FaultSpec, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.specs, key=lambda s: (s.cycle, s.kind, s.target, s.duration))
+        )
+        object.__setattr__(self, "specs", ordered)
+        if not ordered:
+            raise ValueError("a fault schedule needs at least one FaultSpec")
+
+    @property
+    def token(self) -> str:
+        """Canonical ``;``-joined encoding of the sorted specs."""
+        return ";".join(spec.token for spec in self.specs)
+
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 of the canonical token (folded into cache digests)."""
+        return hashlib.sha256(self.token.encode()).hexdigest()
+
+    @classmethod
+    def parse(cls, token: str) -> "FaultSchedule":
+        """Parse a ``;``-joined token back into a schedule."""
+        parts = [part for part in token.strip().split(";") if part.strip()]
+        if not parts:
+            raise ValueError(f"empty fault schedule token {token!r}")
+        return cls(specs=tuple(FaultSpec.parse(part) for part in parts))
+
+    @classmethod
+    def of(cls, *specs: FaultSpec) -> "FaultSchedule":
+        return cls(specs=tuple(specs))
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+
+def coerce_schedule(value) -> Optional[FaultSchedule]:
+    """Accept a schedule, a token string, or ``None`` (used by apply paths)."""
+    if value is None:
+        return None
+    if isinstance(value, FaultSchedule):
+        return value
+    if isinstance(value, str):
+        return FaultSchedule.parse(value)
+    if isinstance(value, FaultSpec):
+        return FaultSchedule.of(value)
+    if isinstance(value, Sequence):
+        return FaultSchedule(specs=tuple(value))
+    raise TypeError(f"cannot interpret {value!r} as a fault schedule")

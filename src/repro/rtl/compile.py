@@ -307,6 +307,7 @@ class CompiledSimulator(Simulator):
         self._sleep_threshold = 3
         self._comb_all = 0
         self._gated_all = 0
+        self._mon_all = 0
         self._step_fn: Optional[Callable[[int], None]] = None
         self._settle_fn: Optional[Callable[[], int]] = None
         self._wait_eq_fn: Optional[Callable[[Signal, int, int], int]] = None
@@ -360,6 +361,32 @@ class CompiledSimulator(Simulator):
 
     def _signal_changed(self, signal: Signal) -> None:
         self._events |= signal._ev_mask
+
+    # -- fault injection -----------------------------------------------------
+
+    def inject_faults(self, controller) -> None:
+        """Attach/detach a fault controller and invalidate the program.
+
+        The fault hook (a one-compare guard in the fused cycle body plus a
+        clamp on the cycle-leap span) is only *generated* when a controller
+        is attached — a clean design compiles to byte-identical source with
+        an unchanged digest, so fault support costs fault-free runs nothing.
+        """
+        self._step_fn = None
+        super().inject_faults(controller)
+
+    def _fire_faults(self) -> None:
+        """Apply due fault ops; schedule a full comb re-derivation.
+
+        ``drive()`` already ORed each changed signal's event mask in; OR-ing
+        ``_comb_all`` on top re-runs the whole network next cycle, matching
+        the scan kernels' dirty-all (see ``Simulator._fire_faults``).
+        ``_mon_all`` forces every fused monitor body too: a fault can change
+        a rule input that is *not* one of the monitor's gate signals (e.g.
+        IO_DONE), which the scan kernels see because they sample every cycle.
+        """
+        self._faults.fire(self)
+        self._events |= self._comb_all | self._mon_all
 
     # -- timed wakes ---------------------------------------------------------
 
@@ -532,6 +559,7 @@ class CompiledSimulator(Simulator):
         fused = 0
         leap_info = {"ok": True, "hot": [], "calls": []}
         next_bit = n_comb + n_gated
+        self._mon_all = 0
         for mid, proc in enumerate(self._monitors):
             owner = getattr(proc, "__self__", None)
             hook = getattr(owner, "emit_compiled_monitor", None)
@@ -552,6 +580,7 @@ class CompiledSimulator(Simulator):
             if gate_signals:
                 bit = 1 << next_bit
                 next_bit += 1
+                self._mon_all |= bit
                 for sig in gate_signals:
                     sig._ev_mask |= bit
                 hot = spec.get("hot") or "False"
@@ -625,6 +654,11 @@ class CompiledSimulator(Simulator):
             # Leap is a runtime constructor flag, not covered by the compiler
             # fingerprint, yet it changes the generated source.
             f"leap={self._leap}",
+            # An attached fault schedule changes the generated source (the
+            # injection hook) *and* the run's meaning: folding its
+            # fingerprint in guarantees the program cache can never serve a
+            # faulted program as clean or vice versa.
+            f"faults={self._faults.fingerprint if self._faults is not None else 'none'}",
         ]
         for pid, (_, sense, driven) in enumerate(self._comb_decls):
             s = ",".join(key(sig) for sig in sense) if sense is not None else "?"
@@ -899,6 +933,27 @@ class CompiledSimulator(Simulator):
         if n_comb == 0:
             settle_branch = "            _fast += 1"
 
+        # Fault-injection hook: generated only when a controller is attached,
+        # so clean designs keep byte-identical source (and digests).  The
+        # guard sits after the settle branch — monitors on this very cycle
+        # observe the faulted values, clocked processes see them next cycle —
+        # and the leap span below is clamped to the next scheduled fault
+        # cycle, so a fault cycle is always executed, never leaped over.
+        faulted = self._faults is not None
+        if faulted:
+            fault_hook = (
+                "            if cyc >= s._next_fault:\n"
+                "                s._fire_faults()\n"
+            )
+            fault_clamp = (
+                "                _fsk = s._next_fault - cyc\n"
+                "                if _fsk < _skip:\n"
+                "                    _skip = _fsk\n"
+            )
+        else:
+            fault_hook = ""
+            fault_clamp = ""
+
         if leap_info is not None:
             hot_terms = "".join(f" and not ({hot})" for hot in leap_info["hot"])
             leap_calls = "".join(
@@ -923,7 +978,7 @@ class CompiledSimulator(Simulator):
                 return f"""\
             {leap_guard}
                 _skip = s._next_timed - cyc
-                _rem = {remaining} - _done
+{fault_clamp}                _rem = {remaining} - _done
                 if _skip > _rem:
                     _skip = _rem
                 if _skip > 0:
@@ -986,7 +1041,7 @@ class CompiledSimulator(Simulator):
                     sched.extend(_ac)
                 s._events = d
 {settle_branch}
-            cyc += 1
+{fault_hook}            cyc += 1
             s.cycle = cyc
 {monitor_block}
             _done += 1"""
@@ -1170,4 +1225,8 @@ def settle_once():
         self._proc_runs = [0] * len(self._clocked)
         self.settle()
         self.cycle = 0
+        if self._faults is not None:
+            self._faults.rebase(self, 0)
+        else:
+            self._next_fault = _NEVER
         self.stats.reset()

@@ -71,6 +71,12 @@ class SimulationError(RuntimeError):
     """Raised for structural simulation problems (e.g. combinational loops)."""
 
 
+#: Sentinel for "no fault scheduled" — one integer compare per cycle is the
+#: whole cost of fault support on a clean design.  Matches the compiled
+#: kernel's timed-wake sentinel (``repro.rtl.compile._NEVER``).
+_NEVER = 1 << 62
+
+
 Process = Callable[[], None]
 
 
@@ -202,6 +208,10 @@ class Simulator:
         # kernels ignore ``drives`` and clocked sensitivity entirely.
         self._comb_decls: List[tuple] = []
         self._clocked_decls: List[tuple] = []
+        # Fault injection (see repro.faults): an attached controller and the
+        # next absolute cycle carrying a scheduled fault.
+        self._faults = None
+        self._next_fault = _NEVER
 
     # -- registration ------------------------------------------------------
 
@@ -324,6 +334,33 @@ class Simulator:
     def _signal_changed(self, signal: Signal) -> None:
         self._dirty.add(signal)
 
+    # -- fault injection -----------------------------------------------------
+
+    def inject_faults(self, controller) -> None:
+        """Attach a :class:`repro.faults.inject.FaultController` (or detach
+        with ``None``).  The controller is rebased to the current cycle, so
+        its relative fault cycles count from the moment of attachment; run
+        harnesses (e.g. ``SpliceInterpolator.run_scenario``) rebase again at
+        each scenario start.
+        """
+        self._faults = controller
+        if controller is None:
+            self._next_fault = _NEVER
+        else:
+            controller.rebase(self, self.cycle)
+
+    def _fire_faults(self) -> None:
+        """Apply the fault ops due at the current cycle (post-settle).
+
+        After the overrides land, every signal is marked dirty so the *next*
+        cycle's settle re-runs the whole combinational network: a forced
+        value on a comb-driven wire reverts after exactly one cycle, which
+        is also what the reference kernel (settle-everything-every-cycle)
+        does — the differential contract under injection depends on it.
+        """
+        self._faults.fire(self)
+        self._dirty.update(self._signals)
+
     # -- execution -----------------------------------------------------------
 
     def reset(self) -> None:
@@ -347,6 +384,8 @@ class Simulator:
         self._dirty.update(self._signals)
         self.settle()
         self.cycle = 0
+        if self._faults is not None:
+            self._faults.rebase(self, 0)
         self.stats.reset()
 
     def settle(self) -> int:
@@ -421,6 +460,8 @@ class Simulator:
                 self.settle()
             else:
                 stats.fast_path_cycles += 1
+            if self._next_fault <= self.cycle:
+                self._fire_faults()
             self.cycle += 1
             stats.cycles += 1
             for mon in self._monitors:
@@ -530,6 +571,8 @@ class ReferenceSimulator(Simulator):
                 sig.commit()
             self._scheduled.clear()
             self.settle()
+            if self._next_fault <= self.cycle:
+                self._fire_faults()
             self.cycle += 1
             stats.cycles += 1
             for mon in self._monitors:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 import time
-from http.client import HTTPConnection
+from http.client import HTTPConnection, HTTPException
 from typing import Iterator, Mapping, Optional, Union
 from urllib.parse import urlparse
 
@@ -30,6 +30,15 @@ class ServiceError(RuntimeError):
 class ServiceClient:
     """Client for one farm server, e.g. ``ServiceClient("http://127.0.0.1:8032")``."""
 
+    #: Retry budget for idempotent GETs: extra attempts after the first, and
+    #: the first backoff (doubled per retry, capped at 1 s).  POST/DELETE are
+    #: never retried — a resend could double-submit or double-cancel.
+    GET_RETRIES = 3
+    RETRY_BACKOFF_S = 0.05
+    #: Consecutive reconnect failures :meth:`events` tolerates before giving
+    #: up on the stream (the counter resets on every received event).
+    STREAM_RESUMES = 5
+
     def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
         parsed = urlparse(base_url if "//" in base_url else f"http://{base_url}")
         if parsed.scheme not in ("", "http"):
@@ -40,7 +49,7 @@ class ServiceClient:
 
     # -- plumbing ----------------------------------------------------------------
 
-    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+    def _request_once(self, method: str, path: str, body: Optional[dict] = None) -> dict:
         connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             headers = {}
@@ -56,6 +65,27 @@ class ServiceClient:
             return payload
         finally:
             connection.close()
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        """One API call; GETs get bounded exponential-backoff retries.
+
+        Connection-level failures (refused, reset, timeout, truncated
+        response) on a GET are transparently retried — GETs against the farm
+        are idempotent reads, so a retry can only re-observe.  HTTP error
+        *responses* (:class:`ServiceError`) are never retried: the server
+        answered, and the answer stands.
+        """
+        attempts = self.GET_RETRIES if method == "GET" else 0
+        delay = self.RETRY_BACKOFF_S
+        while True:
+            try:
+                return self._request_once(method, path, body)
+            except (ConnectionError, HTTPException, OSError):
+                if attempts <= 0:
+                    raise
+                attempts -= 1
+                time.sleep(delay)
+                delay = min(delay * 2, 1.0)
 
     # -- API ---------------------------------------------------------------------
 
@@ -94,21 +124,36 @@ class ServiceClient:
     def events(self, job_id: str, *, start: int = 0) -> Iterator[dict]:
         """Stream the job's events as dicts until it reaches a terminal state.
 
-        The connection stays open for the job's whole lifetime; each yielded
-        dict is one NDJSON line flushed by the server as the event happened.
+        Each yielded dict is one NDJSON line flushed by the server as the
+        event happened.  A dropped connection is resumed transparently from
+        the last seen event index (the server's ``?from=N``), so the
+        consumer sees every event exactly once even across server restarts
+        or mid-stream resets; :attr:`STREAM_RESUMES` consecutive reconnect
+        failures abort the stream with the underlying error.
         """
-        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
-        try:
-            connection.request("GET", f"/jobs/{job_id}/events?from={start}")
-            response = connection.getresponse()
-            if response.status >= 400:
-                raise ServiceError(response.status, json.loads(response.read() or b"{}"))
-            for line in response:
-                line = line.strip()
-                if line:
-                    yield json.loads(line)
-        finally:
-            connection.close()
+        index = start
+        failures = 0
+        while True:
+            connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+            try:
+                connection.request("GET", f"/jobs/{job_id}/events?from={index}")
+                response = connection.getresponse()
+                if response.status >= 400:
+                    raise ServiceError(response.status, json.loads(response.read() or b"{}"))
+                for line in response:
+                    line = line.strip()
+                    if line:
+                        failures = 0
+                        index += 1
+                        yield json.loads(line)
+                return  # clean end of stream: the job reached a terminal state
+            except (ConnectionError, HTTPException, OSError):
+                failures += 1
+                if failures > self.STREAM_RESUMES:
+                    raise
+                time.sleep(min(self.RETRY_BACKOFF_S * (2 ** (failures - 1)), 1.0))
+            finally:
+                connection.close()
 
     def wait(self, job_id: str, *, timeout: Optional[float] = None) -> dict:
         """Follow the event stream until the job is terminal; returns the

@@ -105,6 +105,7 @@ class SimulationFarm:
         self._workers: List[WorkerHandle] = []
         self._job_seq = 0
         self._running = False
+        self._draining = False
         self._started_at: Optional[float] = None
         self._ctx = multiprocessing.get_context()
         self._result_queue = None
@@ -201,6 +202,8 @@ class SimulationFarm:
         """
         if not self._running:
             raise RuntimeError("farm is not running (call start() first)")
+        if self._draining:
+            raise RuntimeError("farm is draining and not accepting new jobs")
         if not isinstance(spec, CampaignSpec):
             spec = CampaignSpec.from_dict(dict(spec))
 
@@ -264,6 +267,64 @@ class SimulationFarm:
             job.enter_state(CANCELLED, shards_in_flight=len(job.in_flight))
             return True
 
+    def drain(self, timeout_s: Optional[float] = None) -> dict:
+        """Graceful shutdown, phase one: stop accepting, let work finish.
+
+        New submissions are rejected immediately (the HTTP layer maps the
+        ``RuntimeError`` to a 503), but every already-accepted job keeps
+        dispatching and running to completion.  Blocks until all jobs are
+        terminal or ``timeout_s`` elapses; jobs still unfinished at the
+        deadline are cancelled with a terminal ``drain timeout`` event so no
+        watcher is left hanging.  Call :meth:`stop` afterwards to tear the
+        workers down.
+        """
+        deadline = None if timeout_s is None else time.perf_counter() + timeout_s
+        with self._cond:
+            self._draining = True
+
+            def active() -> List[Job]:
+                return [j for j in self._jobs.values() if not j.is_terminal]
+
+            while active() and self._running:
+                remaining = (None if deadline is None
+                             else deadline - time.perf_counter())
+                if remaining is not None and remaining <= 0:
+                    break
+                # Job state changes notify the shared condition, so this
+                # wakes at every cell/shard/terminal event; the cap only
+                # bounds staleness if a notification is missed.
+                self._cond.wait(timeout=0.1 if remaining is None else min(0.1, remaining))
+            leftovers = active()
+            for job in leftovers:
+                job.pending_shards.clear()
+                job.enter_state(CANCELLED, reason="drain timeout",
+                                cells_done=job.cells_done)
+            return {
+                "drained": not leftovers,
+                "cancelled": [job.id for job in leftovers],
+            }
+
+    def kill_worker(self, worker_id: Optional[int] = None) -> Optional[int]:
+        """Chaos hook: SIGKILL one worker process (a busy one if any).
+
+        Returns the killed worker id, or ``None`` if no live worker matched.
+        The dispatcher's normal crash policy takes over from there: the dead
+        worker is respawned, its in-flight shard is retried once, and a
+        second death yields structured ``worker_crash`` cell errors — the
+        exact path real OOM kills and segfaults exercise, made injectable
+        for the chaos bench and the service smoke tests.
+        """
+        with self._cond:
+            candidates = [w for w in self._workers if w.process.is_alive()]
+            if worker_id is not None:
+                candidates = [w for w in candidates if w.worker_id == worker_id]
+            if not candidates:
+                return None
+            busy = [w for w in candidates if w.busy is not None]
+            target = (busy or candidates)[0]
+            target.process.kill()
+            return target.worker_id
+
     # -- dispatcher --------------------------------------------------------------
 
     def _dispatch_loop(self) -> None:
@@ -308,6 +369,7 @@ class SimulationFarm:
             self.counters["cells_executed"] += 1
             cell = job.by_key[key]
             self.cache.put(cell, outcome)
+            extra = {} if cell.faults is None else {"faults": cell.faults}
             job.emit(
                 "cell",
                 label=cell.label,
@@ -315,6 +377,7 @@ class SimulationFarm:
                 seed=cell.seed,
                 repeat=cell.repeat,
                 kernel=cell.kernel,
+                **extra,
                 result=outcome[0],
                 cycles=outcome[1],
                 transactions=outcome[2],
@@ -332,12 +395,14 @@ class SimulationFarm:
             job.errors[key] = CellError(kind="cell_exception", message=text)
             self.counters["cells_failed"] += 1
             cell = job.by_key[key]
+            extra = {} if cell.faults is None else {"faults": cell.faults}
             job.emit(
                 "cell_error",
                 label=cell.label,
                 scenario=cell.scenario.number,
                 seed=cell.seed,
                 repeat=cell.repeat,
+                **extra,
                 error=text,
                 worker=worker_id,
                 done=job.cells_done,
@@ -478,6 +543,7 @@ class SimulationFarm:
             return {
                 "name": self.name,
                 "running": self._running,
+                "draining": self._draining,
                 "uptime_s": round(uptime, 6),
                 "worker_count": len(self._workers),
                 "workers_busy": busy,

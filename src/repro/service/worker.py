@@ -64,6 +64,7 @@ def worker_main(
         os.environ[PROGRAM_CACHE_ENV] = str(program_cache_dir)
 
     runners: Dict[Tuple[str, str], object] = {}
+    applied_faults: Dict[Tuple[str, str], Optional[str]] = {}
     stats = {
         "worker": worker_id,
         "pid": os.getpid(),
@@ -79,6 +80,7 @@ def worker_main(
         runner = runners.get(key)
         if runner is None:
             runner = runners[key] = build_runner(label, kernel=kernel)
+            applied_faults[key] = None
             stats["builds"] += 1
         return runner
 
@@ -101,8 +103,19 @@ def worker_main(
             break
         _, job_id, shard_id, cells = message
         for cell in cells:
+            faults = getattr(cell, "faults", None)
+            runner_key = (cell.label, cell.kernel)
             try:
                 runner = get_runner(cell.label, cell.kernel)
+                apply_faults = getattr(runner, "apply_faults", None)
+                if faults is not None and apply_faults is None:
+                    raise TypeError(
+                        f"faults_unsupported: runner {cell.label!r} cannot "
+                        f"inject fault schedule {faults!r}"
+                    )
+                if apply_faults is not None and applied_faults[runner_key] != faults:
+                    apply_faults(faults)
+                    applied_faults[runner_key] = faults
                 outcome_raw = runner.run_scenario(cell.generate_inputs())
                 outcome = (
                     int(outcome_raw["result"]) & 0xFFFFFFFF,
@@ -110,6 +123,11 @@ def worker_main(
                     int(outcome_raw.get("transactions", 0)),
                 )
             except Exception as exc:  # noqa: BLE001 — isolate the cell, keep serving
+                if faults is not None:
+                    # The faulted system may be wedged mid-handshake; evict
+                    # the resident runner so the next cell rebuilds fresh.
+                    runners.pop(runner_key, None)
+                    applied_faults.pop(runner_key, None)
                 stats["cell_errors"] += 1
                 result_queue.put((
                     "cell_error", worker_id, job_id, shard_id, cell.key,

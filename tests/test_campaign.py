@@ -355,6 +355,32 @@ class TestCache:
         (tmp_path / f"{cell_digest(cell)}.json").write_text("not json")
         assert cache.get(cell) is None
 
+    def test_truncated_and_malformed_entries_are_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = CampaignCell("splice_plb", SCENARIOS[0], 0, 0)
+        path = cache.put(cell, (1, 2, 3))
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # torn write / partial copy
+        assert cache.get(cell) is None
+        # Valid JSON with the wrong shape is also a miss, never a crash.
+        path.write_text('{"outcome": "not-a-list"}')
+        assert cache.get(cell) is None
+        path.write_text('{"outcome": [1]}')
+        assert cache.get(cell) is None
+
+    def test_campaign_recovers_from_a_vandalised_cache(self, tmp_path):
+        """Corrupt every entry on disk: the next run degrades to recompute,
+        reproduces the cold payload bit-exactly, and heals the entries."""
+        spec = CampaignSpec(implementations=("splice_plb",), scenarios=SCENARIOS[:2])
+        cold = run_campaign(spec, cache=tmp_path / "cache")
+        for entry in (tmp_path / "cache").glob("*.json"):
+            entry.write_text("\x00garbage")
+        healed = run_campaign(spec, cache=tmp_path / "cache")
+        assert healed.meta["cells_cached"] == 0
+        assert healed.payload() == cold.payload()
+        warm = run_campaign(spec, cache=tmp_path / "cache")
+        assert warm.meta["cells_cached"] == spec.cell_count
+
     def test_cache_shared_between_serial_and_sharded(self, tmp_path):
         spec = CampaignSpec(implementations=("splice_plb", "splice_fcb"), scenarios=SCENARIOS[:2])
         cold = run_campaign(spec, workers=2, cache=tmp_path / "cache")

@@ -335,6 +335,18 @@ class TestProgramCache:
         assert again.design.program_cache_hit is False
         assert again.design.source == cold.design.source
 
+    def test_truncated_entry_recompiles_and_heals(self, tmp_path):
+        cold = self._build(tmp_path)
+        for entry in tmp_path.glob("*.json"):
+            text = entry.read_text()
+            entry.write_text(text[: len(text) // 2])  # torn write
+        again = self._build(tmp_path)
+        assert again.design.program_cache_hit is False
+        assert again.design.source == cold.design.source
+        # The recompile overwrote the torn entry: the next build hits.
+        healed = self._build(tmp_path)
+        assert healed.design.program_cache_hit is True
+
     def test_cached_program_is_cycle_exact(self, tmp_path):
         def run(sim_factory):
             sim = sim_factory()

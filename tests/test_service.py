@@ -286,6 +286,122 @@ class TestFarm:
 
 
 # ---------------------------------------------------------------------------
+# Chaos: worker kills and graceful drain
+# ---------------------------------------------------------------------------
+
+
+class TestChaos:
+    @fork_only
+    def test_killing_a_busy_worker_leaves_results_intact(self):
+        """``kill_worker`` mid-shard exercises the real crash-recovery path:
+        the worker is respawned, the shard retried, and the job finishes
+        with the same cells it would have produced unharmed."""
+        _register("zz_slow", _SlowRunner)
+        try:
+            spec = CampaignSpec(
+                implementations=("zz_slow",), scenarios=SCENARIOS[:4], name="chaos-kill"
+            )
+            with SimulationFarm(workers=2, shard_size=1) as farm:
+                job = farm.submit(spec)
+                with farm.lock:
+                    while not job.in_flight:
+                        farm.lock.wait(1.0)
+                killed = farm.kill_worker()
+                assert killed is not None
+                assert job.wait(timeout=60) == DONE
+                assert job.errors == {}
+                assert len(job.fresh) == len(job.cells)
+                assert farm.counters["workers_respawned"] >= 1
+                assert farm.counters["shards_retried"] >= 1
+                # The farm stays fully available after the chaos.
+                follow_up = farm.submit(small_spec(name="after-chaos"))
+                assert follow_up.wait(timeout=60) == DONE
+        finally:
+            _unregister("zz_slow")
+
+    def test_kill_worker_with_no_live_workers_returns_none(self):
+        farm = SimulationFarm(workers=1)
+        assert farm.kill_worker() is None
+        with SimulationFarm(workers=1) as running:
+            assert running.kill_worker(worker_id=99) is None
+
+    def test_chaos_on_a_real_grid_is_bit_identical_to_batch(self):
+        """Kills injected while real simulation jobs flow: every job still
+        completes and its payload matches the batch runner byte for byte."""
+        specs = [small_spec(count=3, name=f"chaos-real-{i}", seed=40 + i) for i in range(4)]
+        with SimulationFarm(workers=2, shard_size=1) as farm:
+            jobs = [farm.submit(spec) for spec in specs]
+            farm.kill_worker()
+            for job in jobs:
+                assert job.wait(timeout=120) == DONE
+                assert job.errors == {}
+            for spec, job in zip(specs, jobs):
+                assert job.result().payload() == run_campaign(spec).payload()
+
+
+class TestDrain:
+    @fork_only
+    def test_drain_finishes_running_jobs_then_rejects_new_ones(self):
+        _register("zz_slow", _SlowRunner)
+        try:
+            spec = CampaignSpec(
+                implementations=("zz_slow",), scenarios=SCENARIOS[:2], name="drain-wait"
+            )
+            with SimulationFarm(workers=1, shard_size=1) as farm:
+                job = farm.submit(spec)
+                outcome = farm.drain(timeout_s=30)
+                assert outcome == {"drained": True, "cancelled": []}
+                assert job.state == DONE
+                assert job.cells_done == len(job.cells)
+                assert farm.stats()["draining"] is True
+                with pytest.raises(RuntimeError, match="draining"):
+                    farm.submit(small_spec(name="too-late"))
+        finally:
+            _unregister("zz_slow")
+
+    @fork_only
+    def test_drain_timeout_cancels_leftovers_with_a_terminal_event(self):
+        _register("zz_slow", _SlowRunner)
+        try:
+            spec = CampaignSpec(
+                implementations=("zz_slow",), scenarios=SCENARIOS[:4], name="drain-cut"
+            )
+            with SimulationFarm(workers=1, shard_size=1) as farm:
+                job = farm.submit(spec)
+                with farm.lock:
+                    while not job.in_flight:
+                        farm.lock.wait(1.0)
+                outcome = farm.drain(timeout_s=0.01)
+                assert outcome["drained"] is False
+                assert outcome["cancelled"] == [job.id]
+                assert job.state == CANCELLED
+                # Watchers see a terminal state event explaining the cut.
+                last_state = [e for e in job.events if e["event"] == "state"][-1]
+                assert last_state["state"] == CANCELLED
+                assert last_state["reason"] == "drain timeout"
+        finally:
+            _unregister("zz_slow")
+
+    def test_draining_farm_returns_503_over_http(self):
+        with SimulationFarm(workers=1, name="drain-http") as farm:
+            server, _thread = serve_farm_in_thread(farm)
+            try:
+                client = ServiceClient(
+                    "http://127.0.0.1:%d" % server.server_address[1]
+                )
+                assert farm.drain(timeout_s=1)["drained"] is True
+                with pytest.raises(ServiceError) as excinfo:
+                    client.submit(small_spec(name="post-drain"))
+                assert excinfo.value.status == 503
+                # Reads stay available while draining.
+                assert client.healthz()["running"] is True
+                assert client.stats()["draining"] is True
+            finally:
+                server.shutdown()
+                server.server_close()
+
+
+# ---------------------------------------------------------------------------
 # HTTP API + client
 # ---------------------------------------------------------------------------
 
@@ -375,6 +491,128 @@ class TestHTTPAPI:
         assert warm["cells_executed"] == 0
 
 
+class TestClientResilience:
+    """Retry/resume behaviour of the stdlib client under flaky transport."""
+
+    def _client(self):
+        client = ServiceClient("http://127.0.0.1:1")  # nothing listens here
+        client.RETRY_BACKOFF_S = 0.001  # keep test wall-clock negligible
+        return client
+
+    def test_get_retries_transient_connection_errors(self):
+        client = self._client()
+        calls = {"n": 0}
+
+        def flaky(method, path, body=None):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ConnectionError("transient")
+            return {"ok": True}
+
+        client._request_once = flaky
+        assert client._request("GET", "/stats") == {"ok": True}
+        assert calls["n"] == 3
+
+    def test_get_gives_up_after_the_retry_budget(self):
+        client = self._client()
+        calls = {"n": 0}
+
+        def always_down(method, path, body=None):
+            calls["n"] += 1
+            raise ConnectionRefusedError("down")
+
+        client._request_once = always_down
+        with pytest.raises(ConnectionError):
+            client._request("GET", "/stats")
+        assert calls["n"] == 1 + client.GET_RETRIES
+
+    def test_posts_and_deletes_are_never_retried(self):
+        """A resent POST could double-submit; the first failure must surface."""
+        client = self._client()
+        calls = {"n": 0}
+
+        def always_down(method, path, body=None):
+            calls["n"] += 1
+            raise ConnectionError("down")
+
+        client._request_once = always_down
+        for method in ("POST", "DELETE"):
+            calls["n"] = 0
+            with pytest.raises(ConnectionError):
+                client._request(method, "/jobs")
+            assert calls["n"] == 1
+
+    def test_http_error_responses_are_not_retried(self):
+        """The server answered; retrying a 4xx/5xx can only repeat it."""
+        client = self._client()
+        calls = {"n": 0}
+
+        def erroring(method, path, body=None):
+            calls["n"] += 1
+            raise ServiceError(500, {"error": "boom"})
+
+        client._request_once = erroring
+        with pytest.raises(ServiceError):
+            client._request("GET", "/stats")
+        assert calls["n"] == 1
+
+    def test_events_resume_after_a_midstream_disconnect(self, served_farm, monkeypatch):
+        """A stream cut mid-flight reconnects at ``?from=N`` and the consumer
+        still sees every event exactly once."""
+        import repro.service.client as client_mod
+
+        farm, client = served_farm
+        job = client.submit(small_spec(count=3, name="resume", seed=31))
+        client.wait(job["id"], timeout=60)
+        full = list(client.events(job["id"]))
+        assert len(full) > 3  # need room to cut the stream mid-flight
+
+        real = client_mod.HTTPConnection
+        state = {"armed": True}
+
+        class _CutStream:
+            """Yields two NDJSON lines, then dies like a reset connection."""
+
+            def __init__(self, response):
+                self._response = response
+                self.status = response.status
+
+            def read(self, *args):
+                return self._response.read(*args)
+
+            def __iter__(self):
+                for count, line in enumerate(self._response):
+                    if count >= 2:
+                        raise ConnectionResetError("injected mid-stream cut")
+                    yield line
+
+        class Flaky(real):
+            def request(self, method, path, **kwargs):
+                self._chaos_path = path
+                return super().request(method, path, **kwargs)
+
+            def getresponse(self):
+                response = super().getresponse()
+                if state["armed"] and "/events" in self._chaos_path:
+                    state["armed"] = False
+                    return _CutStream(response)
+                return response
+
+        monkeypatch.setattr(client_mod, "HTTPConnection", Flaky)
+        resilient = ServiceClient(f"http://{client.host}:{client.port}")
+        resilient.RETRY_BACKOFF_S = 0.001
+        resumed = list(resilient.events(job["id"]))
+        assert not state["armed"], "the injected cut never fired"
+        assert resumed == full
+
+    def test_events_abort_after_consecutive_reconnect_failures(self):
+        client = self._client()
+        client.STREAM_RESUMES = 2
+        client.timeout = 0.2
+        with pytest.raises(OSError):
+            list(client.events("j1"))
+
+
 # ---------------------------------------------------------------------------
 # CLI integration (the `submit` front end is a pure HTTP client)
 # ---------------------------------------------------------------------------
@@ -439,3 +677,23 @@ class TestCLI:
         code = main(["submit", "--preset", "paper", "--sweep", "linear"])
         assert code == 2
         assert "--preset paper fixes the grid" in capsys.readouterr().err
+
+    def test_serve_drains_gracefully_on_interrupt(self, capsys):
+        """``splice serve`` + SIGINT = drain banner, clean exit code 0."""
+        import signal
+        import threading
+
+        from repro.cli import main
+
+        timer = threading.Timer(2.0, signal.raise_signal, args=(signal.SIGINT,))
+        timer.daemon = True
+        timer.start()
+        try:
+            rc = main(["serve", "--port", "0", "--workers", "1",
+                       "--drain-timeout", "2"])
+        finally:
+            timer.cancel()
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "draining" in out
+        assert "shutting down" in out
