@@ -1,0 +1,71 @@
+"""Fuzz-throughput benchmark — writes ``BENCH_fuzz.json``.
+
+Measures what a fuzzing budget actually buys: cases per second through the
+full differential oracle (three kernels built, driven, traced, and compared
+per case) for a fixed-seed session, plus the corpus replay rate.  The
+session seed is pinned and expected to be counterexample-free — a nonzero
+count here is a real kernel bug (or a strategy regression) surfacing in the
+perf lane, and fails the bench loudly rather than being averaged away.
+
+Smoke mode (``--benchmark-disable``) runs a small budget as a gate check;
+full mode runs the budget the headline number is quoted from.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from conftest import record_history
+
+from repro.fuzz.corpus import corpus_files, replay_case
+from repro.fuzz.session import run_session
+
+_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_fuzz.json"
+_CORPUS_DIR = Path(__file__).resolve().parent.parent / "tests" / "corpus"
+
+_SEED = 7
+_FULL_BUDGET = 120
+_SMOKE_BUDGET = 15
+
+
+def test_bench_fuzz_throughput(benchmark, once, request):
+    smoke = bool(request.config.getoption("benchmark_disable", False))
+    budget = _SMOKE_BUDGET if smoke else _FULL_BUDGET
+
+    report = once(
+        benchmark,
+        lambda: run_session(budget, _SEED, corpus_dir=None),
+    )
+    assert report.executed == budget
+    assert not report.counterexamples, [
+        ce.describe() for ce in report.counterexamples
+    ]
+
+    replayed = 0
+    for path in corpus_files(_CORPUS_DIR):
+        assert replay_case(path).ok, path.name
+        replayed += 1
+
+    record = {
+        "host_cpus": os.cpu_count() or 1,
+        "mode": "smoke" if smoke else "full",
+        "seed": _SEED,
+        "budget": budget,
+        "cases_executed": report.executed,
+        "rounds": report.rounds,
+        "counterexamples": len(report.counterexamples),
+        "session_s": round(report.duration_s, 3),
+        "cases_per_s": round(report.cases_per_second, 2),
+        "corpus_cases_replayed": replayed,
+    }
+    _BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nBENCH_fuzz.json: {json.dumps(record, indent=2)}")
+    record_history(
+        "fuzz",
+        {
+            "cases_per_s": record["cases_per_s"],
+            "counterexamples": record["counterexamples"],
+            "budget": budget,
+            "corpus_cases_replayed": replayed,
+        },
+    )

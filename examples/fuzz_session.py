@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Fuzzing walkthrough: the three kernels as their own differential oracle.
+
+A fuzz case (:mod:`repro.fuzz`) is pure data — a generated topology (bus ×
+function mix), a workload of driver calls and idle spans, an optional fault
+token, and the compiled kernel's leap toggle.  The oracle builds the case on
+all three kernels and demands exact agreement on traces, outcomes, monitor
+violations, and leap accounting; any disagreement is a typed, replayable
+counterexample.
+
+This script walks the lifecycle:
+
+1. build one case by hand and run it through the oracle,
+2. run a tiny deterministic fuzz session (needs Hypothesis),
+3. convict a deliberately broken kernel and shrink the finding,
+4. replay a shipped regression-corpus case.
+
+Run from the repository root::
+
+    PYTHONPATH=src python examples/fuzz_session.py
+
+or the CLI equivalents::
+
+    PYTHONPATH=src python -m repro.cli fuzz run --budget 50 --seed 7 --no-save
+    PYTHONPATH=src python -m repro.cli fuzz replay <token>
+"""
+
+from pathlib import Path
+
+from repro.fuzz import (
+    Counterexample,
+    FuzzCall,
+    FuzzCase,
+    FuzzFunction,
+    FuzzTopology,
+    corpus_files,
+    minimize,
+    replay_case,
+    run_case,
+)
+from repro.rtl import ReferenceSimulator, Simulator
+
+CORPUS = Path(__file__).resolve().parent.parent / "tests" / "corpus"
+
+
+class LyingStatsSimulator(Simulator):
+    """A scan kernel that claims it leaped — leap accounting cannot balance."""
+
+    def step(self, cycles=1):
+        super().step(cycles)
+        self.stats.leaped_cycles += 1
+
+
+def main() -> None:
+    # 1. A case is plain data; the topology renders to a real Splice spec,
+    #    so the oracle exercises the full generator path per kernel.
+    topology = FuzzTopology(
+        bus="plb",
+        functions=(
+            FuzzFunction("set_reg", "poke"),
+            FuzzFunction("digest", "stream", calc_latency=24),
+        ),
+    )
+    case = FuzzCase(
+        topology=topology,
+        calls=(
+            FuzzCall("set_reg", (3, 0x80000000)),
+            FuzzCall.idle(40),  # idle spans put cycle leaping in play
+            FuzzCall("digest", ((1, 0, 0xFFFFFFFF),)),
+        ),
+    )
+    print(f"case {case.token}:")
+    print("  " + "\n  ".join(topology.spec_source().strip().splitlines()))
+    verdict = run_case(case)
+    print(f"oracle verdict on clean kernels: {verdict.kind} ({verdict.detail})\n")
+
+    # 2. A session draws cases from Hypothesis strategies — same seed, same
+    #    budget => identical case-token stream and verdicts, every time.
+    try:
+        from repro.fuzz import run_session
+    except ImportError as exc:
+        print(f"skipping session demo: {exc}")
+    else:
+        report = run_session(10, seed=7, corpus_dir=None)
+        print(report.render())
+        print()
+
+    # 3. The property has teeth: swap one kernel for a broken one and the
+    #    oracle convicts it, then the domain minimizer shrinks the case
+    #    while the same verdict kind still reproduces.
+    def rigged(c):
+        return {"reference": ReferenceSimulator, "lying": LyingStatsSimulator}
+
+    bad = run_case(case, kernel_factories=rigged(case))
+    print(f"broken kernel verdict: {bad.kind} on kernel={bad.kernel} ({bad.detail})")
+    shrunk, attempts = minimize(
+        case, lambda c: run_case(c, kernel_factories=rigged(c)).kind == bad.kind
+    )
+    print(
+        f"shrunk {len(case.calls)} calls / {len(case.topology.functions)} functions "
+        f"-> {len(shrunk.calls)} / {len(shrunk.topology.functions)} "
+        f"in {attempts} attempts (token {shrunk.token})\n"
+    )
+
+    # 4. Shipped counterexamples are shrunk fuzzer finds against broken
+    #    kernels; each must replay `pass` on the current clean kernels
+    #    (tests/test_fuzz_regressions.py does this on every tier-1 run).
+    path = corpus_files(CORPUS)[0]
+    record = Counterexample.load(path)
+    replayed = replay_case(record)
+    print(
+        f"corpus {path.name}: found as {record.verdict.kind} "
+        f"({record.discovered.get('mutation', 'unknown mutation')}), "
+        f"replays {replayed.kind} on clean kernels"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,17 @@ Subcommands:
     wall-clock between the harness (drivers, masters, monitors) and the
     simulation kernel.
 
+``splice fuzz run [--budget N] [--seed S] [--faults] [--profile quick|deep]``
+    Property-based scenario fuzzing with the kernels as the oracle
+    (:mod:`repro.fuzz`): generate randomized topologies and workloads,
+    execute each on all three kernels, and record any disagreement as a
+    shrunk, replayable counterexample in the corpus.  Exits nonzero only
+    if counterexamples were found, and only at the end of the budget.
+
+``splice fuzz replay <case>``
+    Re-run one corpus case (a JSON path, or a case token to look up in the
+    corpus directory) through the oracle and report its verdict.
+
 ``splice serve [--host H] [--port P] [--workers N|auto] [--cache-dir DIR]``
     Start the long-lived simulation farm (:mod:`repro.service`): persistent
     warm workers, a priority job queue and the streaming HTTP/JSON API.
@@ -53,12 +64,13 @@ import sys
 from pathlib import Path
 from typing import Optional
 
+from repro.campaign.sweep import SWEEP_MODES
 from repro.core.engine import Splice
 from repro.core.syntax.errors import SpliceError
 from repro.rtl import DEFAULT_KERNEL, KERNELS
 
 #: Names that select a subcommand; anything else routes to ``generate``.
-_SUBCOMMANDS = ("generate", "campaign", "profile", "serve", "submit", "faults")
+_SUBCOMMANDS = ("generate", "campaign", "profile", "serve", "submit", "faults", "fuzz")
 
 #: Kernel choices come from the one registry, so a new kernel is
 #: automatically selectable here.
@@ -137,7 +149,7 @@ def _add_campaign_grid_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--sweep",
-        choices=("linear", "geometric", "random", "burst", "degenerate"),
+        choices=SWEEP_MODES,
         default=None,
         help="generate scenarios from a parametric sweep instead of Figure 9.1",
     )
@@ -232,6 +244,47 @@ def build_arg_parser() -> argparse.ArgumentParser:
                             "compiled; all three are cycle-exact under injection)")
     faults_run.add_argument("--artifacts", default=None, metavar="DIR",
                             help="write faults.md and faults.json under DIR")
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="property-based scenario fuzzing with the kernels as the oracle",
+        description="Generate randomized topologies and workloads, run each on "
+        "all three kernels, and demand identical traces, outcomes, monitor "
+        "violations, and balanced leap accounting.  Failures are shrunk and "
+        "saved as replayable JSON counterexamples in the regression corpus.",
+    )
+    fuzz_sub = fuzz.add_subparsers(dest="fuzz_command", required=True)
+    fuzz_run = fuzz_sub.add_parser("run", help="run a deterministic fuzz session")
+    fuzz_run.add_argument("--budget", type=int, default=100, metavar="N",
+                          help="number of generated cases to execute (default: 100)")
+    fuzz_run.add_argument("--seed", type=int, default=0, metavar="S",
+                          help="session seed; (seed, budget, profile, faults) fully "
+                          "determines every generated case (default: 0)")
+    fuzz_run.add_argument("--faults", action="store_true",
+                          help="compose cases with random fault schedules "
+                          "(all three kernels must stay cycle-exact under injection)")
+    fuzz_run.add_argument("--profile", choices=("quick", "deep"), default="quick",
+                          help="case-size profile (default: quick)")
+    fuzz_run.add_argument("--timeout", type=float, default=10.0, metavar="SECONDS",
+                          help="per-case watchdog; a case that exceeds it is killed "
+                          "and recorded as a 'hang' counterexample (default: 10)")
+    fuzz_run.add_argument("--corpus", default=None, metavar="DIR",
+                          help="corpus directory for shrunk counterexamples "
+                          "(default: the repo's tests/corpus)")
+    fuzz_run.add_argument("--no-save", action="store_true",
+                          help="report counterexamples without writing corpus files")
+    fuzz_run.add_argument("--report", default=None, metavar="PATH",
+                          help="also write the full session report as JSON to PATH")
+    fuzz_replay = fuzz_sub.add_parser("replay", help="replay one corpus case")
+    fuzz_replay.add_argument("case",
+                             help="path to a corpus JSON file, or a case token to "
+                             "look up in the corpus directory")
+    fuzz_replay.add_argument("--corpus", default=None, metavar="DIR",
+                             help="corpus directory for token lookup "
+                             "(default: the repo's tests/corpus)")
+    fuzz_replay.add_argument("--timeout", type=float, default=10.0, metavar="SECONDS",
+                             help="per-case watchdog (default: 10); 0 disables it "
+                             "for debugging a hanging case")
 
     profile = subparsers.add_parser(
         "profile",
@@ -607,6 +660,67 @@ def _faults_run(args) -> int:
     return 0
 
 
+def _fuzz_run(args) -> int:
+    """``splice fuzz run``: one deterministic fuzz session."""
+    import json as json_module
+
+    from repro.fuzz.corpus import DEFAULT_CORPUS_DIR
+
+    if args.budget < 1:
+        print(f"splice: fuzz budget must be >= 1, got {args.budget}", file=sys.stderr)
+        return 2
+    try:
+        from repro.fuzz.session import run_session
+    except ImportError as exc:
+        print(f"splice: {exc}", file=sys.stderr)
+        return 2
+    corpus_dir = None if args.no_save else Path(args.corpus or DEFAULT_CORPUS_DIR)
+    report = run_session(
+        args.budget,
+        args.seed,
+        profile=args.profile,
+        with_faults=args.faults,
+        timeout_s=args.timeout,
+        corpus_dir=corpus_dir,
+    )
+    print(report.render())
+    if args.report:
+        path = Path(args.report)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json_module.dumps(report.describe(), indent=2, sort_keys=True) + "\n")
+        print(f"  report: {path}")
+    return report.exit_code
+
+
+def _fuzz_replay(args) -> int:
+    """``splice fuzz replay``: one corpus case back through the oracle."""
+    from repro.fuzz.corpus import DEFAULT_CORPUS_DIR, corpus_files, replay_case
+
+    candidate = Path(args.case)
+    if not candidate.is_file():
+        corpus = Path(args.corpus or DEFAULT_CORPUS_DIR)
+        matches = [p for p in corpus_files(corpus) if args.case in p.name]
+        if len(matches) != 1:
+            wanted = f"token {args.case!r}"
+            if matches:
+                names = ", ".join(p.name for p in matches)
+                print(f"splice: {wanted} is ambiguous in {corpus}: {names}", file=sys.stderr)
+            else:
+                print(f"splice: no file or corpus case matches {wanted} "
+                      f"(searched {corpus})", file=sys.stderr)
+            return 2
+        candidate = matches[0]
+    try:
+        verdict = replay_case(candidate, timeout_s=args.timeout)
+    except (ValueError, KeyError) as exc:
+        print(f"splice: malformed corpus case {candidate}: {exc}", file=sys.stderr)
+        return 2
+    status = "PASS" if verdict.ok else "FAIL"
+    kernel = f" kernel={verdict.kernel}" if verdict.kernel else ""
+    print(f"{status} [{verdict.kind}]{kernel} {candidate.name}: {verdict.detail}")
+    return 0 if verdict.ok else 1
+
+
 def _serve(args) -> int:
     """``splice serve``: run the farm + HTTP API until interrupted."""
     from repro.service import DEFAULT_SHARD_SIZE, SimulationFarm, resolve_workers, serve_farm
@@ -752,6 +866,10 @@ def main(argv=None) -> int:
         return _profile(args)
     if args.command == "faults":
         return _faults_run(args)
+    if args.command == "fuzz":
+        if args.fuzz_command == "run":
+            return _fuzz_run(args)
+        return _fuzz_replay(args)
     if args.command == "serve":
         return _serve(args)
     if args.command == "submit":

@@ -56,7 +56,12 @@ def _accepts_keyword(builder: Callable[..., object], name: str) -> bool:
     )
 
 
-def build_runner(label: str, kernel: str = DEFAULT_KERNEL, leap: bool = True):
+def build_runner(
+    label: str,
+    kernel: str = DEFAULT_KERNEL,
+    leap: bool = True,
+    simulator_factory=None,
+):
     """Elaborate a fresh system for ``label`` on ``kernel`` and return it.
 
     The returned object exposes ``run_scenario(sets)``; building is the
@@ -68,6 +73,11 @@ def build_runner(label: str, kernel: str = DEFAULT_KERNEL, leap: bool = True):
     cells must not grow memory per call.  ``leap=False`` disables the
     compiled kernel's cycle-leaping fast path (see
     :func:`repro.rtl.kernel_factory`).
+
+    An explicit ``simulator_factory`` overrides name-based kernel selection
+    entirely — this is how differential harnesses (the fuzz oracle, the
+    mutation acceptance tests) run registry implementations on instrumented
+    or deliberately broken kernels that have no registered name.
     """
     try:
         builder = _BUILDERS[label]
@@ -75,15 +85,18 @@ def build_runner(label: str, kernel: str = DEFAULT_KERNEL, leap: bool = True):
         raise KeyError(
             f"unknown implementation label {label!r} (known: {known_labels()})"
         ) from None
+    if simulator_factory is not None and kernel != DEFAULT_KERNEL:
+        raise ValueError("pass either kernel= or simulator_factory=, not both")
     kwargs = {}
     if _accepts_keyword(builder, "record_transactions"):
         kwargs["record_transactions"] = False
     if _accepts_keyword(builder, "simulator_factory"):
-        return builder(simulator_factory=kernel_factory(kernel, leap=leap), **kwargs)
-    if kernel != DEFAULT_KERNEL:
+        factory = simulator_factory or kernel_factory(kernel, leap=leap)
+        return builder(simulator_factory=factory, **kwargs)
+    if kernel != DEFAULT_KERNEL or simulator_factory is not None:
         raise TypeError(
             f"builder for {label!r} does not accept simulator_factory; "
-            f"it cannot honour kernel={kernel!r}"
+            f"it cannot honour a kernel selection"
         )
     return builder(**kwargs)
 

@@ -1,0 +1,99 @@
+"""Property-based scenario fuzzing with the kernels as the oracle.
+
+The package splits along one dependency line:
+
+* always importable — :mod:`~repro.fuzz.case` (the case model),
+  :mod:`~repro.fuzz.oracle` (the differential property),
+  :mod:`~repro.fuzz.watchdog`, :mod:`~repro.fuzz.shrink`, and
+  :mod:`~repro.fuzz.corpus` (serialize / load / replay);
+* Hypothesis-backed — :mod:`~repro.fuzz.strategies` and
+  :mod:`~repro.fuzz.session` (generation and the fuzz loop).
+
+Corpus replay must keep working where Hypothesis is absent (the corpus is
+part of the tier-1 suite), so the Hypothesis-backed names are re-exported
+lazily: importing :mod:`repro.fuzz` never pulls in Hypothesis, and touching
+``run_session`` / ``cases`` / ``PROFILES`` without it installed raises one
+actionable ImportError instead of a deep stack.
+"""
+
+from repro.fuzz.case import (
+    FUNCTION_FAMILIES,
+    FUZZ_BUSES,
+    IDLE,
+    FuzzCall,
+    FuzzCase,
+    FuzzFunction,
+    FuzzTopology,
+)
+from repro.fuzz.corpus import (
+    DEFAULT_CORPUS_DIR,
+    Counterexample,
+    corpus_files,
+    load_corpus,
+    replay_case,
+    save_case,
+)
+from repro.fuzz.oracle import (
+    DEFAULT_TIMEOUT_S,
+    VERDICT_KINDS,
+    CaseVerdict,
+    default_kernel_factories,
+    run_case,
+)
+from repro.fuzz.shrink import cost, minimize
+from repro.fuzz.watchdog import CaseHang, case_watchdog, watchdog_available
+
+_HYPOTHESIS_EXPORTS = {
+    "run_session": "repro.fuzz.session",
+    "FuzzReport": "repro.fuzz.session",
+    "ROUND_SIZE": "repro.fuzz.session",
+    "cases": "repro.fuzz.strategies",
+    "PROFILES": "repro.fuzz.strategies",
+    "FuzzProfile": "repro.fuzz.strategies",
+    "CORNER_WORDS": "repro.fuzz.strategies",
+    "FAULT_TARGETS": "repro.fuzz.strategies",
+}
+
+
+def __getattr__(name):
+    module_name = _HYPOTHESIS_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    try:
+        import importlib
+
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise ImportError(
+            f"repro.fuzz.{name} requires the 'hypothesis' package "
+            "(install the test extras: pip install -e '.[test]')"
+        ) from exc
+    return getattr(module, name)
+
+
+__all__ = [
+    "FUNCTION_FAMILIES",
+    "FUZZ_BUSES",
+    "IDLE",
+    "FuzzCall",
+    "FuzzCase",
+    "FuzzFunction",
+    "FuzzTopology",
+    "DEFAULT_CORPUS_DIR",
+    "Counterexample",
+    "corpus_files",
+    "load_corpus",
+    "replay_case",
+    "save_case",
+    "DEFAULT_TIMEOUT_S",
+    "VERDICT_KINDS",
+    "CaseVerdict",
+    "default_kernel_factories",
+    "run_case",
+    "cost",
+    "minimize",
+    "CaseHang",
+    "case_watchdog",
+    "watchdog_available",
+    *sorted(_HYPOTHESIS_EXPORTS),
+]

@@ -1,0 +1,313 @@
+"""Fuzz cases: randomized system topologies plus the workload driven at them.
+
+A :class:`FuzzCase` is pure data — a :class:`FuzzTopology` (bus type ×
+device mix × arbitration), an ordered tuple of :class:`FuzzCall` workload
+steps, an optional :class:`~repro.faults.spec.FaultSchedule` token, and the
+compiled kernel's cycle-leap toggle.  Everything needed to rebuild and
+re-drive the identical simulated SoC on any kernel is in the case, so a case
+serialises to canonical JSON, fingerprints to a stable :attr:`FuzzCase.token`,
+and replays bit-identically from either.
+
+The topology space is the cross product the rest of the tree already proves
+piecewise: all four buses, DMA on PLB, bursts on FCB, 1..n user-logic
+functions (two or more functions put the SIS arbiter in play), per-function
+calculation latencies (large ones open cycle-leap windows), and the
+inter-operation gap.  Function *families* fix each function's declaration
+and behaviour:
+
+``poke`` / ``peek``
+    ``void f(char idx, int value)`` / ``int f(char idx)`` over a register
+    store shared by every function of the system — cross-call state, so
+    call *order* matters and a dropped write shows up later.
+``stream``
+    ``long f(char n, int*:n data)`` — a wire-format input stream folded
+    into a deterministic digest; zero-length streams are the degenerate
+    edge hand-written drivers historically miss.
+``pair``
+    ``long f(char n1, int*:n1 a, char n2, int*:n2 b)`` — two independently
+    sized streams through one call (the interpolator's shape, reduced).
+
+Behaviours are pure deterministic functions of the store and the streams,
+so every kernel computes identical results whenever it moves identical
+bits — exactly the property the oracle checks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Buses a fuzz topology may target (the full Figure 9.1 adapter matrix).
+FUZZ_BUSES: Tuple[str, ...] = ("plb", "opb", "fcb", "apb")
+
+#: Function families a fuzz topology may declare.
+FUNCTION_FAMILIES: Tuple[str, ...] = ("poke", "peek", "stream", "pair")
+
+#: Pseudo-function name for "advance the simulator with no bus activity":
+#: idle spans are where the compiled kernel's cycle-leap mode does its work,
+#: so workloads must contain them to fuzz leap accounting at all.
+IDLE = "~idle"
+
+_BUS_HEADERS = {
+    "plb": "%bus_type plb\n%bus_width 32\n%base_address 0x80000000\n",
+    "opb": "%bus_type opb\n%bus_width 32\n%base_address 0x80000000\n",
+    "fcb": "%bus_type fcb\n%bus_width 32\n",
+    "apb": "%bus_type apb\n%bus_width 32\n%base_address 0x40000000\n",
+}
+
+_WORD = 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class FuzzFunction:
+    """One declared user-logic function of a fuzz topology."""
+
+    name: str
+    family: str
+    calc_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.family not in FUNCTION_FAMILIES:
+            raise ValueError(
+                f"unknown function family {self.family!r} (known: {FUNCTION_FAMILIES})"
+            )
+        if not self.name.isidentifier():
+            raise ValueError(f"function name {self.name!r} is not an identifier")
+        if self.calc_latency < 1:
+            raise ValueError(f"calc latency must be >= 1, got {self.calc_latency}")
+
+    def declaration(self, dma: bool) -> str:
+        """The Splice declaration line for this function."""
+        ptr = "^" if dma else ""
+        if self.family == "poke":
+            return f"void {self.name}(char idx, int value);"
+        if self.family == "peek":
+            return f"int {self.name}(char idx);"
+        if self.family == "stream":
+            return f"long {self.name}(char n, int*:n{ptr} data);"
+        return (
+            f"long {self.name}(char n1, int*:n1{ptr} a, "
+            f"char n2, int*:n2{ptr} b);"
+        )
+
+    def describe(self) -> Dict[str, object]:
+        return {"name": self.name, "family": self.family, "calc_latency": self.calc_latency}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FuzzFunction":
+        return cls(
+            name=str(data["name"]),
+            family=str(data["family"]),
+            calc_latency=int(data.get("calc_latency", 1)),
+        )
+
+
+def _fold(values: Sequence[int], mult: int, acc: int = 0) -> int:
+    for value in values:
+        acc = (acc * mult + int(value) + 1) & _WORD
+    return acc
+
+
+@dataclass(frozen=True)
+class FuzzTopology:
+    """Bus type × device mix × arbitration, as plain data."""
+
+    bus: str
+    functions: Tuple[FuzzFunction, ...]
+    dma: bool = False
+    burst: bool = False
+    inter_op_gap: int = 1
+
+    def __post_init__(self) -> None:
+        if self.bus not in FUZZ_BUSES:
+            raise ValueError(f"unknown fuzz bus {self.bus!r} (known: {FUZZ_BUSES})")
+        if self.dma and self.bus != "plb":
+            raise ValueError("DMA topologies require the plb bus")
+        if self.burst and self.bus != "fcb":
+            raise ValueError("burst topologies require the fcb bus")
+        if self.inter_op_gap < 0:
+            raise ValueError(f"inter_op_gap must be >= 0, got {self.inter_op_gap}")
+        functions = tuple(self.functions)
+        object.__setattr__(self, "functions", functions)
+        if not functions:
+            raise ValueError("a fuzz topology needs at least one function")
+        names = [f.name for f in functions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate function names in topology: {names}")
+        if self.dma and all(f.family in ("poke", "peek") for f in functions):
+            raise ValueError("a DMA topology needs at least one pointer function")
+
+    def function(self, name: str) -> FuzzFunction:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(f"topology declares no function {name!r}")
+
+    def spec_source(self) -> str:
+        """Render the topology as a Splice specification string."""
+        lines = [f"%device_name fuzz_{self.bus}", _BUS_HEADERS[self.bus].rstrip("\n")]
+        if self.dma:
+            lines.append("%dma_support true")
+        if self.burst:
+            lines.append("%burst_support true")
+        # DMA transfers only apply to pointer parameters; scalar-only
+        # functions keep their plain declarations either way.
+        for fn in self.functions:
+            lines.append(fn.declaration(self.dma and fn.family in ("stream", "pair")))
+        return "\n".join(lines) + "\n"
+
+    def behaviors(self) -> Dict[str, Callable]:
+        """Fresh deterministic behaviours (one shared store per system).
+
+        Must be called once per built system: the register store is shared
+        across this topology's ``poke``/``peek`` functions but never across
+        systems, or kernels would observe each other's state.
+        """
+        store: Dict[int, int] = {}
+        out: Dict[str, Callable] = {}
+        for fn in self.functions:
+            if fn.family == "poke":
+                out[fn.name] = lambda idx=0, value=0, _s=store: _s.__setitem__(
+                    int(idx) & 0xFF, int(value) & _WORD
+                )
+            elif fn.family == "peek":
+                out[fn.name] = lambda idx=0, _s=store: _s.get(int(idx) & 0xFF, 0)
+            elif fn.family == "stream":
+                out[fn.name] = lambda n=0, data=(), _s=store: _fold(
+                    data, 33, acc=(int(n) + len(_s)) & _WORD
+                )
+            else:  # pair
+                out[fn.name] = lambda n1=0, a=(), n2=0, b=(), _s=store: _fold(
+                    b, 1_000_003, acc=_fold(a, 31, acc=len(_s) & _WORD)
+                )
+        return out
+
+    def calc_latencies(self) -> Dict[str, int]:
+        return {fn.name: fn.calc_latency for fn in self.functions}
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "bus": self.bus,
+            "dma": self.dma,
+            "burst": self.burst,
+            "inter_op_gap": self.inter_op_gap,
+            "functions": [fn.describe() for fn in self.functions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FuzzTopology":
+        return cls(
+            bus=str(data["bus"]),
+            functions=tuple(FuzzFunction.from_dict(f) for f in data["functions"]),
+            dma=bool(data.get("dma", False)),
+            burst=bool(data.get("burst", False)),
+            inter_op_gap=int(data.get("inter_op_gap", 1)),
+        )
+
+
+@dataclass(frozen=True)
+class FuzzCall:
+    """One workload step: a driver call, or an idle span (``func == IDLE``).
+
+    ``args`` hold the *payload* in family shape — pointer streams are stored
+    as one tuple each; the driver-call expansion (count-then-list, the wire
+    format's calling convention) happens at execution time, so counts can
+    never disagree with stream lengths.
+    """
+
+    func: str
+    args: Tuple = ()
+
+    def __post_init__(self) -> None:
+        # Canonicalise nested sequences to tuples so cases hash and compare
+        # structurally regardless of how they were built (JSON gives lists).
+        object.__setattr__(
+            self,
+            "args",
+            tuple(
+                tuple(int(v) for v in a) if isinstance(a, (list, tuple)) else int(a)
+                for a in self.args
+            ),
+        )
+        if self.func == IDLE:
+            if len(self.args) != 1 or not isinstance(self.args[0], int) or self.args[0] < 1:
+                raise ValueError(f"idle steps take one positive cycle count, got {self.args!r}")
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "func": self.func,
+            "args": [list(a) if isinstance(a, tuple) else a for a in self.args],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FuzzCall":
+        return cls(func=str(data["func"]), args=tuple(data.get("args", ())))
+
+    @classmethod
+    def idle(cls, cycles: int) -> "FuzzCall":
+        return cls(func=IDLE, args=(int(cycles),))
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One complete generated scenario: topology + workload + faults + leap."""
+
+    topology: FuzzTopology
+    calls: Tuple[FuzzCall, ...]
+    faults: Optional[str] = None
+    leap: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "calls", tuple(self.calls))
+        if not self.calls:
+            raise ValueError("a fuzz case needs at least one workload step")
+        for call in self.calls:
+            if call.func != IDLE:
+                self.topology.function(call.func)  # raises on unknown names
+        if self.faults is not None:
+            from repro.faults.spec import FaultSchedule
+
+            # Canonicalise so equivalent spellings share one token (and so a
+            # malformed schedule fails at construction, not mid-oracle).
+            object.__setattr__(self, "faults", FaultSchedule.parse(self.faults).token)
+
+    def describe(self) -> Dict[str, object]:
+        """Canonical JSON-friendly form — the case's identity."""
+        data: Dict[str, object] = {
+            "version": 1,
+            "topology": self.topology.describe(),
+            "calls": [call.describe() for call in self.calls],
+            "leap": self.leap,
+        }
+        if self.faults is not None:
+            data["faults"] = self.faults
+        return data
+
+    @property
+    def token(self) -> str:
+        """Stable 16-hex-digit fingerprint of the canonical form."""
+        payload = json.dumps(self.describe(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def to_json(self) -> str:
+        return json.dumps(self.describe(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FuzzCase":
+        return cls(
+            topology=FuzzTopology.from_dict(data["topology"]),
+            calls=tuple(FuzzCall.from_dict(c) for c in data["calls"]),
+            faults=data.get("faults"),
+            leap=bool(data.get("leap", True)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FuzzCase":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path) -> "FuzzCase":
+        return cls.from_json(Path(path).read_text())

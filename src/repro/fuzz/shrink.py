@@ -1,0 +1,161 @@
+"""Domain-aware counterexample minimizer.
+
+Hypothesis shrinks within its own choice sequence, which already gets most
+of the way down — but it cannot exploit domain structure it does not know
+about (a function nobody calls can vanish from the topology; a fault
+schedule can lose whole specs; DMA/burst flags can drop if the failure
+survives without them).  :func:`minimize` runs a greedy, bounded,
+verdict-preserving pass over exactly those moves, so corpus cases end up
+small enough that a human can read the JSON and see the bug.
+
+The contract is deliberately narrow: ``reproduces(case)`` must return
+``True`` when the candidate still fails *the same way* (same verdict kind)
+— the caller owns that check, typically by re-running the oracle with the
+same kernel set — and the minimizer only keeps candidates that both shrink
+the case's :func:`cost` and still reproduce.  Every candidate costs one
+oracle run, so the whole pass is capped by ``max_attempts``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator, Tuple
+
+from repro.fuzz.case import IDLE, FuzzCall, FuzzCase, FuzzTopology
+
+
+def cost(case: FuzzCase) -> int:
+    """A scalar "size" for greedy descent (smaller = simpler to triage)."""
+    total = len(case.topology.functions) * 10
+    total += sum(fn.calc_latency for fn in case.topology.functions)
+    total += case.topology.inter_op_gap
+    total += 5 * (case.topology.dma + case.topology.burst)
+    for call in case.calls:
+        total += 10
+        for arg in call.args:
+            if isinstance(arg, tuple):
+                total += len(arg) + sum(1 for v in arg if v)
+            else:
+                total += min(int(arg).bit_length(), 8)
+    if case.faults:
+        total += 20 * (case.faults.count(";") + 1)
+    return total
+
+
+def _with_calls(case: FuzzCase, calls) -> FuzzCase:
+    return replace(case, calls=tuple(calls))
+
+
+def _prune_topology(case: FuzzCase) -> FuzzCase:
+    """Drop functions no remaining call references (if any remain)."""
+    used = {call.func for call in case.calls if call.func != IDLE}
+    kept = tuple(fn for fn in case.topology.functions if fn.name in used)
+    if not kept or len(kept) == len(case.topology.functions):
+        return case
+    topology = FuzzTopology(
+        bus=case.topology.bus,
+        functions=kept,
+        dma=case.topology.dma and any(f.family in ("stream", "pair") for f in kept),
+        burst=case.topology.burst,
+        inter_op_gap=case.topology.inter_op_gap,
+    )
+    return replace(case, topology=topology)
+
+
+def _call_variants(call: FuzzCall) -> Iterator[FuzzCall]:
+    """Smaller versions of one workload step, most aggressive first."""
+    if call.func == IDLE:
+        span = call.args[0]
+        for smaller in (1, span // 2):
+            if 1 <= smaller < span:
+                yield FuzzCall.idle(smaller)
+        return
+    for index, arg in enumerate(call.args):
+        if isinstance(arg, tuple):
+            candidates = [(), arg[: len(arg) // 2], arg[1:], arg[:-1],
+                          tuple(0 for _ in arg)]
+        else:
+            candidates = [0, int(arg) // 2, 1]
+        for candidate in candidates:
+            if tuple(candidate) == arg if isinstance(arg, tuple) else candidate == arg:
+                continue
+            args = list(call.args)
+            args[index] = candidate
+            yield FuzzCall(func=call.func, args=tuple(args))
+
+
+def _variants(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Candidate simplifications, roughly most-aggressive first."""
+    calls = case.calls
+    # 1. Chop the workload: halves, then single-call deletions.
+    if len(calls) > 1:
+        half = len(calls) // 2
+        yield _prune_topology(_with_calls(case, calls[:half]))
+        yield _prune_topology(_with_calls(case, calls[half:]))
+        for index in range(len(calls)):
+            yield _prune_topology(_with_calls(case, calls[:index] + calls[index + 1 :]))
+    # 2. Drop the fault schedule, then individual specs.
+    if case.faults:
+        yield replace(case, faults=None)
+        specs = case.faults.split(";")
+        if len(specs) > 1:
+            for index in range(len(specs)):
+                kept = specs[:index] + specs[index + 1 :]
+                yield replace(case, faults=";".join(kept))
+    # 3. Simplify the topology: flags off, gap down, latencies down.
+    topo = case.topology
+    if topo.dma or topo.burst:
+        try:
+            yield replace(case, topology=replace(topo, dma=False, burst=False))
+        except ValueError:
+            pass
+    if topo.inter_op_gap:
+        yield replace(case, topology=replace(topo, inter_op_gap=0))
+    for index, fn in enumerate(topo.functions):
+        if fn.calc_latency > 1:
+            functions = list(topo.functions)
+            functions[index] = replace(fn, calc_latency=1)
+            yield replace(case, topology=replace(topo, functions=tuple(functions)))
+    # 4. Shrink individual calls (streams, scalars, idle spans).
+    for index, call in enumerate(calls):
+        for variant in _call_variants(call):
+            yield _with_calls(case, calls[:index] + (variant,) + calls[index + 1 :])
+
+
+def minimize(
+    case: FuzzCase,
+    reproduces: Callable[[FuzzCase], bool],
+    max_attempts: int = 200,
+) -> Tuple[FuzzCase, int]:
+    """Greedy verdict-preserving descent; returns (smaller case, attempts).
+
+    Restarts the variant scan after every accepted candidate (an accepted
+    chop usually unlocks further chops), and stops at a fixpoint or when
+    ``max_attempts`` oracle runs have been spent.
+    """
+    attempts = 0
+    current = case
+    current_cost = cost(case)
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _variants(current):
+            if attempts >= max_attempts:
+                break
+            try:
+                candidate_cost = cost(candidate)
+            except Exception:  # noqa: BLE001 - invalid candidate, skip
+                continue
+            if candidate_cost >= current_cost:
+                continue
+            attempts += 1
+            try:
+                keep = reproduces(candidate)
+            except Exception:  # noqa: BLE001 - reproducer must not kill the pass
+                keep = False
+            if keep:
+                current = candidate
+                current_cost = candidate_cost
+                improved = True
+                break
+    return current, attempts

@@ -1,0 +1,194 @@
+"""Hypothesis strategies over the fuzz-case space.
+
+The strategies are deliberately *structured*: instead of free-form byte
+soup, they draw from the same topology axes the differential grid already
+covers (bus × DMA × burst × arbitration × gap × latency) and then fill in
+the parts the grid fixes by hand — workload order, stream contents and
+lengths, idle spans, fault schedules.  Value choices are biased toward the
+edges that historically break wire-format code: zero-length streams,
+single-element streams, all-ones words, sign-boundary words, and repeated
+back-to-back calls into the same function.
+
+Everything here is pure generation — no simulator imports — so the module
+stays cheap to import and the only Hypothesis dependency in the package is
+isolated to this module and :mod:`~repro.fuzz.session`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from hypothesis import strategies as st
+
+from repro.faults.spec import FAULT_KINDS, FaultSchedule, FaultSpec
+from repro.fuzz.case import (
+    FUNCTION_FAMILIES,
+    FUZZ_BUSES,
+    FuzzCall,
+    FuzzCase,
+    FuzzFunction,
+    FuzzTopology,
+)
+
+#: Word values that sit on the boundaries wire-format code gets wrong:
+#: zero, tiny, char-sign edges, int-sign edges, all-ones.
+CORNER_WORDS: Tuple[int, ...] = (
+    0,
+    1,
+    2,
+    0x7F,
+    0x80,
+    0xFF,
+    0x7FFFFFFF,
+    0x80000000,
+    0xFFFFFFFF,
+)
+
+#: Calculation latencies: small ones keep the SIS busy back-to-back, large
+#: ones open the idle windows the compiled kernel's cycle-leap mode jumps.
+CALC_LATENCIES: Tuple[int, ...] = (1, 2, 5, 24, 40)
+
+#: Fault targets the fuzzer may hit.  RST is excluded on purpose: a stuck
+#: reset legitimately wedges the handshake (the drivers wait forever by
+#: design), which the watchdog would report as a hang on *every* kernel —
+#: true, but not a kernel bug, and it would drown real findings.
+FAULT_TARGETS: Tuple[str, ...] = (
+    "DATA_IN",
+    "DATA_IN_VALID",
+    "IO_ENABLE",
+    "FUNC_ID",
+    "DATA_OUT",
+    "DATA_OUT_VALID",
+    "IO_DONE",
+    "CALC_DONE",
+)
+
+
+@dataclass(frozen=True)
+class FuzzProfile:
+    """Size knobs for one fuzz session flavour."""
+
+    name: str
+    max_functions: int
+    max_calls: int
+    max_stream: int
+    max_idle: int
+    max_fault_cycle: int
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "max_functions": self.max_functions,
+            "max_calls": self.max_calls,
+            "max_stream": self.max_stream,
+            "max_idle": self.max_idle,
+            "max_fault_cycle": self.max_fault_cycle,
+        }
+
+
+#: ``quick`` keeps cases small enough for CI smoke budgets; ``deep`` grows
+#: streams, call trails, and idle spans for overnight hunting.
+PROFILES = {
+    "quick": FuzzProfile(
+        name="quick",
+        max_functions=3,
+        max_calls=6,
+        max_stream=5,
+        max_idle=64,
+        max_fault_cycle=80,
+    ),
+    "deep": FuzzProfile(
+        name="deep",
+        max_functions=4,
+        max_calls=14,
+        max_stream=12,
+        max_idle=200,
+        max_fault_cycle=240,
+    ),
+}
+
+
+def words(max_stream_unused: int = 0) -> st.SearchStrategy:
+    """32-bit words, biased heavily toward :data:`CORNER_WORDS`."""
+    return st.one_of(
+        st.sampled_from(CORNER_WORDS),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+
+
+def streams(profile: FuzzProfile) -> st.SearchStrategy:
+    """Wire-format input streams, including the zero-length degenerate."""
+    return st.lists(words(), min_size=0, max_size=profile.max_stream).map(tuple)
+
+
+@st.composite
+def topologies(draw, profile: FuzzProfile) -> FuzzTopology:
+    bus = draw(st.sampled_from(FUZZ_BUSES))
+    count = draw(st.integers(min_value=1, max_value=profile.max_functions))
+    functions = []
+    for index in range(count):
+        family = draw(st.sampled_from(FUNCTION_FAMILIES))
+        latency = draw(st.sampled_from(CALC_LATENCIES))
+        functions.append(FuzzFunction(name=f"f{index}", family=family, calc_latency=latency))
+    has_pointer = any(f.family in ("stream", "pair") for f in functions)
+    dma = bus == "plb" and has_pointer and draw(st.booleans())
+    burst = bus == "fcb" and draw(st.booleans())
+    gap = draw(st.sampled_from((0, 1, 3)))
+    return FuzzTopology(
+        bus=bus, functions=tuple(functions), dma=dma, burst=burst, inter_op_gap=gap
+    )
+
+
+@st.composite
+def calls_for(draw, topology: FuzzTopology, profile: FuzzProfile) -> Tuple[FuzzCall, ...]:
+    count = draw(st.integers(min_value=1, max_value=profile.max_calls))
+    out = []
+    for _ in range(count):
+        # ~1 in 6 steps is an idle span: leap windows and monitor quiet
+        # cycles only exist when the bus goes genuinely silent.
+        if draw(st.integers(min_value=0, max_value=5)) == 0:
+            out.append(FuzzCall.idle(draw(st.integers(min_value=1, max_value=profile.max_idle))))
+            continue
+        fn = draw(st.sampled_from(topology.functions))
+        if fn.family == "poke":
+            args = (draw(st.integers(0, 0xFF)), draw(words()))
+        elif fn.family == "peek":
+            args = (draw(st.integers(0, 0xFF)),)
+        elif fn.family == "stream":
+            args = (draw(streams(profile)),)
+        else:  # pair
+            args = (draw(streams(profile)), draw(streams(profile)))
+        out.append(FuzzCall(func=fn.name, args=args))
+    return tuple(out)
+
+
+@st.composite
+def fault_schedules(draw, profile: FuzzProfile) -> str:
+    count = draw(st.integers(min_value=1, max_value=2))
+    specs = []
+    for _ in range(count):
+        specs.append(
+            FaultSpec(
+                kind=draw(st.sampled_from(FAULT_KINDS)),
+                target=draw(st.sampled_from(FAULT_TARGETS)),
+                cycle=draw(st.integers(min_value=0, max_value=profile.max_fault_cycle)),
+                duration=draw(st.integers(min_value=1, max_value=3)),
+                bit=draw(st.one_of(st.none(), st.integers(min_value=0, max_value=7))),
+            )
+        )
+    return FaultSchedule(specs=tuple(specs)).token
+
+
+@st.composite
+def cases(draw, profile: FuzzProfile = PROFILES["quick"], with_faults: bool = False) -> FuzzCase:
+    """Complete fuzz cases (the strategy the session's property consumes)."""
+    topology = draw(topologies(profile))
+    calls = draw(calls_for(topology, profile))
+    faults = None
+    if with_faults and draw(st.booleans()):
+        faults = draw(fault_schedules(profile))
+    # Bias toward leap-enabled: that is the production configuration and the
+    # path with real optimisation machinery to get wrong.
+    leap = draw(st.sampled_from((True, True, True, False)))
+    return FuzzCase(topology=topology, calls=calls, faults=faults, leap=leap)

@@ -162,6 +162,7 @@ class SimulatorStats:
             "clocked_activations": self.clocked_activations,
             "fast_path_cycles": self.fast_path_cycles,
             "leaped_cycles": self.leaped_cycles,
+            "executed_cycles": self.executed_cycles,
         }
 
     def report(self) -> str:

@@ -119,6 +119,24 @@ class TestSweep:
         assert a == b
         assert a != c
 
+    def test_random_is_bit_identical_across_platforms(self):
+        """Randomized rows come from random.Random(seed), whose bit stream is
+        part of the Python language contract — so these exact sizes must
+        reproduce on any platform, Python version, and worker process."""
+        rows = ScenarioSweep(mode="random", count=3, seed=0).scenarios()
+        assert [(s.set1, s.set2, s.set3) for s in rows] == [
+            (49, 53, 5), (33, 62, 51), (38, 61, 45)]
+
+    def test_fuzzed_is_deterministic_and_covers_families(self):
+        rows = ScenarioSweep(mode="fuzzed", count=10, seed=1).scenarios()
+        again = ScenarioSweep(mode="fuzzed", count=10, seed=1).scenarios()
+        assert rows == again
+        sizes = [(s.set1, s.set2, s.set3) for s in rows]
+        # One row per family per 5 steps: empty-ish, skew, burst±1, uniform,
+        # saturated (the max-size row is the family fingerprint).
+        assert (64, 64, 64) in sizes
+        assert any(a == 0 and b == 0 for a, b, _ in sizes)
+
     def test_burst_rows_are_quad_aligned(self):
         for s in ScenarioSweep(mode="burst", count=4).scenarios():
             assert s.set1 % 4 == 0 and s.set3 % 4 == 0
@@ -135,7 +153,7 @@ class TestSweep:
 
     def test_sweep_scenarios_round_trip_generate_inputs(self):
         """Sweep rows generate deterministic inputs with the declared sizes."""
-        for mode in ("linear", "geometric", "random", "burst", "degenerate"):
+        for mode in ("linear", "geometric", "random", "burst", "degenerate", "fuzzed"):
             for s in ScenarioSweep(mode=mode, count=4, seed=9).scenarios():
                 first = s.generate_inputs(seed=2)
                 second = s.generate_inputs(seed=2)

@@ -1,0 +1,390 @@
+"""The fuzz subsystem: case model, watchdog, oracle, shrinker, session.
+
+The acceptance-grade checks live here too: a deliberately seeded kernel bug
+(a one-token mutation of the compiled kernel's generated cycle-leap code)
+must be *found* by a small fixed-seed session, *shrunk* to a small case,
+*serialized* to a corpus record, and that record must *replay clean* on the
+unmutated kernels — the full corpus lifecycle in one test.  Rigged kernels
+synthesize one counterexample per verdict kind so the corpus round-trip
+(serialize → load → replay → identical verdict) is covered for every kind.
+"""
+
+import json
+
+import pytest
+
+from repro.fuzz import (
+    IDLE,
+    CaseVerdict,
+    Counterexample,
+    FuzzCall,
+    FuzzCase,
+    FuzzFunction,
+    FuzzTopology,
+    VERDICT_KINDS,
+    case_watchdog,
+    corpus_files,
+    minimize,
+    replay_case,
+    run_case,
+    save_case,
+    watchdog_available,
+)
+from repro.fuzz.session import run_session
+from repro.fuzz.watchdog import CaseHang
+from repro.rtl import CompiledSimulator, ReferenceSimulator, Simulator
+
+
+def _topology(**overrides):
+    defaults = dict(
+        bus="plb",
+        functions=(
+            FuzzFunction("f0", "poke"),
+            FuzzFunction("f1", "peek"),
+            FuzzFunction("f2", "stream", calc_latency=24),
+        ),
+    )
+    defaults.update(overrides)
+    return FuzzTopology(**defaults)
+
+
+def _case(**overrides):
+    defaults = dict(
+        topology=_topology(),
+        calls=(
+            FuzzCall("f0", (3, 0xDEADBEEF)),
+            FuzzCall.idle(40),
+            FuzzCall("f2", ((1, 2, 0xFFFFFFFF),)),
+            FuzzCall("f1", (3,)),
+        ),
+    )
+    defaults.update(overrides)
+    return FuzzCase(**defaults)
+
+
+# -- seeded kernel mutations (the bugs the fuzzer must convict) --------------
+
+
+class OvershootCompiled(CompiledSimulator):
+    """Cycle-leap overshoot: wakes one cycle late from every leap."""
+
+    def _codegen(self, *args, **kwargs):
+        source = super()._codegen(*args, **kwargs)
+        assert "_skip = s._next_timed - cyc" in source
+        return source.replace(
+            "_skip = s._next_timed - cyc", "_skip = s._next_timed - cyc + 1"
+        )
+
+
+class StuckLeapCompiled(CompiledSimulator):
+    """Leaps advance the clock but not the step budget: the run never ends."""
+
+    def _codegen(self, *args, **kwargs):
+        source = super()._codegen(*args, **kwargs)
+        assert "_done += _skip" in source
+        return source.replace("_done += _skip", "_done += 0")
+
+
+def _overshoot_factories(case):
+    return {
+        "reference": ReferenceSimulator,
+        "compiled": OvershootCompiled if case.leap else CompiledSimulator,
+    }
+
+
+# -- rigged kernels for the per-kind synthetic counterexamples ---------------
+
+
+class MonitorBlindSimulator(Simulator):
+    """Swallows the first attached monitor — the SIS protocol monitor —
+    so real violations go unreported while traces stay identical."""
+
+    def add_monitor(self, fn):
+        if not getattr(self, "_blinded", False):
+            self._blinded = True
+            return
+        super().add_monitor(fn)
+
+
+class LyingStatsSimulator(Simulator):
+    """A scan kernel that claims it leaped — leap accounting cannot balance."""
+
+    def step(self, cycles=1):
+        super().step(cycles)
+        self.stats.leaped_cycles += 1
+
+
+class WedgedSimulator(Simulator):
+    """Never finishes a step call; only the watchdog can end it."""
+
+    def step(self, cycles=1):
+        while True:
+            super().step(1)
+
+
+class CrashingSimulator(Simulator):
+    """Dies mid-run once the workload is underway."""
+
+    def step(self, cycles=1):
+        if self.cycle > 2:
+            raise RuntimeError("kernel exploded")
+        super().step(cycles)
+
+
+def _boom_factory():
+    raise RuntimeError("builder exploded")
+
+
+class TestCaseModel:
+    def test_json_round_trip_preserves_token(self):
+        case = _case()
+        clone = FuzzCase.from_json(case.to_json())
+        assert clone == case
+        assert clone.token == case.token
+
+    def test_fault_token_is_canonicalised(self):
+        # Short spelling and canonical spelling are the same case.
+        short = _case(faults="bit_flip:DATA_IN:5")
+        full = _case(faults="bit_flip:DATA_IN:5:1:*")
+        assert short.faults == "bit_flip:DATA_IN:5:1:*"
+        assert short.token == full.token
+
+    def test_token_is_stable_across_processes(self):
+        # sha256 of canonical JSON — no per-process hash randomisation.
+        assert _case().token == FuzzCase.from_dict(_case().describe()).token
+
+    def test_validation_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            _topology(bus="vme")
+        with pytest.raises(ValueError):
+            _topology(dma=True, bus="opb")
+        with pytest.raises(ValueError):
+            FuzzTopology(bus="plb", functions=())
+        with pytest.raises(KeyError):
+            _case(calls=(FuzzCall("nope", (1,)),))
+        with pytest.raises(ValueError):
+            FuzzCall.idle(0)
+
+    def test_spec_source_targets_the_right_bus(self):
+        assert "%bus_type plb" in _topology().spec_source()
+        fcb = _topology(bus="fcb", burst=True, dma=False)
+        assert "%burst_support true" in fcb.spec_source()
+
+    def test_behaviors_share_one_store_per_system(self):
+        behaviors = _topology().behaviors()
+        behaviors["f0"](3, 99)
+        assert behaviors["f1"](3) == 99
+        # A fresh behaviours dict is a fresh store.
+        assert _topology().behaviors()["f1"](3) == 0
+
+
+class TestWatchdog:
+    def test_kills_a_busy_loop(self):
+        assert watchdog_available()
+        with pytest.raises(CaseHang):
+            with case_watchdog(0.2):
+                while True:
+                    pass
+
+    def test_zero_timeout_disables(self):
+        with case_watchdog(0) as armed:
+            assert armed is False
+
+    def test_oracle_reports_hang_for_wedged_kernel(self):
+        verdict = run_case(
+            _case(),
+            kernel_factories={"reference": ReferenceSimulator, "wedged": WedgedSimulator},
+            timeout_s=0.3,
+        )
+        assert verdict.kind == "hang"
+        assert verdict.kernel == "wedged"
+
+
+class TestOracle:
+    def test_clean_kernels_agree(self):
+        verdict = run_case(_case())
+        assert verdict.ok, verdict
+        assert verdict.kind == "pass"
+
+    def test_overshoot_mutation_is_convicted(self):
+        verdict = run_case(_case(), kernel_factories=_overshoot_factories(_case()))
+        assert verdict.kind == "divergence"
+        assert verdict.kernel == "compiled"
+
+    def test_crash_is_contained(self):
+        verdict = run_case(
+            _case(),
+            kernel_factories={"reference": ReferenceSimulator, "crash": CrashingSimulator},
+        )
+        assert verdict.kind == "crash"
+        assert "kernel exploded" in verdict.detail
+
+    def test_verdict_kinds_are_closed(self):
+        with pytest.raises(ValueError):
+            CaseVerdict(kind="mystery")
+        assert "pass" in VERDICT_KINDS
+
+
+class TestShrink:
+    def test_minimizer_drops_irrelevant_structure(self):
+        # The "bug": any case that still calls f2 with a non-empty stream.
+        def reproduces(candidate):
+            return any(
+                call.func == "f2" and call.args and len(call.args[0]) > 0
+                for call in candidate.calls
+            )
+
+        shrunk, attempts = minimize(_case(), reproduces, max_attempts=200)
+        assert reproduces(shrunk)
+        assert attempts > 0
+        # Everything but one short f2 stream call should be gone.
+        assert len(shrunk.calls) == 1
+        assert shrunk.calls[0].func == "f2"
+        assert len(shrunk.calls[0].args[0]) == 1
+        assert len(shrunk.topology.functions) == 1
+
+    def test_minimizer_is_verdict_preserving_and_bounded(self):
+        calls = 0
+
+        def never(candidate):
+            nonlocal calls
+            calls += 1
+            return False
+
+        shrunk, attempts = minimize(_case(), never, max_attempts=17)
+        assert shrunk == _case()
+        assert attempts == calls == 17
+
+
+class TestSessionContainment:
+    """Satellite: crash containment and deterministic budget accounting."""
+
+    def test_builder_error_is_contained_and_session_continues(self):
+        def flaky_factories(case):
+            # Deterministic per case: roughly a third of builds explode.
+            broken = int(case.token, 16) % 3 == 0
+            return {
+                "reference": ReferenceSimulator,
+                "event": _boom_factory if broken else Simulator,
+            }
+
+        report = run_session(
+            12, 5, corpus_dir=None, kernel_factories=flaky_factories, round_size=4
+        )
+        kinds = [ce.verdict.kind for ce in report.counterexamples]
+        assert "builder_error" in kinds
+        # The session absorbed the failures and still spent its whole budget.
+        assert report.executed == 12
+        assert report.exit_code == 1
+        failing = {ce.case.token for ce in report.counterexamples}
+        assert set(report.case_tokens) - failing, "session never ran a passing case"
+
+    def test_session_is_deterministic(self):
+        first = run_session(8, 21, corpus_dir=None, round_size=4)
+        second = run_session(8, 21, corpus_dir=None, round_size=4)
+        assert first.case_tokens == second.case_tokens
+        assert [ce.token for ce in first.counterexamples] == [
+            ce.token for ce in second.counterexamples
+        ]
+        assert first.exit_code == second.exit_code == 0
+
+
+class TestCorpusRoundTrip:
+    """Satellite: serialize → replay → identical verdict, per failure kind."""
+
+    def _rig(self, kind):
+        base = _case()
+        if kind == "divergence":
+            return base, _overshoot_factories(base)
+        if kind == "monitor_mismatch":
+            # A real violation the blinded kernel fails to report.
+            case = FuzzCase(
+                topology=FuzzTopology(bus="plb", functions=(FuzzFunction("f0", "poke"),)),
+                calls=(FuzzCall("f0", (1, 7)), FuzzCall.idle(4)),
+                faults="stuck_at_1:DATA_OUT_VALID:5:2",
+            )
+            return case, {
+                "reference": ReferenceSimulator,
+                "blind": MonitorBlindSimulator,
+            }
+        if kind == "leap_miscount":
+            return base, {
+                "reference": ReferenceSimulator,
+                "liar": LyingStatsSimulator,
+            }
+        if kind == "hang":
+            return base, {
+                "reference": ReferenceSimulator,
+                "wedged": WedgedSimulator,
+            }
+        assert kind == "builder_error"
+        return base, {"reference": ReferenceSimulator, "boom": _boom_factory}
+
+    @pytest.mark.parametrize(
+        "kind", ["divergence", "monitor_mismatch", "leap_miscount", "hang", "builder_error"]
+    )
+    def test_round_trip_reproduces_verdict(self, kind, tmp_path):
+        case, factories = self._rig(kind)
+        timeout = 0.3 if kind == "hang" else 10.0
+        verdict = run_case(case, kernel_factories=factories, timeout_s=timeout)
+        assert verdict.kind == kind, verdict
+
+        record = Counterexample(
+            case=case, verdict=verdict, discovered={"seed": 0, "synthetic": True}
+        )
+        path = save_case(record, tmp_path)
+        assert path.name == f"{kind}-{case.token}.json"
+
+        loaded = Counterexample.load(path)
+        assert loaded.case == case
+        assert loaded.verdict == verdict
+        replayed = replay_case(path, kernel_factories=factories, timeout_s=timeout)
+        assert replayed.kind == kind
+
+    def test_edited_case_with_stale_token_is_rejected(self, tmp_path):
+        record = Counterexample(case=_case(), verdict=CaseVerdict("pass"))
+        path = save_case(record, tmp_path)
+        data = json.loads(path.read_text())
+        data["case"]["calls"].pop()  # hand-edit without re-canonicalising
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="token"):
+            Counterexample.load(path)
+
+
+class TestMutationAcceptance:
+    """The seeded bug is found, shrunk, saved, and replays clean."""
+
+    def test_session_finds_and_shrinks_the_seeded_bug(self, tmp_path):
+        report = run_session(
+            6,
+            0,
+            corpus_dir=tmp_path,
+            kernel_factories=_overshoot_factories,
+            round_size=3,
+            shrink_attempts=40,
+            timeout_s=5.0,
+        )
+        assert report.exit_code == 1
+        kinds = {ce.verdict.kind for ce in report.counterexamples}
+        assert kinds == {"divergence"}
+        # Shrunk hard: the published counterexample is a one- or two-step
+        # workload, not the generated original.
+        smallest = min(report.counterexamples, key=lambda ce: len(ce.case.calls))
+        assert len(smallest.case.calls) <= 2
+        # The corpus lifecycle closes: the saved case replays CLEAN on the
+        # real kernels (the bug is in the mutant, not the repo).
+        saved = corpus_files(tmp_path)
+        assert saved
+        for path in saved:
+            assert replay_case(path).ok
+
+    def test_shipped_corpus_found_real_divergences(self):
+        """The committed corpus entries reproduce their recorded verdicts
+        against the mutation that discovered them."""
+        from pathlib import Path
+
+        corpus = Path(__file__).parent / "corpus"
+        path = next(p for p in corpus_files(corpus) if p.name.startswith("divergence-"))
+        record = Counterexample.load(path)
+        verdict = replay_case(record, kernel_factories=_overshoot_factories(record.case))
+        assert verdict.kind == "divergence"
