@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Fuzzing as a service workload: a sharded fuzz job over the farm's HTTP API.
+
+A batch ``splice fuzz run`` executes one session in one process.  The farm
+turns the same differential fuzzer into a service workload: a seed range
+shards across the warm workers (one deterministic session per seed),
+findings are shrunk worker-side and streamed back as NDJSON ``finding``
+events while the job runs, and the aggregate — per-seed sessions, coverage
+cells, deduplicated findings — is the job result.  This example starts a
+durable farm in-process (the same code ``splice serve --state-dir`` runs),
+submits a fuzz job over HTTP, and shows:
+
+1. live session / finding events streamed while workers fuzz in parallel,
+2. the aggregated result: coverage cells (bus x scenario family x fault
+   class) and counterexamples,
+3. determinism: resubmitting the same seed range reproduces the identical
+   coverage and findings, regardless of scheduling,
+4. the durable leftovers: journal, corpus dir, and coverage trajectory.
+
+Run from the repository root::
+
+    PYTHONPATH=src python examples/fuzz_farm.py
+
+Against a separately started farm (``splice serve``), the CLI equivalent is
+``splice fuzz submit --url ... --seed-start 7 --sessions 4 --budget 12``.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.service import ServiceClient, SimulationFarm, serve_farm_in_thread
+
+
+def main() -> None:
+    state_dir = Path(tempfile.mkdtemp(prefix="splice-fuzz-farm-"))
+
+    # 1. A durable farm: journal, result cache, and fuzz corpus all live
+    #    under state_dir; finished fuzz jobs append their coverage
+    #    trajectory to history.jsonl.
+    with SimulationFarm(
+        workers=2,
+        state_dir=state_dir,
+        history_path=state_dir / "history.jsonl",
+    ) as farm:
+        server, _thread = serve_farm_in_thread(farm)
+        client = ServiceClient(
+            "http://127.0.0.1:%d" % server.server_address[1], timeout=600
+        )
+        print(f"Durable farm up, state in {state_dir}")
+
+        # 2. Submit a pinned seed range: seeds 7..10, 12 oracle cases each.
+        #    Every seed becomes its own shard, so both workers fuzz at once.
+        job = client.submit_fuzz(seed_start=7, sessions=4, budget=12,
+                                 name="example-fuzz")
+        print(f"Submitted {job['id']}: 4 sessions x 12 cases")
+
+        # 3. Follow the stream: one line per completed session or shrunk
+        #    finding, as the workers report them.
+        for event in client.events(job["id"]):
+            if event["event"] == "session":
+                print(f"  [{event['done']}/{event['total']}] seed {event['seed']}: "
+                      f"{event['executed']} cases, {event['findings']} findings, "
+                      f"{event['coverage']} coverage cells "
+                      f"(worker {event['worker']})")
+            elif event["event"] == "finding":
+                print(f"  !! {event['kind']} on {event['kernel']}: {event['token']}")
+            elif event["event"] == "state":
+                print(f"  {job['id']} -> {event['state']}")
+
+        result = client.result(job["id"])
+        print(f"Aggregate: {result['executed']} cases, "
+              f"{len(result['coverage'])} coverage cells, "
+              f"{len(result['counterexamples'])} counterexamples")
+
+        # 4. Same seed range again: fuzz sessions always re-execute (unlike
+        #    campaign cells there is no result cache for them) but each
+        #    seed's session is deterministic, so the coverage and findings
+        #    must reproduce exactly regardless of scheduling.
+        again = client.submit_fuzz(seed_start=7, sessions=4, budget=12,
+                                   name="example-fuzz")
+        client.wait(again["id"])
+        repeat = client.result(again["id"])
+        assert repeat["coverage"] == result["coverage"]
+        assert repeat["counterexamples"] == result["counterexamples"]
+        print("Resubmission reproduced identical coverage and findings")
+
+        server.shutdown()
+        server.server_close()
+
+    # 5. What durability left behind.
+    journal_lines = (state_dir / "journal.jsonl").read_text().splitlines()
+    trajectory = [json.loads(line)
+                  for line in (state_dir / "history.jsonl").read_text().splitlines()]
+    corpus = sorted(p.name for p in (state_dir / "corpus").glob("*.json"))
+    print(f"Journal: {len(journal_lines)} records "
+          f"(kill -9 + restart on --state-dir {state_dir} would resume)")
+    print(f"Trajectory: {[rec['headline']['coverage_cells'] for rec in trajectory]} "
+          f"coverage cells per finished job")
+    print(f"Corpus: {len(corpus)} saved finding(s)")
+
+
+if __name__ == "__main__":
+    main()

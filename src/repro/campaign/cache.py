@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import threading
 from functools import lru_cache
 from pathlib import Path
 from typing import Dict, Optional, Tuple
@@ -115,9 +117,18 @@ class ResultCache:
             "cell": cell.describe(),
             "outcome": [int(outcome[0]), int(outcome[1]), int(outcome[2])],
         }
-        tmp = path.with_suffix(".tmp")
+        # The temp name must be unique per writer (pid *and* thread): the
+        # farm's dispatcher thread and any number of campaign worker
+        # processes may persist the same digest concurrently, and a shared
+        # temp path would interleave their writes into a torn file that the
+        # final rename then publishes.  With unique temps the os.replace is
+        # the only shared step, and it is atomic — last writer wins with an
+        # identical payload.
+        tmp = path.with_name(
+            f".{digest}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
         tmp.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
-        tmp.replace(path)  # atomic: parallel writers race benignly
+        os.replace(tmp, path)
         return path
 
     def __len__(self) -> int:

@@ -99,6 +99,30 @@ class CampaignResult:
         """Deterministic rows, sorted by cell key — the bit-identical part."""
         return [cell.payload() for cell in self.cells]
 
+    def diff(self, other: "CampaignResult") -> Optional[str]:
+        """First difference between two results' deterministic payloads.
+
+        Returns ``None`` when the payloads are bit-identical, otherwise a
+        one-line human-readable description of the first divergent row and
+        field.  The recovery tests and CI smoke scripts use this so a
+        failed bit-identity assertion names the exact cell instead of
+        dumping two full JSON tables.
+        """
+        mine, theirs = self.payload(), other.payload()
+        if len(mine) != len(theirs):
+            return f"row counts differ: {len(mine)} != {len(theirs)}"
+        for index, (a, b) in enumerate(zip(mine, theirs)):
+            if a == b:
+                continue
+            for key in sorted(set(a) | set(b)):
+                if a.get(key) != b.get(key):
+                    return (
+                        f"row {index} ({a.get('label')}/s{a.get('scenario')}"
+                        f"/seed{a.get('seed')}/r{a.get('repeat')}): "
+                        f"{key}={a.get(key)!r} != {b.get(key)!r}"
+                    )
+        return None
+
     # -- aggregation -------------------------------------------------------------
 
     @property

@@ -41,11 +41,20 @@ Subcommands:
     Re-run one corpus case (a JSON path, or a case token to look up in the
     corpus directory) through the oracle and report its verdict.
 
-``splice serve [--host H] [--port P] [--workers N|auto] [--cache-dir DIR]``
+``splice fuzz submit [--url URL] [--seed-start S] [--sessions N] [--budget B]``
+    Shard a fuzz seed range across a running farm's warm workers (one
+    deterministic session per seed), stream findings as they are shrunk,
+    and print the aggregated coverage summary.
+
+``splice serve [--host H] [--port P] [--workers N|auto] [--state-dir DIR]``
     Start the long-lived simulation farm (:mod:`repro.service`): persistent
     warm workers, a priority job queue and the streaming HTTP/JSON API.
     ``--preload`` builds named runners in every worker before the first job
-    arrives.
+    arrives.  ``--state-dir`` makes the farm durable: a write-ahead job
+    journal plus the persistent cache and fuzz corpus live under it, and a
+    killed server resumes every unfinished job on restart.  ``--queue-limit``
+    bounds active jobs (backpressure: 503 + Retry-After); ``--stuck-timeout``
+    arms the heartbeat watchdog that kills and respawns wedged workers.
 
 ``splice submit [grid args] [--url URL] [--priority N] [--no-follow]``
     Submit a campaign grid (the same ``--preset``/``--sweep``/... arguments
@@ -285,6 +294,35 @@ def build_arg_parser() -> argparse.ArgumentParser:
     fuzz_replay.add_argument("--timeout", type=float, default=10.0, metavar="SECONDS",
                              help="per-case watchdog (default: 10); 0 disables it "
                              "for debugging a hanging case")
+    fuzz_submit = fuzz_sub.add_parser(
+        "submit",
+        help="submit a sharded fuzz job to a running farm",
+        description="Shard a seed range across a 'splice serve' farm's warm "
+        "workers (one deterministic session per seed), stream findings as "
+        "they are shrunk, and print the aggregated coverage summary.",
+    )
+    fuzz_submit.add_argument("--url", default="http://127.0.0.1:8032",
+                             help="farm base URL (default: http://127.0.0.1:8032)")
+    fuzz_submit.add_argument("--seed-start", type=int, default=0, metavar="S",
+                             help="first session seed (default: 0)")
+    fuzz_submit.add_argument("--sessions", type=int, default=4, metavar="N",
+                             help="number of sessions = seeds = shards (default: 4)")
+    fuzz_submit.add_argument("--budget", type=int, default=100, metavar="N",
+                             help="cases per session (default: 100)")
+    fuzz_submit.add_argument("--profile", choices=("quick", "deep"), default="quick",
+                             help="case-size profile (default: quick)")
+    fuzz_submit.add_argument("--faults", action="store_true",
+                             help="compose cases with random fault schedules")
+    fuzz_submit.add_argument("--case-timeout", type=float, default=10.0,
+                             metavar="SECONDS",
+                             help="per-case watchdog inside each session (default: 10)")
+    fuzz_submit.add_argument("--priority", type=int, default=0,
+                             help="queue priority; higher runs sooner (default: 0)")
+    fuzz_submit.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                             help="per-job timeout enforced by the farm (default: none)")
+    fuzz_submit.add_argument("--no-follow", action="store_true",
+                             help="print the job id and exit instead of streaming "
+                             "events and waiting for the summary")
 
     profile = subparsers.add_parser(
         "profile",
@@ -345,6 +383,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
                        "running work finish for up to this long before "
                        "cancelling what remains (default: 30; 0 = stop "
                        "immediately)")
+    serve.add_argument("--state-dir", default=None, metavar="DIR",
+                       help="make the farm durable: keep a write-ahead job "
+                       "journal (plus the result cache and fuzz corpus) under "
+                       "DIR, so a killed server resumes every unfinished job "
+                       "on restart from its last completed shard (default: "
+                       "no journal; jobs die with the process)")
+    serve.add_argument("--queue-limit", type=int, default=None, metavar="N",
+                       help="backpressure: reject new submissions with 503 + "
+                       "Retry-After while N jobs are already active "
+                       "(default: unbounded)")
+    serve.add_argument("--stuck-timeout", type=float, default=None, metavar="SECONDS",
+                       help="SIGKILL and respawn a busy worker that has sent "
+                       "no message for this long (default: 300; 0 disables "
+                       "the watchdog)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
 
@@ -721,6 +773,73 @@ def _fuzz_replay(args) -> int:
     return 0 if verdict.ok else 1
 
 
+def _fuzz_submit(args) -> int:
+    """``splice fuzz submit``: shard a seed range across a running farm."""
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        job = client.submit_fuzz(
+            seed_start=args.seed_start,
+            sessions=args.sessions,
+            budget=args.budget,
+            profile=args.profile,
+            with_faults=args.faults,
+            case_timeout_s=args.case_timeout,
+            priority=args.priority,
+            timeout_s=args.timeout,
+        )
+    except ServiceError as exc:
+        print(f"splice: farm rejected the fuzz job: {exc}", file=sys.stderr)
+        if exc.retry_after is not None:
+            print(f"splice: farm is saturated; retry in {exc.retry_after:g}s",
+                  file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"splice: no farm reachable at {args.url} ({exc}); "
+              "start one with 'splice serve'", file=sys.stderr)
+        return 1
+    total = args.sessions
+    print(f"Submitted fuzz job {job['id']} ({total} sessions x "
+          f"{args.budget} cases, seeds {args.seed_start}.."
+          f"{args.seed_start + total - 1}) to {args.url}")
+    if args.no_follow:
+        print(f"  follow with: GET {args.url}/jobs/{job['id']}/events")
+        return 0
+
+    for event in client.events(job["id"]):
+        kind = event.get("event")
+        if kind == "session":
+            print(f"  [{event['done']}/{total}] seed {event['seed']}: "
+                  f"{event['executed']} cases, {event['findings']} finding(s), "
+                  f"{event['coverage']} coverage cells "
+                  f"(worker {event['worker']}, {event['duration_s']:.2f}s)")
+        elif kind == "finding":
+            print(f"  ! {event.get('kind')} counterexample {event.get('token')} "
+                  f"(worker {event.get('worker')})")
+        elif kind == "session_error":
+            print(f"  seed {event['seed']} failed: {event['error']}",
+                  file=sys.stderr)
+        elif kind == "state":
+            print(f"  job {job['id']}: {event['state']}")
+    status = client.status(job["id"])
+    if status["state"] not in ("done", "failed"):
+        print(f"splice: job {job['id']} ended {status['state']}", file=sys.stderr)
+        return 1
+    summary = client.result(job["id"])
+    findings = summary["counterexamples"]
+    print(f"Job {job['id']}: {summary['executed']} cases over "
+          f"{len(summary['sessions'])} session(s), "
+          f"{len(summary['coverage'])} coverage cells, "
+          f"{len(findings)} distinct counterexample(s), "
+          f"{len(summary['errors'])} failed session(s)")
+    for cell in summary["coverage"]:
+        print(f"  covered: {cell}")
+    for finding in findings:
+        print(f"  counterexample: {finding.get('kind')} {finding.get('token')}")
+    return 0 if status["state"] == "done" and not findings else 1
+
+
 def _serve(args) -> int:
     """``splice serve``: run the farm + HTTP API until interrupted."""
     from repro.service import DEFAULT_SHARD_SIZE, SimulationFarm, resolve_workers, serve_farm
@@ -734,12 +853,27 @@ def _serve(args) -> int:
         except OSError as exc:
             print(f"splice: cannot use cache directory {args.cache_dir!r}: {exc}", file=sys.stderr)
             return 2
-    farm = SimulationFarm(
-        workers=args.workers,
-        cache=cache,
-        preload=tuple(args.preload),
-        shard_size=args.shard_size or DEFAULT_SHARD_SIZE,
-    )
+    stuck_timeout = args.stuck_timeout
+    if stuck_timeout is None:
+        from repro.service import DEFAULT_STUCK_TIMEOUT_S
+
+        stuck_timeout = DEFAULT_STUCK_TIMEOUT_S
+    elif stuck_timeout <= 0:
+        stuck_timeout = None
+    try:
+        farm = SimulationFarm(
+            workers=args.workers,
+            cache=cache,
+            preload=tuple(args.preload),
+            shard_size=args.shard_size or DEFAULT_SHARD_SIZE,
+            state_dir=args.state_dir,
+            queue_limit=args.queue_limit,
+            stuck_timeout_s=stuck_timeout,
+        )
+    except OSError as exc:
+        print(f"splice: cannot use state directory {args.state_dir!r}: {exc}",
+              file=sys.stderr)
+        return 2
     try:
         farm.start()
     except (KeyError, ValueError) as exc:
@@ -752,10 +886,18 @@ def _serve(args) -> int:
         print(f"splice: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
         return 2
     host, port = server.server_address[:2]
-    cache_note = args.cache_dir or "ephemeral"
+    cache_note = args.cache_dir or (
+        f"{args.state_dir}/cache" if args.state_dir else "ephemeral"
+    )
+    durable_note = f", journal {args.state_dir}" if args.state_dir else ""
+    recovered = farm.counters["jobs_recovered"]
+    if recovered:
+        print(f"splice farm: recovered {recovered} unfinished job(s) "
+              f"from {args.state_dir}", flush=True)
     print(
         f"splice farm: {resolve_workers(args.workers)} warm workers, "
-        f"cache {cache_note}, serving on http://{host}:{port}  (Ctrl-C to stop)",
+        f"cache {cache_note}{durable_note}, "
+        f"serving on http://{host}:{port}  (Ctrl-C to stop)",
         flush=True,  # the banner is what wrappers/tests parse for the bound port
     )
 
@@ -869,6 +1011,8 @@ def main(argv=None) -> int:
     if args.command == "fuzz":
         if args.fuzz_command == "run":
             return _fuzz_run(args)
+        if args.fuzz_command == "submit":
+            return _fuzz_submit(args)
         return _fuzz_replay(args)
     if args.command == "serve":
         return _serve(args)

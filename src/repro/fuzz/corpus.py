@@ -15,6 +15,8 @@ the bare test extras) even where the generation stack is absent.
 from __future__ import annotations
 
 import json
+import os
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
@@ -83,12 +85,19 @@ def save_case(counterexample: Counterexample, directory: Union[str, Path]) -> Pa
     """Write one record into the corpus; returns the file path.
 
     The filename embeds kind + case token, so re-discovering a known
-    counterexample overwrites its own file instead of duplicating it.
+    counterexample overwrites its own file instead of duplicating it.  The
+    write goes through a per-writer-unique temp file + ``os.replace`` so a
+    crash mid-write (or two farm workers landing the same finding at once)
+    can never leave a torn record for the replay suite to choke on.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / counterexample.filename
-    path.write_text(counterexample.to_json())
+    tmp = path.with_name(
+        f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+    )
+    tmp.write_text(counterexample.to_json())
+    os.replace(tmp, path)
     return path
 
 

@@ -80,6 +80,38 @@ class CaseVerdict:
         )
 
 
+def coverage_cells(case: FuzzCase) -> Tuple[str, ...]:
+    """The ``bus:family:fault-class`` coverage cells one case touches.
+
+    This is the fuzz layer's coverage signal: the cross product of the
+    case's bus, the function families its workload actually exercises
+    (plus ``idle`` for leap-window spans), and the fault kinds its schedule
+    injects (``clean`` when unfaulted).  Sessions union these per case, so
+    a session's coverage summary says which corners of the
+    bus × family × fault-class space its seed range reached — deterministic
+    for a given ``(seed, budget, profile)``, which is what lets CI pin it
+    and the perf trajectory track strategy regressions.
+    """
+    families = set()
+    for call in case.calls:
+        if call.func == IDLE:
+            families.add("idle")
+        else:
+            families.add(case.topology.function(call.func).family)
+    if case.faults:
+        from repro.faults.spec import FaultSchedule
+
+        kinds = sorted({spec.kind for spec in FaultSchedule.parse(case.faults)})
+        fault_classes = kinds or ["clean"]
+    else:
+        fault_classes = ["clean"]
+    return tuple(sorted(
+        f"{case.topology.bus}:{family}:{fault}"
+        for family in families
+        for fault in fault_classes
+    ))
+
+
 def default_kernel_factories(case: FuzzCase) -> Dict[str, Callable]:
     """The three production kernels, oracle first.
 

@@ -32,6 +32,7 @@ from repro.fuzz.corpus import Counterexample, save_case
 from repro.fuzz.oracle import (
     DEFAULT_TIMEOUT_S,
     CaseVerdict,
+    coverage_cells,
     default_kernel_factories,
     run_case,
 )
@@ -70,6 +71,10 @@ class FuzzReport:
     case_tokens: List[str] = field(default_factory=list)
     counterexamples: List[Counterexample] = field(default_factory=list)
     saved_paths: List[str] = field(default_factory=list)
+    #: Sorted union of :func:`~repro.fuzz.oracle.coverage_cells` over every
+    #: budget-counted case — which bus × family × fault-class corners this
+    #: session touched.  Deterministic for (seed, budget, profile, faults).
+    coverage: List[str] = field(default_factory=list)
     duration_s: float = 0.0
 
     @property
@@ -94,6 +99,7 @@ class FuzzReport:
             "case_tokens": list(self.case_tokens),
             "counterexamples": [ce.describe() for ce in self.counterexamples],
             "saved_paths": list(self.saved_paths),
+            "coverage": list(self.coverage),
             "duration_s": round(self.duration_s, 3),
             "cases_per_second": round(self.cases_per_second, 2),
             "exit_code": self.exit_code,
@@ -176,6 +182,7 @@ def run_session(
     shrink_attempts: int = SHRINK_ATTEMPTS,
     round_size: int = ROUND_SIZE,
     on_case: Optional[Callable[[FuzzCase, CaseVerdict], None]] = None,
+    on_finding: Optional[Callable[[Counterexample], None]] = None,
 ) -> FuzzReport:
     """Run one deterministic fuzz session and return its report.
 
@@ -184,7 +191,9 @@ def run_session(
     case's leap flag, as the default does), or ``None`` for the three
     production kernels.  ``corpus_dir=None`` disables saving (dry sessions,
     unit tests); pass :data:`~repro.fuzz.corpus.DEFAULT_CORPUS_DIR` to grow
-    the real corpus.
+    the real corpus.  ``on_finding`` fires once per *deduplicated, shrunk*
+    counterexample as it is recorded — the farm's fuzz workers use it to
+    stream findings to watching clients while the session keeps running.
     """
     if budget < 1:
         raise ValueError(f"fuzz budget must be >= 1, got {budget}")
@@ -194,6 +203,7 @@ def run_session(
     )
     strategy = cases(profile=prof, with_faults=with_faults)
     seen: set = set()
+    coverage: set = set()
     started = time.perf_counter()
 
     round_index = 0
@@ -213,6 +223,7 @@ def run_session(
                 # deterministic token trail.
                 state["ran"] += 1
                 report.case_tokens.append(case.token)
+                coverage.update(coverage_cells(case))
                 if on_case is not None:
                     on_case(case, verdict)
             if not verdict.ok:
@@ -264,8 +275,11 @@ def run_session(
             },
         )
         report.counterexamples.append(counterexample)
+        if on_finding is not None:
+            on_finding(counterexample)
         if corpus_dir is not None:
             report.saved_paths.append(str(save_case(counterexample, corpus_dir)))
 
+    report.coverage = sorted(coverage)
     report.duration_s = time.perf_counter() - started
     return report

@@ -96,6 +96,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from pathlib import Path
@@ -160,9 +161,14 @@ class CompiledProgramCache:
             "order": list(order),
             "ranks": {str(k): v for k, v in ranks.items()},
         }
-        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        # Unique per pid *and* thread: the farm compiles programs from
+        # multiple threads of one process, so a pid-only temp name could
+        # still interleave two writers into a torn entry.
+        tmp = path.with_name(
+            f".{digest}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
         tmp.write_text(json.dumps(payload, sort_keys=True) + "\n")
-        tmp.replace(path)  # atomic: parallel campaign workers race benignly
+        os.replace(tmp, path)
         return path
 
 

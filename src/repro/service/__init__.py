@@ -20,27 +20,56 @@ Results served through the API are bit-identical to ``splice campaign run``
 on the same spec: jobs expand the identical cell grid, cells execute through
 the same registry-built runners, and aggregation shares the batch runner's
 :func:`~repro.campaign.result.cell_result` path.
+
+With ``--state-dir`` the farm is additionally *durable*: every job
+transition is recorded write-ahead in a
+:class:`~repro.service.journal.JobJournal`, so a hard kill of the server
+loses nothing — a restart on the same directory replays the journal,
+re-enqueues every non-terminal job, and resumes each from its completed
+work (campaign cells from the result cache, fuzz sessions from the
+journal), bit-identical to an uninterrupted run.  Fuzz jobs
+(:class:`~repro.service.jobs.FuzzJobSpec`) are a first-class workload:
+seed ranges shard across the warm workers, findings stream back live and
+land in the server-side corpus.
 """
 
 from repro.service.api import build_handler, serve_farm, serve_farm_in_thread
 from repro.service.client import ServiceClient, ServiceError
-from repro.service.farm import DEFAULT_SHARD_SIZE, SimulationFarm, resolve_workers
+from repro.service.farm import (
+    DEFAULT_SHARD_SIZE,
+    DEFAULT_STUCK_TIMEOUT_S,
+    FarmSaturated,
+    SimulationFarm,
+    resolve_workers,
+)
 from repro.service.jobs import (
+    CAMPAIGN,
     CANCELLED,
     DONE,
     FAILED,
+    FUZZ,
     QUEUED,
     RUNNING,
     TERMINAL_STATES,
     TIMEOUT,
+    FuzzJobSpec,
     Job,
     JobQueue,
     Shard,
 )
+from repro.service.journal import (
+    JOURNAL_FILENAME,
+    JobJournal,
+    JournalReplay,
+    append_jsonl,
+    replay_journal,
+)
 
 __all__ = [
     "SimulationFarm",
+    "FarmSaturated",
     "DEFAULT_SHARD_SIZE",
+    "DEFAULT_STUCK_TIMEOUT_S",
     "resolve_workers",
     "serve_farm",
     "serve_farm_in_thread",
@@ -50,6 +79,9 @@ __all__ = [
     "Job",
     "JobQueue",
     "Shard",
+    "FuzzJobSpec",
+    "CAMPAIGN",
+    "FUZZ",
     "QUEUED",
     "RUNNING",
     "DONE",
@@ -57,4 +89,9 @@ __all__ = [
     "CANCELLED",
     "TIMEOUT",
     "TERMINAL_STATES",
+    "JobJournal",
+    "JournalReplay",
+    "JOURNAL_FILENAME",
+    "append_jsonl",
+    "replay_journal",
 ]

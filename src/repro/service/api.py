@@ -2,22 +2,31 @@
 
 Pure stdlib (``http.server``), no new dependencies.  Endpoints:
 
-* ``POST /jobs`` — submit a campaign.  Body is JSON: either
+* ``POST /jobs`` — submit a job.  Body is JSON: a campaign as either
   ``{"spec": {...}, "priority": 0, "timeout_s": null}`` or a bare spec dict
   (anything with an ``"implementations"`` key), where the spec payload is
-  exactly :meth:`repro.campaign.spec.CampaignSpec.describe`.  Returns 201
-  with the job snapshot.
+  exactly :meth:`repro.campaign.spec.CampaignSpec.describe` — or a fuzz job
+  as ``{"fuzz": {"seed_start": 0, "sessions": 8, "budget": 40, ...}}``
+  (the payload of :meth:`repro.service.jobs.FuzzJobSpec.describe`).
+  Returns 201 with the job snapshot.  An ``Idempotency-Key`` request header
+  makes the submission safe to retry: a repeated key returns the original
+  job (200, snapshot carries ``"duplicate": true``) instead of enqueuing a
+  second one — the key is journaled on durable farms, so the dedupe
+  survives server restarts.  When the farm is saturated (bounded queue
+  depth reached) the response is 503 with a ``Retry-After`` header.
 * ``GET /jobs`` — snapshots of every job the farm has seen.
 * ``GET /jobs/<id>`` — one job's snapshot.
 * ``GET /jobs/<id>/events[?from=N]`` — NDJSON stream of the job's event log
   (submission, state changes, per-cell completions); the response stays
   open, emitting one JSON object per line, until the job reaches a terminal
   state.
-* ``GET /jobs/<id>/result`` — the aggregated
-  :class:`~repro.campaign.result.CampaignResult` as JSON, bit-identical in
-  its ``cells`` payload to ``splice campaign run`` on the same spec
-  (409 while the job is still queued/running, 410 for cancelled/timed-out
-  jobs, which never have a complete grid).
+* ``GET /jobs/<id>/result`` — the aggregated result as JSON.  Campaign
+  jobs serve the :class:`~repro.campaign.result.CampaignResult` payload,
+  bit-identical in its ``cells`` to ``splice campaign run`` on the same
+  spec; fuzz jobs serve the deterministic fuzz aggregate (sessions in seed
+  order, coverage union, deduplicated counterexamples).  409 while the job
+  is still queued/running, 410 for cancelled/timed-out jobs, which never
+  have a complete result.
 * ``DELETE /jobs/<id>`` — cancel (queued: drops instantly; running: stops
   at the next shard boundary).
 * ``GET /stats`` — queue depth, per-worker stats, utilization, cache hit
@@ -38,7 +47,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
-from repro.service.farm import SimulationFarm
+from repro.service.farm import FarmSaturated, SimulationFarm
 from repro.service.jobs import CANCELLED, DONE, FAILED, TIMEOUT
 
 _JOB_PATH = re.compile(r"^/jobs/([A-Za-z0-9_.-]+)(/events|/result)?$")
@@ -60,11 +69,14 @@ class FarmRequestHandler(BaseHTTPRequestHandler):
         if not self.quiet:
             super().log_message(format, *args)
 
-    def _send_json(self, code: int, payload: dict) -> None:
+    def _send_json(self, code: int, payload: dict,
+                   headers: Optional[dict] = None) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode()
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -127,7 +139,7 @@ class FarmRequestHandler(BaseHTTPRequestHandler):
                 self._error(409, f"job {job_id} is still {state}")
                 return
             with self.farm.lock:
-                payload = job.result().to_dict()
+                payload = job.result_payload()
             self._send_json(200, payload)
             return
         if sub == "events":
@@ -148,10 +160,15 @@ class FarmRequestHandler(BaseHTTPRequestHandler):
         if body is None:
             self._error(400, "expected a JSON body")
             return
+        fuzz_payload = body.get("fuzz")
         spec_payload = body.get("spec", body)
-        if not isinstance(spec_payload, dict) or "implementations" not in spec_payload:
-            self._error(400, "body must carry a campaign spec "
-                             "(a 'spec' object or a bare spec with 'implementations')")
+        if fuzz_payload is None and (
+            not isinstance(spec_payload, dict)
+            or "implementations" not in spec_payload
+        ):
+            self._error(400, "body must carry a campaign spec (a 'spec' object "
+                             "or a bare spec with 'implementations') or a "
+                             "'fuzz' object with seed_start/sessions/budget")
             return
         try:
             priority = int(body.get("priority", 0))
@@ -160,10 +177,35 @@ class FarmRequestHandler(BaseHTTPRequestHandler):
         except (TypeError, ValueError):
             self._error(400, "priority must be an int, timeout_s a number or null")
             return
+        idempotency_key = self.headers.get("Idempotency-Key") or None
+        # Resolved under the farm lock inside submit(); this pre-check only
+        # decides whether the response should flag the job as a duplicate.
+        duplicate = (
+            idempotency_key is not None
+            and self.farm.job_for_key(idempotency_key) is not None
+        )
         try:
-            job = self.farm.submit(spec_payload, priority=priority, timeout_s=timeout_s)
+            if fuzz_payload is not None:
+                if not isinstance(fuzz_payload, dict):
+                    self._error(400, "'fuzz' must be an object")
+                    return
+                job = self.farm.submit_fuzz(
+                    fuzz_payload, priority=priority, timeout_s=timeout_s,
+                    idempotency_key=idempotency_key,
+                )
+            else:
+                job = self.farm.submit(
+                    spec_payload, priority=priority, timeout_s=timeout_s,
+                    idempotency_key=idempotency_key,
+                )
         except (KeyError, TypeError, ValueError) as exc:
-            self._error(400, f"invalid campaign spec: {exc}")
+            self._error(400, f"invalid job spec: {exc}")
+            return
+        except FarmSaturated as exc:
+            self._send_json(
+                503, {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                headers={"Retry-After": str(max(1, int(exc.retry_after_s)))},
+            )
             return
         except RuntimeError as exc:
             self._error(503, str(exc))
@@ -172,7 +214,9 @@ class FarmRequestHandler(BaseHTTPRequestHandler):
             snapshot = job.snapshot()
         snapshot["events_url"] = f"/jobs/{job.id}/events"
         snapshot["result_url"] = f"/jobs/{job.id}/result"
-        self._send_json(201, snapshot)
+        if duplicate:
+            snapshot["duplicate"] = True
+        self._send_json(200 if duplicate else 201, snapshot)
 
     def do_DELETE(self) -> None:  # noqa: N802
         routed = self._route_job(urlparse(self.path).path)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import json
 import time
+import uuid
 from http.client import HTTPConnection, HTTPException
 from typing import Iterator, Mapping, Optional, Union
 from urllib.parse import urlparse
@@ -18,21 +19,31 @@ from repro.campaign.spec import CampaignSpec
 
 
 class ServiceError(RuntimeError):
-    """A non-2xx response from the farm API."""
+    """A non-2xx response from the farm API.
 
-    def __init__(self, status: int, payload) -> None:
+    ``retry_after`` carries the parsed ``Retry-After`` header (seconds) on
+    backpressure 503s, ``None`` otherwise — so submitters can back off for
+    exactly as long as the server asked.
+    """
+
+    def __init__(self, status: int, payload,
+                 retry_after: Optional[float] = None) -> None:
         message = payload.get("error") if isinstance(payload, dict) else str(payload)
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.payload = payload
+        self.retry_after = retry_after
 
 
 class ServiceClient:
     """Client for one farm server, e.g. ``ServiceClient("http://127.0.0.1:8032")``."""
 
-    #: Retry budget for idempotent GETs: extra attempts after the first, and
-    #: the first backoff (doubled per retry, capped at 1 s).  POST/DELETE are
-    #: never retried — a resend could double-submit or double-cancel.
+    #: Retry budget for idempotent requests: extra attempts after the first,
+    #: and the first backoff (doubled per retry, capped at 1 s).  GETs are
+    #: always idempotent; POSTs are retried only when they carry an
+    #: ``Idempotency-Key`` (the server dedupes a resend to the original
+    #: job); DELETEs and keyless POSTs are never retried — a blind resend
+    #: could double-submit or double-cancel.
     GET_RETRIES = 3
     RETRY_BACKOFF_S = 0.05
     #: Consecutive reconnect failures :meth:`events` tolerates before giving
@@ -49,37 +60,62 @@ class ServiceClient:
 
     # -- plumbing ----------------------------------------------------------------
 
-    def _request_once(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> dict:
         connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
-            headers = {}
+            send_headers = dict(headers or {})
             encoded = None
             if body is not None:
                 encoded = json.dumps(body).encode()
-                headers["Content-Type"] = "application/json"
-            connection.request(method, path, body=encoded, headers=headers)
+                send_headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=encoded, headers=send_headers)
             response = connection.getresponse()
             payload = json.loads(response.read() or b"{}")
             if response.status >= 400:
-                raise ServiceError(response.status, payload)
+                retry_after_raw = response.getheader("Retry-After")
+                try:
+                    retry_after = (None if retry_after_raw is None
+                                   else float(retry_after_raw))
+                except ValueError:
+                    retry_after = None
+                raise ServiceError(response.status, payload,
+                                   retry_after=retry_after)
             return payload
         finally:
             connection.close()
 
-    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
-        """One API call; GETs get bounded exponential-backoff retries.
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        headers: Optional[Mapping[str, str]] = None,
+        *,
+        retries: Optional[int] = None,
+    ) -> dict:
+        """One API call with bounded exponential-backoff retries.
 
         Connection-level failures (refused, reset, timeout, truncated
-        response) on a GET are transparently retried — GETs against the farm
-        are idempotent reads, so a retry can only re-observe.  HTTP error
+        response) are transparently retried up to ``retries`` times —
+        defaulting to :attr:`GET_RETRIES` for GETs and 0 for everything
+        else.  :meth:`submit` passes an explicit budget for POSTs that
+        carry an ``Idempotency-Key``, which makes the resend safe: the
+        server answers a duplicate key with the original job.  HTTP error
         *responses* (:class:`ServiceError`) are never retried: the server
         answered, and the answer stands.
         """
-        attempts = self.GET_RETRIES if method == "GET" else 0
+        attempts = (self.GET_RETRIES if method == "GET" else 0) \
+            if retries is None else retries
         delay = self.RETRY_BACKOFF_S
         while True:
             try:
-                return self._request_once(method, path, body)
+                return self._request_once(method, path, body, headers)
             except (ConnectionError, HTTPException, OSError):
                 if attempts <= 0:
                     raise
@@ -89,18 +125,64 @@ class ServiceClient:
 
     # -- API ---------------------------------------------------------------------
 
+    def _post_job(self, body: dict, idempotency_key: Optional[str]) -> dict:
+        """POST /jobs with a client-generated idempotency key.
+
+        The key makes the POST safe to retry on connection failures — a
+        resend of the same key returns the original job instead of
+        enqueuing a duplicate — so submissions get the same retry budget
+        as reads.  Pass ``idempotency_key`` explicitly to dedupe across
+        client instances (e.g. a cron that re-runs after its host crashed).
+        """
+        key = idempotency_key or uuid.uuid4().hex
+        return self._request(
+            "POST", "/jobs", body,
+            headers={"Idempotency-Key": key},
+            retries=self.GET_RETRIES,
+        )
+
     def submit(
         self,
         spec: Union[CampaignSpec, Mapping],
         *,
         priority: int = 0,
         timeout_s: Optional[float] = None,
+        idempotency_key: Optional[str] = None,
     ) -> dict:
         """POST the spec; returns the job snapshot (``["id"]`` is the handle)."""
         payload = spec.describe() if isinstance(spec, CampaignSpec) else dict(spec)
-        return self._request("POST", "/jobs", {
+        return self._post_job({
             "spec": payload, "priority": priority, "timeout_s": timeout_s,
-        })
+        }, idempotency_key)
+
+    def submit_fuzz(
+        self,
+        *,
+        seed_start: int = 0,
+        sessions: int = 1,
+        budget: int = 50,
+        profile: str = "quick",
+        with_faults: bool = False,
+        case_timeout_s: float = 10.0,
+        name: str = "fuzz",
+        priority: int = 0,
+        timeout_s: Optional[float] = None,
+        idempotency_key: Optional[str] = None,
+    ) -> dict:
+        """Submit a sharded fuzz job (one deterministic session per seed)."""
+        return self._post_job({
+            "fuzz": {
+                "seed_start": seed_start,
+                "sessions": sessions,
+                "budget": budget,
+                "profile": profile,
+                "with_faults": with_faults,
+                "case_timeout_s": case_timeout_s,
+                "name": name,
+            },
+            "priority": priority,
+            "timeout_s": timeout_s,
+        }, idempotency_key)
 
     def status(self, job_id: str) -> dict:
         return self._request("GET", f"/jobs/{job_id}")

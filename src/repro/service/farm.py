@@ -10,11 +10,27 @@ front ends drive.  One farm owns:
 * a shared content-addressed :class:`~repro.campaign.cache.ResultCache` in
   front of the queue — cells whose digest is already cached are answered at
   submit time without touching a worker, so a repeat submission of an
-  identical spec is a pure cache read (hit rate 1.0, no queueing), and
+  identical spec is a pure cache read (hit rate 1.0, no queueing),
+* optionally, a **state directory** holding a durable
+  :class:`~repro.service.journal.JobJournal` (plus the persistent cache and
+  the fuzz corpus): every job transition is journaled write-ahead, so a
+  SIGKILL of the server loses nothing — on restart the farm replays the
+  journal, re-enqueues every non-terminal job at its original priority, and
+  resumes each from its completed work (campaign cells answered from the
+  cache, fuzz sessions restored from the journal), bit-identical to an
+  uninterrupted run, and
 * a single dispatcher thread that pumps worker results, persists fresh
-  outcomes into the cache, enforces per-job timeouts, respawns dead workers
-  (retrying their in-flight shard once, then failing those cells with
-  structured error records), and feeds idle workers the next shard.
+  outcomes into the cache, enforces per-job timeouts, watches for
+  heartbeat-silent (stuck) workers, respawns dead workers (retrying their
+  in-flight shard once, then failing those cells with structured error
+  records), and feeds idle workers the next shard.
+
+Two job kinds share all of that machinery: campaign grids (shards of
+cells) and fuzz jobs (shards of deterministic ``(seed, budget)`` sessions,
+findings streamed as they land and auto-appended to the server-side
+corpus).  Backpressure is a bounded count of active jobs — saturated
+submissions raise :class:`FarmSaturated`, which the HTTP layer maps to
+``503`` + ``Retry-After``.
 
 Everything observable — job state, per-cell progress, worker stats — is
 mutated under one condition lock and published through job event logs, so
@@ -34,19 +50,29 @@ import time
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
-from repro.campaign.cache import ResultCache
+from repro.campaign.cache import ResultCache, cell_digest
 from repro.campaign.executor import CellError
 from repro.campaign.spec import CampaignSpec
 from repro.service.jobs import (
+    CAMPAIGN,
     CANCELLED,
     DONE,
     FAILED,
+    FUZZ,
     QUEUED,
     RUNNING,
     TIMEOUT,
+    FuzzJobSpec,
     Job,
     JobQueue,
     Shard,
+)
+from repro.service.journal import (
+    JOURNAL_FILENAME,
+    JobJournal,
+    JournaledJob,
+    append_jsonl,
+    replay_journal,
 )
 from repro.service.worker import spawn_worker
 
@@ -55,6 +81,27 @@ from repro.service.worker import spawn_worker
 #: share one medium grid; large enough that the per-shard queue round trip
 #: amortises.
 DEFAULT_SHARD_SIZE = 4
+
+#: Default stuck-worker watchdog threshold.  Distinct from the per-job
+#: timeout: this bounds *silence* (no message from a busy worker), not total
+#: job runtime.  Generous by default — cells and fuzz cases report at least
+#: every second or two in practice, so minutes of silence means wedged.
+DEFAULT_STUCK_TIMEOUT_S = 300.0
+
+#: Retry-After seconds suggested to clients bounced by backpressure.
+DEFAULT_RETRY_AFTER_S = 1.0
+
+
+class FarmSaturated(RuntimeError):
+    """Submission rejected by backpressure (active-job bound reached).
+
+    Carries ``retry_after_s`` so the HTTP layer can answer ``503`` with a
+    concrete ``Retry-After`` header instead of a bare error.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = DEFAULT_RETRY_AFTER_S):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 def resolve_workers(workers: int) -> int:
@@ -80,12 +127,38 @@ class SimulationFarm:
         shard_size: int = DEFAULT_SHARD_SIZE,
         poll_interval_s: float = 0.02,
         name: str = "splice-farm",
+        state_dir: Union[Path, str, None] = None,
+        queue_limit: Optional[int] = None,
+        stuck_timeout_s: Optional[float] = DEFAULT_STUCK_TIMEOUT_S,
+        corpus_dir: Union[Path, str, None] = None,
+        history_path: Union[Path, str, None] = None,
+        journal_fsync: bool = True,
     ) -> None:
         self.name = name
         self.worker_count = resolve_workers(workers)
         self.shard_size = max(1, shard_size)
         self.preload = tuple(preload)
         self._poll_interval_s = poll_interval_s
+        self.queue_limit = queue_limit
+        self.stuck_timeout_s = stuck_timeout_s
+
+        # Durability: with a state dir, the journal (and, unless overridden,
+        # the result cache and fuzz corpus) live inside it, so a restart on
+        # the same directory sees everything a previous incarnation did.
+        self.state_dir: Optional[Path] = None
+        self._journal: Optional[JobJournal] = None
+        if state_dir is not None:
+            self.state_dir = Path(state_dir)
+            self.state_dir.mkdir(parents=True, exist_ok=True)
+            self._journal = JobJournal(
+                self.state_dir / JOURNAL_FILENAME, fsync=journal_fsync
+            )
+            if cache is None:
+                cache = self.state_dir / "cache"
+            if corpus_dir is None:
+                corpus_dir = self.state_dir / "corpus"
+        self.corpus_dir = None if corpus_dir is None else Path(corpus_dir)
+        self.history_path = None if history_path is None else Path(history_path)
 
         # Without an explicit cache directory the farm still runs one — an
         # ephemeral per-instance directory — because the cache is what makes
@@ -103,6 +176,7 @@ class SimulationFarm:
         self._jobs: Dict[str, Job] = {}
         self._queue = JobQueue()
         self._workers: List[WorkerHandle] = []
+        self._idempotency: Dict[str, str] = {}
         self._job_seq = 0
         self._running = False
         self._draining = False
@@ -116,9 +190,17 @@ class SimulationFarm:
             "cells_executed": 0,
             "cells_failed": 0,
             "cells_discarded": 0,
+            "sessions_total": 0,
+            "sessions_executed": 0,
+            "sessions_recovered": 0,
+            "sessions_failed": 0,
+            "findings": 0,
             "workers_respawned": 0,
+            "workers_stuck_killed": 0,
             "shards_dispatched": 0,
             "shards_retried": 0,
+            "jobs_recovered": 0,
+            "jobs_rejected": 0,
         }
 
     @property
@@ -147,6 +229,8 @@ class SimulationFarm:
             target=self._dispatch_loop, name=f"{self.name}-dispatcher", daemon=True
         )
         self._dispatcher.start()
+        if self._journal is not None:
+            self._recover()
         return self
 
     def stop(self) -> None:
@@ -155,7 +239,10 @@ class SimulationFarm:
         with self._cond:
             self._running = False
             # Unblock every waiter/streamer: whatever was still pending is
-            # cancelled, terminally, before the machinery goes away.
+            # cancelled, terminally, before the machinery goes away.  These
+            # forced cancellations are deliberately NOT journaled: on a
+            # durable farm, "stopped while jobs were pending" is exactly the
+            # state a restart on the same --state-dir must resume from.
             for job in self._jobs.values():
                 if not job.is_terminal:
                     job.pending_shards.clear()
@@ -176,6 +263,8 @@ class SimulationFarm:
             handle.task_queue.cancel_join_thread()
         self._result_queue.close()
         self._result_queue.cancel_join_thread()
+        if self._journal is not None:
+            self._journal.close()
         if self._ephemeral_cache_dir is not None:
             shutil.rmtree(self._ephemeral_cache_dir, ignore_errors=True)
 
@@ -193,17 +282,18 @@ class SimulationFarm:
         *,
         priority: int = 0,
         timeout_s: Optional[float] = None,
+        idempotency_key: Optional[str] = None,
     ) -> Job:
         """Queue a campaign spec; returns the live :class:`Job`.
 
         Cells already present in the shared result cache are satisfied here,
         synchronously — a fully-cached submission completes without ever
-        touching the queue or a worker.
+        touching the queue or a worker.  A repeated ``idempotency_key``
+        returns the original job instead of enqueuing a duplicate (the key
+        is journaled, so the dedupe survives a server restart for every job
+        that does).
         """
-        if not self._running:
-            raise RuntimeError("farm is not running (call start() first)")
-        if self._draining:
-            raise RuntimeError("farm is draining and not accepting new jobs")
+        self._check_accepting()
         if not isinstance(spec, CampaignSpec):
             spec = CampaignSpec.from_dict(dict(spec))
 
@@ -217,40 +307,260 @@ class SimulationFarm:
                 cached[cell.key] = outcome
 
         with self._cond:
+            existing = self._idempotent(idempotency_key)
+            if existing is not None:
+                return existing
+            self._check_saturation()
             self._job_seq += 1
             job = Job(
                 f"j{self._job_seq:06d}", spec,
                 priority=priority, timeout_s=timeout_s, cond=self._cond,
             )
-            self._jobs[job.id] = job
-            job.cached = cached
-            pending = [cell for cell in sorted(job.cells, key=lambda c: c.key)
-                       if cell.key not in cached]
-            self.counters["cells_total"] += len(job.cells)
-            self.counters["cells_cached"] += len(cached)
-            job.emit(
-                "submitted",
-                name=spec.name,
-                priority=priority,
-                timeout_s=timeout_s,
-                cells_total=len(job.cells),
-                cells_cached=len(cached),
+            self._register_key(job, idempotency_key)
+            self._journal_append(
+                "submitted", job=job.id, kind=CAMPAIGN, priority=priority,
+                timeout_s=timeout_s, spec=spec.describe(),
+                idempotency_key=idempotency_key,
             )
-            if cached:
-                job.emit("cached", cells=len(cached))
-            if not pending:
-                job.enter_state(DONE, cells_cached=len(cached))
-                return job
-            for shard_id, start in enumerate(range(0, len(pending), self.shard_size)):
-                job.pending_shards.append(
-                    Shard(job.id, shard_id, pending[start:start + self.shard_size])
-                )
-            self._queue.push(job)
+            self._admit_campaign(job, cached)
+        self._journal_sync()
         self._result_queue.put(("wake",))
         return job
 
+    def submit_fuzz(
+        self,
+        spec: Union[FuzzJobSpec, Mapping],
+        *,
+        priority: int = 0,
+        timeout_s: Optional[float] = None,
+        idempotency_key: Optional[str] = None,
+    ) -> Job:
+        """Queue a fuzz job: one deterministic session per seed in the range.
+
+        Each session becomes its own shard, so a job's seed range spreads
+        across every idle warm worker; findings stream into the job's event
+        log (and the server-side corpus) as workers shrink them.
+        """
+        self._check_accepting()
+        if not isinstance(spec, FuzzJobSpec):
+            spec = FuzzJobSpec.from_dict(dict(spec))
+        with self._cond:
+            existing = self._idempotent(idempotency_key)
+            if existing is not None:
+                return existing
+            self._check_saturation()
+            self._job_seq += 1
+            job = Job(
+                f"j{self._job_seq:06d}", spec, kind=FUZZ,
+                priority=priority, timeout_s=timeout_s, cond=self._cond,
+            )
+            self._register_key(job, idempotency_key)
+            self._journal_append(
+                "submitted", job=job.id, kind=FUZZ, priority=priority,
+                timeout_s=timeout_s, fuzz=spec.describe(),
+                idempotency_key=idempotency_key,
+            )
+            self._admit_fuzz(job, restored={})
+        self._journal_sync()
+        self._result_queue.put(("wake",))
+        return job
+
+    def _check_accepting(self) -> None:
+        if not self._running:
+            raise RuntimeError("farm is not running (call start() first)")
+        if self._draining:
+            raise RuntimeError("farm is draining and not accepting new jobs")
+
+    def _idempotent(self, key: Optional[str]) -> Optional[Job]:
+        """Lock held: the already-submitted job for ``key``, if any."""
+        if key is None:
+            return None
+        job_id = self._idempotency.get(key)
+        return None if job_id is None else self._jobs.get(job_id)
+
+    def _register_key(self, job: Job, key: Optional[str]) -> None:
+        if key is not None:
+            job.idempotency_key = key
+            self._idempotency[key] = job.id
+
+    def _check_saturation(self) -> None:
+        """Lock held: enforce the bounded active-job depth."""
+        if self.queue_limit is None:
+            return
+        active = sum(1 for j in self._jobs.values() if not j.is_terminal)
+        if active >= self.queue_limit:
+            self.counters["jobs_rejected"] += 1
+            raise FarmSaturated(
+                f"farm saturated: {active} active jobs (limit {self.queue_limit})"
+            )
+
+    def _journal_append(self, type_: str, **fields) -> None:
+        # Buffered write only — the farm lock is held at every call site,
+        # and an fsync under it would serialise the whole farm behind disk
+        # latency.  Callers invoke _journal_sync() (group commit) after
+        # releasing the lock, before the transition is acknowledged.
+        if self._journal is not None:
+            self._journal.write(type_, **fields)
+
+    def _journal_sync(self) -> None:
+        if self._journal is not None:
+            self._journal.sync()
+
+    def _journal_terminal(self, job: Job) -> None:
+        """Record a terminal transition durably (and the fuzz trajectory)."""
+        self._journal_append("finished", job=job.id, state=job.state)
+        if job.kind == FUZZ and job.state == DONE and self.history_path is not None:
+            try:
+                payload = job.fuzz_result()
+                append_jsonl(self.history_path, {
+                    "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+                    "bench": "fuzz_farm",
+                    "mode": "service",
+                    "headline": {
+                        "job": job.id,
+                        "seed_start": job.spec.seed_start,
+                        "sessions": job.spec.sessions,
+                        "budget": job.spec.budget,
+                        "profile": job.spec.profile,
+                        "with_faults": job.spec.with_faults,
+                        "executed": payload["executed"],
+                        "findings": len(payload["counterexamples"]),
+                        "coverage_cells": len(payload["coverage"]),
+                        "coverage": payload["coverage"],
+                    },
+                })
+            except Exception:
+                # The trajectory file is observability, never worth failing
+                # a finished job over (e.g. read-only checkout).
+                pass
+
+    def _admit_campaign(self, job: Job, cached: dict) -> None:
+        """Lock held: register, answer cached cells, shard the rest."""
+        self._jobs[job.id] = job
+        job.cached = cached
+        pending = [cell for cell in sorted(job.cells, key=lambda c: c.key)
+                   if cell.key not in cached]
+        self.counters["cells_total"] += len(job.cells)
+        self.counters["cells_cached"] += len(cached)
+        extra = {"recovered": True} if job.recovered else {}
+        job.emit(
+            "submitted",
+            name=job.spec.name,
+            kind=CAMPAIGN,
+            priority=job.priority,
+            timeout_s=job.timeout_s,
+            cells_total=len(job.cells),
+            cells_cached=len(cached),
+            **extra,
+        )
+        if cached:
+            job.emit("cached", cells=len(cached))
+        if not pending:
+            job.enter_state(DONE, cells_cached=len(cached))
+            self._journal_terminal(job)
+            return
+        for shard_id, start in enumerate(range(0, len(pending), self.shard_size)):
+            job.pending_shards.append(
+                Shard(job.id, shard_id, pending[start:start + self.shard_size])
+            )
+        self._queue.push(job)
+
+    def _admit_fuzz(self, job: Job, restored: Dict[int, dict]) -> None:
+        """Lock held: register a fuzz job; one shard per not-yet-run seed."""
+        self._jobs[job.id] = job
+        for seed, payload in restored.items():
+            if seed in set(job.cells):
+                job.fresh[seed] = payload
+        self.counters["sessions_total"] += len(job.cells)
+        self.counters["sessions_recovered"] += len(job.fresh)
+        extra = {"recovered": True} if job.recovered else {}
+        job.emit(
+            "submitted",
+            name=job.spec.name,
+            kind=FUZZ,
+            priority=job.priority,
+            timeout_s=job.timeout_s,
+            seed_start=job.spec.seed_start,
+            sessions=job.spec.sessions,
+            budget=job.spec.budget,
+            profile=job.spec.profile,
+            with_faults=job.spec.with_faults,
+            sessions_done=len(job.fresh),
+            **extra,
+        )
+        pending = [seed for seed in job.cells if seed not in job.fresh]
+        if not pending:
+            job.enter_state(DONE, sessions=len(job.fresh))
+            self._journal_terminal(job)
+            return
+        for shard_id, seed in enumerate(pending):
+            job.pending_shards.append(Shard(job.id, shard_id, [seed]))
+        self._queue.push(job)
+
+    # -- recovery ----------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Replay the journal: re-enqueue every non-terminal job.
+
+        Campaign jobs resume through the shared result cache — every cell a
+        previous incarnation completed was persisted there before its
+        ``shard_done`` record, so re-admission answers those cells at
+        submit time and only the remainder is re-sharded.  Fuzz jobs resume
+        from the journaled session payloads (the deterministic record of
+        each completed seed).  Job ids, priorities and idempotency keys are
+        preserved; the journal is compacted so repeated crash/restart
+        cycles do not grow it.
+        """
+        replay = replay_journal(self._journal.path)
+        self._job_seq = max(self._job_seq, replay.seq)
+        live = replay.live_jobs()
+        self._journal.compact(replay.compaction_records())
+        for record in live:
+            try:
+                self._readmit(record)
+                self.counters["jobs_recovered"] += 1
+            except Exception:
+                # A job whose spec no longer parses (code changed across
+                # the restart) must not prevent the farm from serving; its
+                # cells were never promised beyond the journal.
+                continue
+        if live:
+            self._result_queue.put(("wake",))
+
+    def _readmit(self, record: JournaledJob) -> None:
+        if record.kind == FUZZ:
+            spec = FuzzJobSpec.from_dict(dict(record.payload))
+            with self._cond:
+                job = Job(record.job_id, spec, kind=FUZZ,
+                          priority=record.priority, timeout_s=record.timeout_s,
+                          cond=self._cond)
+                job.recovered = True
+                self._register_key(job, record.idempotency_key)
+                self._admit_fuzz(job, restored=record.sessions)
+            return
+        spec = CampaignSpec.from_dict(dict(record.payload))
+        cached = {}
+        for cell in spec.cells():
+            outcome = self.cache.get(cell)
+            if outcome is not None:
+                cached[cell.key] = outcome
+        with self._cond:
+            job = Job(record.job_id, spec,
+                      priority=record.priority, timeout_s=record.timeout_s,
+                      cond=self._cond)
+            job.recovered = True
+            self._register_key(job, record.idempotency_key)
+            self._admit_campaign(job, cached)
+
+    # -- control -----------------------------------------------------------------
+
     def get(self, job_id: str) -> Optional[Job]:
         return self._jobs.get(job_id)
+
+    def job_for_key(self, idempotency_key: str) -> Optional[Job]:
+        """The job a previous submission with this key created, if any."""
+        with self._cond:
+            return self._idempotent(idempotency_key)
 
     def jobs(self) -> List[Job]:
         return list(self._jobs.values())
@@ -264,8 +574,10 @@ class SimulationFarm:
             if job is None or job.is_terminal:
                 return False
             job.pending_shards.clear()
+            self._journal_append("cancelled", job=job.id)
             job.enter_state(CANCELLED, shards_in_flight=len(job.in_flight))
-            return True
+        self._journal_sync()
+        return True
 
     def drain(self, timeout_s: Optional[float] = None) -> dict:
         """Graceful shutdown, phase one: stop accepting, let work finish.
@@ -346,12 +658,21 @@ class SimulationFarm:
                     except stdlib_queue.Empty:
                         break
                 self._check_timeouts()
+                self._check_stuck()
                 self._check_workers()
                 self._dispatch_ready()
+            self._journal_sync()
 
     def _handle(self, message) -> None:
         kind = message[0]
         if kind == "wake":
+            return
+        # Every worker→parent message carries the worker id at index 1;
+        # any message is proof of life for the stuck-worker watchdog.
+        worker_id = message[1]
+        if 0 <= worker_id < len(self._workers):
+            self._workers[worker_id].last_message_at = time.perf_counter()
+        if kind == "heartbeat":
             return
         if kind == "ready":
             _, worker_id, stats = message
@@ -409,20 +730,106 @@ class SimulationFarm:
                 total=len(job.cells),
             )
             return
+        if kind == "finding":
+            _, worker_id, job_id, shard_id, record = message
+            job = self._jobs.get(job_id)
+            if job is None or job.is_terminal:
+                return
+            self.counters["findings"] += 1
+            verdict = record.get("verdict", {}) if isinstance(record, dict) else {}
+            job.emit(
+                "finding",
+                kind=record.get("kind"),
+                token=record.get("token"),
+                kernel=verdict.get("kernel"),
+                detail=verdict.get("detail"),
+                worker=worker_id,
+                shard=shard_id,
+            )
+            self._save_finding(record)
+            return
+        if kind == "fuzz_error":
+            _, worker_id, job_id, shard_id, seed, text = message
+            self._finish_worker_shard(worker_id, job_id, shard_id)
+            job = self._jobs.get(job_id)
+            if job is None or job.is_terminal:
+                return
+            job.errors[seed] = CellError(kind="fuzz_error", message=text)
+            self.counters["sessions_failed"] += 1
+            job.emit("session_error", seed=seed, error=text, worker=worker_id,
+                     done=job.cells_done, total=len(job.cells))
+            self._maybe_finalize(job)
+            return
+        if kind == "fuzz_done":
+            _, worker_id, job_id, shard_id, payload, duration_s, stats = message
+            self._workers[worker_id].stats = stats
+            self._finish_worker_shard(worker_id, job_id, shard_id)
+            job = self._jobs.get(job_id)
+            if job is None or job.is_terminal:
+                return
+            seed = payload["seed"]
+            job.fresh[seed] = payload
+            self.counters["sessions_executed"] += 1
+            self._journal_append("shard_done", job=job_id, shard=shard_id,
+                                 seed=seed, session=payload)
+            job.emit(
+                "session",
+                seed=seed,
+                executed=payload["executed"],
+                rounds=payload["rounds"],
+                findings=len(payload["counterexamples"]),
+                coverage=len(payload["coverage"]),
+                duration_s=duration_s,
+                worker=worker_id,
+                done=job.cells_done,
+                total=len(job.cells),
+            )
+            self._maybe_finalize(job)
+            return
         if kind == "shard_done":
             _, worker_id, job_id, shard_id, stats = message
-            handle = self._workers[worker_id]
-            handle.stats = stats
-            shard = handle.busy
-            handle.busy = None
-            if shard is not None and shard.dispatched_at is not None:
-                handle.busy_s += time.perf_counter() - shard.dispatched_at
+            self._workers[worker_id].stats = stats
             job = self._jobs.get(job_id)
-            if job is None:
-                return
-            job.in_flight.pop(shard_id, None)
-            if not job.is_terminal:
+            if (self._journal is not None and job is not None
+                    and job.kind == CAMPAIGN):
+                shard = job.in_flight.get(shard_id)
+                if shard is not None:
+                    # Digests only: the outcomes were already persisted to
+                    # the shared ResultCache per cell, so recovery answers
+                    # this shard from the cache; the record documents which
+                    # cells are durably done (and is cheap — cell_digest is
+                    # memoised from the submit-time cache lookup).
+                    self._journal_append(
+                        "shard_done", job=job_id, shard=shard_id,
+                        cells=[cell_digest(c) for c in shard.cells],
+                    )
+            self._finish_worker_shard(worker_id, job_id, shard_id)
+            if job is not None and not job.is_terminal:
                 self._maybe_finalize(job)
+
+    def _finish_worker_shard(self, worker_id: int, job_id: str, shard_id: int) -> None:
+        """Lock held: clear the worker's busy slot and the job's in-flight."""
+        handle = self._workers[worker_id]
+        shard = handle.busy
+        handle.busy = None
+        if shard is not None and shard.dispatched_at is not None:
+            handle.busy_s += time.perf_counter() - shard.dispatched_at
+        job = self._jobs.get(job_id)
+        if job is not None:
+            job.in_flight.pop(shard_id, None)
+
+    def _save_finding(self, record) -> None:
+        """Append one streamed counterexample to the server-side corpus."""
+        if self.corpus_dir is None or not isinstance(record, dict):
+            return
+        try:
+            from repro.fuzz.corpus import Counterexample, save_case
+
+            save_case(Counterexample.from_dict(record), self.corpus_dir)
+        except Exception:
+            # Corpus growth is best-effort; a malformed record or full disk
+            # must not take the dispatcher down.
+            pass
 
     def _maybe_finalize(self, job: Job) -> None:
         """Lock held: finish the job once every cell is accounted for."""
@@ -435,6 +842,7 @@ class SimulationFarm:
         else:
             job.enter_state(DONE, cells_executed=len(job.fresh),
                             cells_cached=len(job.cached))
+        self._journal_terminal(job)
 
     def _check_timeouts(self) -> None:
         now = time.perf_counter()
@@ -446,12 +854,44 @@ class SimulationFarm:
                 job.pending_shards.clear()
                 job.enter_state(TIMEOUT, timeout_s=job.timeout_s,
                                 cells_done=job.cells_done)
+                self._journal_terminal(job)
+
+    def _check_stuck(self) -> None:
+        """SIGKILL busy workers that have gone heartbeat-silent.
+
+        Distinct from the per-job timeout: a stuck worker (wedged simulation,
+        deadlocked native call) stops *messaging* while its job's clock may
+        have plenty left.  The kill feeds the normal dead-worker path below
+        — respawn, one retry — but the death is attributed, so a shard whose
+        retry also goes silent fails with ``worker_stuck`` errors rather
+        than ``worker_crash``.
+        """
+        if self.stuck_timeout_s is None:
+            return
+        now = time.perf_counter()
+        for handle in self._workers:
+            shard = handle.busy
+            if shard is None or not handle.process.is_alive():
+                continue
+            marks = [t for t in (shard.dispatched_at, handle.last_message_at)
+                     if t is not None]
+            if not marks or now - max(marks) <= self.stuck_timeout_s:
+                continue
+            handle.stuck_kill = True
+            self.counters["workers_stuck_killed"] += 1
+            job = self._jobs.get(shard.job_id)
+            if job is not None and not job.is_terminal:
+                job.emit("worker_stuck", worker=handle.worker_id,
+                         shard=shard.shard_id,
+                         silent_s=round(now - max(marks), 3))
+            handle.process.kill()
 
     def _check_workers(self) -> None:
         for index, handle in enumerate(self._workers):
             if handle.process.is_alive():
                 continue
             shard = handle.busy
+            stuck = handle.stuck_kill
             self.counters["workers_respawned"] += 1
             handle.task_queue.close()
             handle.task_queue.cancel_join_thread()
@@ -480,23 +920,32 @@ class SimulationFarm:
                 job.pending_shards.appendleft(shard)
                 self._queue.push(job)
                 job.emit("shard_retry", shard=shard.shard_id,
-                         worker=handle.worker_id)
+                         worker=handle.worker_id, stuck=stuck)
             else:
+                cause = "worker_stuck" if stuck else "worker_crash"
+                detail = ("went heartbeat-silent running" if stuck
+                          else "died running")
                 error = CellError(
-                    kind="worker_crash",
+                    kind=cause,
                     message=(
-                        f"worker {handle.worker_id} died running shard "
-                        f"{shard.shard_id} and the retry died too"
+                        f"worker {handle.worker_id} {detail} shard "
+                        f"{shard.shard_id} and the retry "
+                        f"{'went silent' if stuck else 'died'} too"
                     ),
                 )
                 failed = 0
                 for cell in shard.cells:
-                    if cell.key not in job.fresh and cell.key not in job.errors:
-                        job.errors[cell.key] = error
+                    key = getattr(cell, "key", cell)
+                    if key not in job.fresh and key not in job.errors:
+                        job.errors[key] = error
                         failed += 1
-                self.counters["cells_failed"] += failed
+                if job.kind == FUZZ:
+                    self.counters["sessions_failed"] += failed
+                else:
+                    self.counters["cells_failed"] += failed
                 job.emit("shard_failed", shard=shard.shard_id,
-                         worker=handle.worker_id, cells_failed=failed)
+                         worker=handle.worker_id, cells_failed=failed,
+                         cause=cause)
                 self._maybe_finalize(job)
 
     def _dispatch_ready(self) -> None:
@@ -522,7 +971,21 @@ class SimulationFarm:
             handle.busy = shard
             handle.dispatched += 1
             self.counters["shards_dispatched"] += 1
-            handle.task_queue.put(("shard", job.id, shard.shard_id, shard.cells))
+            self._journal_append("shard_dispatched", job=job.id,
+                                 shard=shard.shard_id,
+                                 worker=handle.worker_id,
+                                 attempt=shard.attempts)
+            if job.kind == FUZZ:
+                spec = job.spec
+                handle.task_queue.put(("fuzz", job.id, shard.shard_id, {
+                    "seed": shard.cells[0],
+                    "budget": spec.budget,
+                    "profile": spec.profile,
+                    "with_faults": spec.with_faults,
+                    "timeout_s": spec.case_timeout_s,
+                }))
+            else:
+                handle.task_queue.put(("shard", job.id, shard.shard_id, shard.cells))
 
     # -- observation -------------------------------------------------------------
 
@@ -533,8 +996,13 @@ class SimulationFarm:
             busy = sum(1 for w in self._workers if w.busy is not None)
             states = {state: 0 for state in
                       (QUEUED, RUNNING, DONE, FAILED, CANCELLED, TIMEOUT)}
+            kinds = {CAMPAIGN: 0, FUZZ: 0}
+            active = 0
             for job in self._jobs.values():
                 states[job.state] = states.get(job.state, 0) + 1
+                kinds[job.kind] = kinds.get(job.kind, 0) + 1
+                if not job.is_terminal:
+                    active += 1
             uptime = (time.perf_counter() - self._started_at
                       if self._started_at is not None else 0.0)
             total = self.counters["cells_total"]
@@ -554,9 +1022,20 @@ class SimulationFarm:
                 ),
                 "workers": worker_records,
                 "queue_depth": states[QUEUED],
+                "active_jobs": active,
+                "queue_limit": self.queue_limit,
+                "saturated": (self.queue_limit is not None
+                              and active >= self.queue_limit),
                 "jobs": dict(states, submitted=self._job_seq),
+                "job_kinds": kinds,
                 "cells": dict(self.counters),
                 "cache_hit_rate": (cached / total) if total else None,
                 "cache_entries": len(self.cache),
                 "shard_size": self.shard_size,
+                "stuck_timeout_s": self.stuck_timeout_s,
+                "durable": self._journal is not None,
+                "state_dir": (None if self.state_dir is None
+                              else str(self.state_dir)),
+                "journal_records": (0 if self._journal is None
+                                    else self._journal.records_written),
             }

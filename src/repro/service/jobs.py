@@ -19,13 +19,15 @@ sooner) and FIFO within a priority (by submission sequence number).  It is
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import itertools
+import json
 import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Iterator, List, Optional, Tuple
+from typing import Deque, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.campaign.executor import CellError, CellOutcome
 from repro.campaign.result import CampaignResult, cell_result
@@ -44,6 +46,74 @@ CANCELLED = "cancelled"
 TIMEOUT = "timeout"
 
 TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED, TIMEOUT})
+
+#: Job kinds the farm schedules.  Both flow through the same queue, shard
+#: machinery, event log and crash policy; they differ in what a shard *is*
+#: (a batch of campaign cells vs one deterministic fuzz session) and in how
+#: results aggregate.
+CAMPAIGN = "campaign"
+FUZZ = "fuzz"
+
+
+@dataclass(frozen=True)
+class FuzzJobSpec:
+    """A continuous-fuzzing workload: a contiguous seed range, one
+    deterministic ``(seed, budget)`` session per seed.
+
+    Each session is exactly what ``splice fuzz run --seed S --budget B``
+    executes (see :func:`repro.fuzz.session.run_session`), so a fuzz job's
+    aggregate — executed counts, coverage cells, shrunk counterexamples —
+    is a pure function of this spec and reproduces bit-identically across
+    runs, restarts and worker placements.
+    """
+
+    seed_start: int
+    sessions: int
+    budget: int
+    profile: str = "quick"
+    with_faults: bool = False
+    case_timeout_s: float = 10.0
+    name: str = "fuzz"
+
+    def __post_init__(self) -> None:
+        if self.sessions < 1:
+            raise ValueError(f"fuzz job needs >= 1 session, got {self.sessions}")
+        if self.budget < 1:
+            raise ValueError(f"fuzz budget must be >= 1, got {self.budget}")
+        if self.case_timeout_s <= 0:
+            raise ValueError(
+                f"case_timeout_s must be positive, got {self.case_timeout_s}"
+            )
+
+    def seeds(self) -> List[int]:
+        return list(range(self.seed_start, self.seed_start + self.sessions))
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "seed_start": self.seed_start,
+            "sessions": self.sessions,
+            "budget": self.budget,
+            "profile": self.profile,
+            "with_faults": self.with_faults,
+            "case_timeout_s": self.case_timeout_s,
+        }
+
+    def fingerprint(self) -> str:
+        text = json.dumps(self.describe(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FuzzJobSpec":
+        return cls(
+            seed_start=int(data["seed_start"]),
+            sessions=int(data["sessions"]),
+            budget=int(data["budget"]),
+            profile=str(data.get("profile", "quick")),
+            with_faults=bool(data.get("with_faults", False)),
+            case_timeout_s=float(data.get("case_timeout_s", 10.0)),
+            name=str(data.get("name", "fuzz")),
+        )
 
 
 @dataclass
@@ -70,17 +140,25 @@ class Job:
     def __init__(
         self,
         job_id: str,
-        spec: CampaignSpec,
+        spec: Union[CampaignSpec, FuzzJobSpec],
         *,
+        kind: str = CAMPAIGN,
         priority: int = 0,
         timeout_s: Optional[float] = None,
         cond: Optional[threading.Condition] = None,
     ) -> None:
+        if kind not in (CAMPAIGN, FUZZ):
+            raise ValueError(f"unknown job kind {kind!r}")
         self.id = job_id
         self.spec = spec
+        self.kind = kind
         self.priority = priority
         self.timeout_s = timeout_s
         self.cond = cond or threading.Condition()
+        #: True when this Job object was rebuilt from the journal after a
+        #: server restart rather than submitted by a client this lifetime.
+        self.recovered = False
+        self.idempotency_key: Optional[str] = None
 
         self.state = QUEUED
         self.submitted_wall = time.time()
@@ -88,14 +166,20 @@ class Job:
         self.started: Optional[float] = None
         self.finished: Optional[float] = None
 
-        #: Grid expansion in the canonical (deterministic) order; result
+        #: The job's work units in canonical (deterministic) order; result
         #: aggregation walks this list so the served payload row order is
-        #: identical to the batch runner's.
-        self.cells: List[CampaignCell] = spec.cells()
-        self.by_key: Dict[tuple, CampaignCell] = {c.key: c for c in self.cells}
+        #: identical to the batch runner's.  Campaign jobs: the grid's
+        #: :class:`CampaignCell` expansion, keyed by ``cell.key``.  Fuzz
+        #: jobs: the seed range, keyed by the seed itself.
+        if kind == FUZZ:
+            self.cells: List = spec.seeds()
+            self.by_key: Dict[tuple, CampaignCell] = {}
+        else:
+            self.cells = spec.cells()
+            self.by_key = {c.key: c for c in self.cells}
         self.cached: Dict[tuple, CellOutcome] = {}
-        self.fresh: Dict[tuple, CellOutcome] = {}
-        self.errors: Dict[tuple, CellError] = {}
+        self.fresh: Dict = {}
+        self.errors: Dict = {}
 
         self.pending_shards: Deque[Shard] = deque()
         self.in_flight: Dict[int, Shard] = {}
@@ -152,6 +236,8 @@ class Job:
         return {
             "id": self.id,
             "name": self.spec.name,
+            "kind": self.kind,
+            "recovered": self.recovered,
             "state": self.state,
             "priority": self.priority,
             "timeout_s": self.timeout_s,
@@ -202,6 +288,66 @@ class Job:
 
     # -- aggregation -------------------------------------------------------------
 
+    def result_payload(self) -> dict:
+        """The job's result as a JSON payload, whatever its kind.
+
+        Campaign jobs serve the :class:`CampaignResult` dict (bit-identical
+        ``cells`` to the batch runner); fuzz jobs serve the deterministic
+        fuzz aggregate of :meth:`fuzz_result`.
+        """
+        if self.kind == FUZZ:
+            return self.fuzz_result()
+        return self.result().to_dict()
+
+    def fuzz_result(self) -> dict:
+        """Aggregate a fuzz job's completed sessions.
+
+        Everything outside ``meta`` is a pure function of the spec: session
+        rows in seed order, the union of per-session coverage cells, and
+        counterexamples deduplicated by ``(kind, token)`` — so two runs of
+        the same spec (or one run interrupted by a server kill and resumed)
+        compare bit-identical on ``sessions``/``coverage``/``counterexamples``.
+        """
+        if self.state not in (DONE, FAILED):
+            raise ValueError(
+                f"job {self.id} is {self.state}; results exist only for "
+                "done/failed jobs"
+            )
+        sessions = []
+        coverage: set = set()
+        findings: Dict[Tuple[str, str], dict] = {}
+        errors: Dict[str, str] = {}
+        executed = 0
+        for seed in self.cells:
+            if seed in self.errors:
+                errors[str(seed)] = self.errors[seed].describe()
+                continue
+            payload = self.fresh[seed]
+            sessions.append(payload)
+            executed += int(payload.get("executed", 0))
+            coverage.update(payload.get("coverage", ()))
+            for ce in payload.get("counterexamples", ()):
+                findings[(str(ce.get("kind")), str(ce.get("token")))] = ce
+        return {
+            "kind": FUZZ,
+            "fuzz": self.spec.describe(),
+            "sessions": sessions,
+            "executed": executed,
+            "coverage": sorted(coverage),
+            "counterexamples": [findings[key] for key in sorted(findings)],
+            "errors": errors,
+            "meta": {
+                "executor": "farm",
+                "job_id": self.id,
+                "priority": self.priority,
+                "recovered": self.recovered,
+                "elapsed_s": round(self.elapsed_s, 6),
+                "sessions_total": len(self.cells),
+                "sessions_failed": len(errors),
+                "spec_fingerprint": self.spec.fingerprint(),
+            },
+        }
+
     def result(self) -> CampaignResult:
         """Aggregate into a :class:`CampaignResult`, batch-identical.
 
@@ -209,6 +355,11 @@ class Job:
         ``failed``); cancelled and timed-out jobs have holes in the grid and
         raise instead of fabricating a partial table.
         """
+        if self.kind != CAMPAIGN:
+            raise ValueError(
+                f"job {self.id} is a {self.kind} job; use fuzz_result()/"
+                "result_payload()"
+            )
         if self.state not in (DONE, FAILED):
             raise ValueError(
                 f"job {self.id} is {self.state}; results exist only for "

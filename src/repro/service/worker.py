@@ -11,29 +11,52 @@ parsing, nor elaboration, nor codegen for it.
 Protocol (all messages are small picklable tuples):
 
 * parent → worker (per-worker task queue):
-  ``("shard", job_id, shard_id, [CampaignCell, ...])`` or ``None`` to stop.
-* worker → parent (shared result queue):
+  ``("shard", job_id, shard_id, [CampaignCell, ...])`` for campaign shards,
+  ``("fuzz", job_id, shard_id, params)`` for one deterministic fuzz session
+  (params: seed/budget/profile/with_faults/timeout_s), or ``None`` to stop.
+* worker → parent (shared result queue; index 1 is always the worker id, so
+  the dispatcher can track per-worker liveness generically):
   ``("ready", worker_id, stats)`` once warm-up/preload is done,
+  ``("heartbeat", worker_id)`` at shard start and (throttled) per fuzz case
+  — the stuck-worker watchdog's liveness signal,
   ``("cell", worker_id, job_id, shard_id, cell_key, (result, cycles, txns))``
   per finished cell (this is what per-cell progress streaming is fed from),
   ``("cell_error", worker_id, job_id, shard_id, cell_key, message)`` when a
   single cell raises (the worker survives; job-level fault isolation),
-  ``("shard_done", worker_id, job_id, shard_id, stats)`` at the boundary.
+  ``("shard_done", worker_id, job_id, shard_id, stats)`` at the boundary,
+  ``("finding", worker_id, job_id, shard_id, counterexample_dict)`` per
+  shrunk fuzz counterexample, as it is found (streamed to clients and
+  appended to the server-side corpus),
+  ``("fuzz_done", worker_id, job_id, shard_id, payload, duration_s, stats)``
+  when a fuzz session completes (payload is the deterministic session
+  record: executed/rounds/coverage/counterexamples),
+  ``("fuzz_error", worker_id, job_id, shard_id, seed, message)`` when the
+  session machinery itself raises (e.g. Hypothesis missing in a minimal
+  environment) — the job records a structured error, the worker survives.
 
 A worker that dies (OOM, segfault, ``os._exit``) simply stops sending; the
 dispatcher notices the dead process, respawns a fresh worker, and retries
 the in-flight shard once before recording structured per-cell errors —
 mirroring :class:`~repro.campaign.executor.ShardedExecutor`'s crash policy.
+A worker that *hangs* stops heartbeating instead: the dispatcher's watchdog
+SIGKILLs it and the same respawn/retry path runs, ending in ``worker_stuck``
+errors if the retry hangs too.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.rtl.compile import PROGRAM_CACHE_ENV
+
+#: Minimum seconds between fuzz-case heartbeats (campaign shards heartbeat
+#: implicitly through per-cell messages; fuzz sessions run many cases per
+#: second, so their liveness signal is throttled to one message per second).
+FUZZ_HEARTBEAT_EVERY_S = 1.0
 
 
 def _parse_preload(entry) -> Tuple[str, str]:
@@ -73,6 +96,8 @@ def worker_main(
         "cells": 0,
         "shards": 0,
         "cell_errors": 0,
+        "sessions": 0,
+        "fuzz_errors": 0,
     }
 
     def get_runner(label: str, kernel: str):
@@ -101,7 +126,16 @@ def worker_main(
         message = task_queue.get()
         if message is None:
             break
+        if message[0] == "fuzz":
+            _, job_id, shard_id, params = message
+            result_queue.put(("heartbeat", worker_id))
+            _run_fuzz_session(worker_id, job_id, shard_id, params,
+                              result_queue, stats, resident=len(runners))
+            continue
         _, job_id, shard_id, cells = message
+        # Shard-start heartbeat: per-cell messages cover liveness from the
+        # first completion onward; this covers the first cell's runtime.
+        result_queue.put(("heartbeat", worker_id))
         for cell in cells:
             faults = getattr(cell, "faults", None)
             runner_key = (cell.label, cell.kernel)
@@ -141,6 +175,69 @@ def worker_main(
                           dict(stats, resident=len(runners))))
 
 
+def _run_fuzz_session(
+    worker_id: int,
+    job_id: str,
+    shard_id: int,
+    params: Dict[str, object],
+    result_queue,
+    stats: Dict[str, object],
+    *,
+    resident: int,
+) -> None:
+    """Execute one deterministic fuzz session and report it.
+
+    Imports the fuzz stack lazily: a farm that only ever serves campaign
+    jobs never touches Hypothesis, and a worker in an environment without
+    it degrades to a structured ``fuzz_error`` instead of dying.
+    """
+    seed = int(params["seed"])
+    try:
+        from repro.fuzz.session import run_session
+
+        last_beat = [time.perf_counter()]
+
+        def on_case(case, verdict) -> None:
+            now = time.perf_counter()
+            if now - last_beat[0] >= FUZZ_HEARTBEAT_EVERY_S:
+                last_beat[0] = now
+                result_queue.put(("heartbeat", worker_id))
+
+        def on_finding(counterexample) -> None:
+            result_queue.put(("finding", worker_id, job_id, shard_id,
+                              counterexample.describe()))
+
+        report = run_session(
+            int(params["budget"]),
+            seed,
+            profile=str(params.get("profile", "quick")),
+            with_faults=bool(params.get("with_faults", False)),
+            timeout_s=float(params.get("timeout_s", 10.0)),
+            corpus_dir=None,  # the farm owns the server-side corpus
+            on_case=on_case,
+            on_finding=on_finding,
+        )
+    except Exception as exc:  # noqa: BLE001 — isolate the session, keep serving
+        stats["fuzz_errors"] += 1
+        result_queue.put(("fuzz_error", worker_id, job_id, shard_id, seed,
+                          f"{type(exc).__name__}: {exc}"))
+        return
+    stats["sessions"] += 1
+    payload = {
+        "seed": seed,
+        "budget": report.budget,
+        "profile": report.profile,
+        "with_faults": report.with_faults,
+        "executed": report.executed,
+        "rounds": report.rounds,
+        "coverage": list(report.coverage),
+        "counterexamples": [ce.describe() for ce in report.counterexamples],
+        "exit_code": report.exit_code,
+    }
+    result_queue.put(("fuzz_done", worker_id, job_id, shard_id, payload,
+                      round(report.duration_s, 3), dict(stats, resident=resident)))
+
+
 @dataclass
 class WorkerHandle:
     """Parent-side view of one worker process."""
@@ -157,6 +254,13 @@ class WorkerHandle:
     busy_s: float = 0.0
     dispatched: int = 0
     respawns: int = 0
+    #: perf_counter of the last message received from this worker — the
+    #: stuck-worker watchdog compares it against the dispatch instant.
+    last_message_at: Optional[float] = None
+    #: Set by the watchdog just before SIGKILL, so the respawn path can
+    #: attribute the death to heartbeat silence (``worker_stuck``) rather
+    #: than a crash (``worker_crash``).
+    stuck_kill: bool = False
 
     @property
     def alive(self) -> bool:
@@ -173,7 +277,7 @@ class WorkerHandle:
             "respawns": self.respawns,
         }
         for key in ("pid", "builds", "preloaded", "cells", "shards",
-                    "cell_errors", "resident"):
+                    "cell_errors", "sessions", "fuzz_errors", "resident"):
             if key in self.stats:
                 record[key] = self.stats[key]
         return record

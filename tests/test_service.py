@@ -503,7 +503,7 @@ class TestClientResilience:
         client = self._client()
         calls = {"n": 0}
 
-        def flaky(method, path, body=None):
+        def flaky(method, path, body=None, headers=None):
             calls["n"] += 1
             if calls["n"] < 3:
                 raise ConnectionError("transient")
@@ -517,7 +517,7 @@ class TestClientResilience:
         client = self._client()
         calls = {"n": 0}
 
-        def always_down(method, path, body=None):
+        def always_down(method, path, body=None, headers=None):
             calls["n"] += 1
             raise ConnectionRefusedError("down")
 
@@ -531,7 +531,7 @@ class TestClientResilience:
         client = self._client()
         calls = {"n": 0}
 
-        def always_down(method, path, body=None):
+        def always_down(method, path, body=None, headers=None):
             calls["n"] += 1
             raise ConnectionError("down")
 
@@ -542,12 +542,32 @@ class TestClientResilience:
                 client._request(method, "/jobs")
             assert calls["n"] == 1
 
+    def test_keyed_submits_are_retried(self):
+        """submit() sends an Idempotency-Key, which makes the POST safe to
+        resend — the server answers a duplicate key with the original job —
+        so submissions get the same retry budget as reads."""
+        client = self._client()
+        calls = {"n": 0, "keys": set()}
+
+        def flaky(method, path, body=None, headers=None):
+            calls["n"] += 1
+            calls["keys"].add((headers or {}).get("Idempotency-Key"))
+            if calls["n"] < 3:
+                raise ConnectionError("transient")
+            return {"id": "j000001"}
+
+        client._request_once = flaky
+        assert client.submit(small_spec(name="retry-post"))["id"] == "j000001"
+        assert calls["n"] == 3
+        # Every resend carried the SAME key — that is what makes it safe.
+        assert len(calls["keys"]) == 1 and None not in calls["keys"]
+
     def test_http_error_responses_are_not_retried(self):
         """The server answered; retrying a 4xx/5xx can only repeat it."""
         client = self._client()
         calls = {"n": 0}
 
-        def erroring(method, path, body=None):
+        def erroring(method, path, body=None, headers=None):
             calls["n"] += 1
             raise ServiceError(500, {"error": "boom"})
 
@@ -697,3 +717,211 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "draining" in out
         assert "shutting down" in out
+
+
+# ---------------------------------------------------------------------------
+# Backpressure, idempotency, stuck-worker watchdog, fuzz jobs
+# ---------------------------------------------------------------------------
+
+
+class _HangingRunner:
+    """Goes heartbeat-silent: sleeps far longer than any test watchdog."""
+
+    def run_scenario(self, sets):
+        time.sleep(30)
+        return {"result": 1, "cycles": 1, "transactions": 0}
+
+
+class TestBackpressure:
+    def test_saturated_farm_rejects_with_retry_after(self):
+        """queue_limit=0 means every submission bounces — the deterministic
+        way to pin the FarmSaturated contract without timing games."""
+        from repro.service import FarmSaturated
+
+        with SimulationFarm(workers=1, queue_limit=0) as farm:
+            with pytest.raises(FarmSaturated) as exc:
+                farm.submit(small_spec(name="bounced"))
+            assert exc.value.retry_after_s > 0
+            assert farm.counters["jobs_rejected"] == 1
+            assert farm.stats()["saturated"] is True
+            assert farm.stats()["queue_limit"] == 0
+
+    def test_http_saturation_is_503_with_retry_after_header(self):
+        with SimulationFarm(workers=1, queue_limit=0) as farm:
+            server, _thread = serve_farm_in_thread(farm)
+            try:
+                client = ServiceClient(
+                    "http://127.0.0.1:%d" % server.server_address[1]
+                )
+                with pytest.raises(ServiceError) as exc:
+                    client.submit(small_spec(name="http-bounced"))
+                assert exc.value.status == 503
+                assert exc.value.retry_after is not None
+                assert exc.value.retry_after >= 1
+            finally:
+                server.shutdown()
+                server.server_close()
+
+    @fork_only
+    def test_limit_admits_again_once_jobs_finish(self):
+        from repro.service import FarmSaturated
+
+        _register("zz_slow", _SlowRunner)
+        try:
+            spec = CampaignSpec(
+                implementations=("zz_slow",), scenarios=SCENARIOS[:2],
+                name="bp-slow",
+            )
+            with SimulationFarm(workers=1, shard_size=1, queue_limit=1) as farm:
+                first = farm.submit(spec)
+                with pytest.raises(FarmSaturated):
+                    farm.submit(small_spec(name="bp-over"))
+                assert first.wait(timeout=60) == DONE
+                # The slot freed; the same submission is admitted now.
+                follow_up = farm.submit(small_spec(name="bp-after"))
+                assert follow_up.wait(timeout=60) == DONE
+        finally:
+            _unregister("zz_slow")
+
+
+class TestIdempotency:
+    def test_duplicate_key_returns_the_original_job(self):
+        with SimulationFarm(workers=1) as farm:
+            spec = small_spec(name="idem")
+            first = farm.submit(spec, idempotency_key="idem-key-1")
+            again = farm.submit(spec, idempotency_key="idem-key-1")
+            assert again is first
+            # Even after the job finished, the key still dedupes.
+            assert first.wait(timeout=60) == DONE
+            assert farm.submit(spec, idempotency_key="idem-key-1") is first
+            other = farm.submit(spec, idempotency_key="idem-key-2")
+            assert other is not first
+
+    def test_http_duplicate_submit_returns_original_id(self, served_farm):
+        farm, client = served_farm
+        spec = small_spec(name="http-idem", seed=61)
+        first = client.submit(spec, idempotency_key="http-idem-key")
+        again = client.submit(spec, idempotency_key="http-idem-key")
+        assert again["id"] == first["id"]
+        assert again.get("duplicate") is True
+        assert "duplicate" not in first
+
+    def test_client_generates_a_key_so_each_submit_is_distinct(self, served_farm):
+        farm, client = served_farm
+        spec = small_spec(name="http-fresh", seed=62)
+        a = client.submit(spec)
+        b = client.submit(spec)
+        assert a["id"] != b["id"]
+
+
+class TestStuckWatchdog:
+    @fork_only
+    def test_silent_worker_is_killed_retried_and_attributed(self):
+        """A worker that stops heartbeating is SIGKILLed and the shard
+        retried once; a silent retry fails the cells with ``worker_stuck``
+        (not ``worker_crash``) and the farm keeps serving."""
+        _register("zz_hang", _HangingRunner)
+        try:
+            spec = CampaignSpec(
+                implementations=("zz_hang",), scenarios=SCENARIOS[:1],
+                name="stuck",
+            )
+            with SimulationFarm(workers=1, shard_size=1,
+                                stuck_timeout_s=0.4) as farm:
+                job = farm.submit(spec)
+                assert job.wait(timeout=60) == FAILED
+                (error,) = job.errors.values()
+                assert error.kind == "worker_stuck"
+                assert "heartbeat-silent" in error.message
+                assert farm.counters["workers_stuck_killed"] == 2
+                assert farm.counters["shards_retried"] == 1
+                kinds = [e["event"] for e in job.events]
+                assert "worker_stuck" in kinds
+
+                follow_up = farm.submit(small_spec(name="after-stuck"))
+                assert follow_up.wait(timeout=60) == DONE
+        finally:
+            _unregister("zz_hang")
+
+    def test_watchdog_can_be_disabled_and_defaults_are_generous(self):
+        from repro.service import DEFAULT_STUCK_TIMEOUT_S
+
+        with SimulationFarm(workers=1, stuck_timeout_s=None) as farm:
+            job = farm.submit(small_spec(name="no-watchdog"))
+            assert job.wait(timeout=60) == DONE
+            assert farm.counters["workers_stuck_killed"] == 0
+        assert DEFAULT_STUCK_TIMEOUT_S >= 60
+
+
+class TestFuzzJobs:
+    """Fuzz jobs as a first-class farm workload (needs Hypothesis)."""
+
+    @pytest.fixture(autouse=True)
+    def _needs_hypothesis(self):
+        pytest.importorskip("hypothesis")
+
+    @staticmethod
+    def _local_session(seed, budget):
+        """The deterministic payload an uninterrupted local session yields."""
+        from repro.fuzz.session import run_session
+
+        report = run_session(budget, seed, profile="quick", corpus_dir=None)
+        return {
+            "seed": seed,
+            "budget": report.budget,
+            "profile": report.profile,
+            "with_faults": report.with_faults,
+            "executed": report.executed,
+            "rounds": report.rounds,
+            "coverage": list(report.coverage),
+            "counterexamples": [ce.describe() for ce in report.counterexamples],
+            "exit_code": report.exit_code,
+        }
+
+    def test_fuzz_job_shards_across_workers_and_matches_local_sessions(self):
+        from repro.service import FUZZ, FuzzJobSpec
+
+        spec = FuzzJobSpec(seed_start=0, sessions=2, budget=4)
+        with SimulationFarm(workers=2) as farm:
+            job = farm.submit_fuzz(spec)
+            assert job.kind == FUZZ
+            assert job.wait(timeout=300) == DONE
+            payload = job.fuzz_result()
+        expected = [self._local_session(seed, 4) for seed in (0, 1)]
+        assert payload["sessions"] == expected
+        assert payload["executed"] == sum(s["executed"] for s in expected)
+        merged = sorted({c for s in expected for c in s["coverage"]})
+        assert payload["coverage"] == merged
+        assert payload["errors"] == {}
+
+    def test_fuzz_job_over_http_streams_session_events(self, served_farm):
+        farm, client = served_farm
+        snap = client.submit_fuzz(seed_start=5, sessions=2, budget=3)
+        assert snap["kind"] == "fuzz"
+        events = list(client.events(snap["id"]))
+        kinds = [e["event"] for e in events]
+        assert kinds.count("session") == 2
+        assert kinds[-1] == "state"
+        result = client.result(snap["id"])
+        assert [s["seed"] for s in result["sessions"]] == [5, 6]
+        assert result["meta"]["sessions_total"] == 2
+
+    def test_fuzz_jobs_are_deterministic_across_submissions(self, served_farm):
+        """Two identical fuzz submissions produce bit-identical deterministic
+        payloads (sessions, coverage, counterexamples) — the property the
+        recovery guarantee builds on."""
+        farm, client = served_farm
+        runs = []
+        for _ in range(2):
+            snap = client.submit_fuzz(seed_start=7, sessions=2, budget=3)
+            client.wait(snap["id"], timeout=300)
+            runs.append(client.result(snap["id"]))
+        assert runs[0]["sessions"] == runs[1]["sessions"]
+        assert runs[0]["coverage"] == runs[1]["coverage"]
+        assert runs[0]["counterexamples"] == runs[1]["counterexamples"]
+
+    def test_invalid_fuzz_spec_is_rejected(self, served_farm):
+        farm, client = served_farm
+        with pytest.raises(ServiceError) as exc:
+            client.submit_fuzz(seed_start=0, sessions=0, budget=4)
+        assert exc.value.status == 400
